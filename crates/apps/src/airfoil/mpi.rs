@@ -1,0 +1,417 @@
+//! The Airfoil message-passing backend: partition → distribute → SPMD
+//! ranks with halo exchanges and redundant exec-halo execution (paper §3,
+//! §6.5's MPI and MPI+OpenMP configurations).
+//!
+//! Per-rank iteration (matching `op_mpi_halo_exchanges` placement in the
+//! generated code of paper Fig. 2b):
+//!
+//! ```text
+//! save_soln  over owned cells
+//! 2 × { adt_calc over owned cells
+//!       halo-exchange q, adt (owners → ghosts)
+//!       res_calc over ALL local edges (owned + redundantly executed)
+//!       bres_calc over owned boundary edges
+//!       update over owned cells, Σ rms allreduced }
+//! ```
+//!
+//! Increments into ghost cells are discarded (the owner computes them via
+//! its own copy of the boundary edge); ghost `res` rows are re-zeroed
+//! after each phase so they cannot grow unboundedly.
+
+use ump_core::{distribute, extract_rows, LocalMesh, OpDat, Recorder};
+use ump_mesh::generators::AirfoilCase;
+use ump_minimpi::{Comm, Universe};
+use ump_part::{rcb, Partition};
+use ump_simd::{Real, VecR};
+
+use super::drivers; // scalar kernels reused through the local meshes
+use super::kernels::{adt_calc, bres_calc, res_calc, save_soln, update};
+use super::{Airfoil, Consts};
+
+/// A rank-local Airfoil state.
+pub struct RankState<R: Real> {
+    /// The rank's mesh piece.
+    pub local: LocalMesh,
+    /// Boundary tags of the rank's bedges.
+    pub bound: Vec<i32>,
+    /// Node coordinates (replicated where referenced).
+    pub x: OpDat<R>,
+    /// Flow state (owned + ghost cells).
+    pub q: OpDat<R>,
+    /// Saved state.
+    pub qold: OpDat<R>,
+    /// Local timestep.
+    pub adt: OpDat<R>,
+    /// Residuals.
+    pub res: OpDat<R>,
+    /// Constants.
+    pub consts: Consts<R>,
+}
+
+impl<R: Real> RankState<R> {
+    /// Build a rank's state from the global case and its mesh piece.
+    pub fn new(case: &AirfoilCase, local: LocalMesh) -> RankState<R> {
+        let consts = Consts::<R>::default();
+        let n_cells = local.mesh.n_cells();
+        let x = OpDat::from_fn("x", local.mesh.n_nodes(), 2, |n| {
+            let [px, py] = local.mesh.node_xy[n];
+            vec![R::from_f64(px), R::from_f64(py)]
+        });
+        let q = OpDat::from_fn("q", n_cells, 4, |_| consts.qinf.to_vec());
+        let bound: Vec<i32> = local
+            .bedge_global
+            .iter()
+            .map(|&gbe| case.bound[gbe as usize])
+            .collect();
+        RankState {
+            bound,
+            x,
+            q,
+            qold: OpDat::zeros("qold", n_cells, 4),
+            adt: OpDat::zeros("adt", n_cells, 1),
+            res: OpDat::zeros("res", n_cells, 4),
+            consts,
+            local,
+        }
+    }
+
+    /// One iteration on this rank; returns the global normalized RMS.
+    pub fn step(&mut self, comm: &Comm, total_cells: usize, rec: Option<&Recorder>) -> f64 {
+        let mesh = &self.local.mesh;
+        let n_owned = self.local.n_owned_cells;
+        let time = |rec: Option<&Recorder>, name: &str, n: usize, f: &mut dyn FnMut()| match rec {
+            Some(r) => r.time(&super::profile(name), R::BYTES, n, f),
+            None => f(),
+        };
+
+        time(rec, "save_soln", n_owned, &mut || {
+            for c in 0..n_owned {
+                let (q, qold) = (&self.q, &mut self.qold);
+                save_soln(q.row(c), qold.row_mut(c));
+            }
+        });
+
+        let mut rms = R::ZERO;
+        for phase in 0..2u64 {
+            time(rec, "adt_calc", n_owned, &mut || {
+                for c in 0..n_owned {
+                    let n = mesh.cell2node.row(c);
+                    let mut a = R::ZERO;
+                    adt_calc(
+                        self.x.row(n[0] as usize),
+                        self.x.row(n[1] as usize),
+                        self.x.row(n[2] as usize),
+                        self.x.row(n[3] as usize),
+                        self.q.row(c),
+                        &mut a,
+                        &self.consts,
+                    );
+                    self.adt.row_mut(c)[0] = a;
+                }
+            });
+            // halo exchanges: ghosts of q and adt are stale (update /
+            // adt_calc ran on owned only)
+            self.local.cell_halo.execute(comm, &mut self.q.data, 4, phase * 2);
+            self.local
+                .cell_halo
+                .execute(comm, &mut self.adt.data, 1, phase * 2 + 1);
+
+            time(rec, "res_calc", mesh.n_edges(), &mut || {
+                for e in 0..mesh.n_edges() {
+                    let n = mesh.edge2node.row(e);
+                    let c = mesh.edge2cell.row(e);
+                    let (c0, c1) = (c[0] as usize, c[1] as usize);
+                    let (r1, r2) = drivers::two_rows_mut(&mut self.res.data, 4, c0, c1);
+                    res_calc(
+                        self.x.row(n[0] as usize),
+                        self.x.row(n[1] as usize),
+                        self.q.row(c0),
+                        self.q.row(c1),
+                        self.adt.row(c0)[0],
+                        self.adt.row(c1)[0],
+                        r1,
+                        r2,
+                        &self.consts,
+                    );
+                }
+            });
+            time(rec, "bres_calc", mesh.n_bedges(), &mut || {
+                for be in 0..mesh.n_bedges() {
+                    let n = mesh.bedge2node.row(be);
+                    let c0 = mesh.bedge2cell.at(be, 0);
+                    bres_calc(
+                        self.x.row(n[0] as usize),
+                        self.x.row(n[1] as usize),
+                        self.q.row(c0),
+                        self.adt.row(c0)[0],
+                        self.res.row_mut(c0),
+                        self.bound[be],
+                        &self.consts,
+                    );
+                }
+            });
+            time(rec, "update", n_owned, &mut || {
+                for c in 0..n_owned {
+                    let (qold, q, res, adt) = (&self.qold, &mut self.q, &mut self.res, &self.adt);
+                    update(
+                        qold.row(c),
+                        q.row_mut(c),
+                        res.row_mut(c),
+                        adt.row(c)[0],
+                        &mut rms,
+                    );
+                }
+                // discard ghost increments (owners recompute them)
+                for v in &mut self.res.data[n_owned * 4..] {
+                    *v = R::ZERO;
+                }
+            });
+        }
+        let global = comm.allreduce_sum(rms.to_f64());
+        (global / total_cells as f64).sqrt()
+    }
+}
+
+/// Run `iters` iterations of Airfoil across `n_ranks` message-passing
+/// ranks. Returns the assembled global flow state and the per-iteration
+/// RMS history (identical on every rank).
+pub fn run_mpi<R: Real>(
+    case: &AirfoilCase,
+    n_ranks: usize,
+    iters: usize,
+    rec: Option<&Recorder>,
+) -> (OpDat<R>, Vec<f64>) {
+    let mesh = &case.mesh;
+    let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+    let partition = rcb(&pts, n_ranks as u32);
+    run_mpi_with_partition(case, &partition, iters, rec)
+}
+
+/// As [`run_mpi`] with an explicit partition (used by tests to stress odd
+/// partitions).
+pub fn run_mpi_with_partition<R: Real>(
+    case: &AirfoilCase,
+    partition: &Partition,
+    iters: usize,
+    rec: Option<&Recorder>,
+) -> (OpDat<R>, Vec<f64>) {
+    let mesh = &case.mesh;
+    let locals = distribute(mesh, partition);
+    let total_cells = mesh.n_cells();
+    let n_ranks = partition.n_parts as usize;
+
+    let results = Universe::new(n_ranks).run(|comm| {
+        let mut state = RankState::<R>::new(case, locals[comm.rank()].clone());
+        let mut history = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            history.push(state.step(comm, total_cells, rec));
+        }
+        (state.q.data, state.local.cell_global.clone(), state.local.n_owned_cells, history)
+    });
+
+    let history = results[0].3.clone();
+    let parts: Vec<(&[R], &[u32], usize)> = results
+        .iter()
+        .map(|(data, ids, n_owned, _)| (data.as_slice(), ids.as_slice(), *n_owned))
+        .collect();
+    let q = OpDat::from_vec(
+        "q",
+        total_cells,
+        4,
+        ump_core::dist::assemble_owned(&parts, total_cells, 4),
+    );
+    (q, history)
+}
+
+impl<R: Real> RankState<R> {
+    /// One iteration with threads × SIMD *inside* the rank — the hybrid
+    /// MPI+OpenMP vectorized configuration that wins on the Phi
+    /// (paper §6.5, Fig. 8b's tuning subject). Same communication
+    /// pattern as [`RankState::step`]; compute loops run through the
+    /// colored-block executor with `L`-lane sweeps per block.
+    pub fn step_hybrid<const L: usize>(
+        &mut self,
+        comm: &Comm,
+        cache: &ump_core::PlanCache,
+        n_threads: usize,
+        block_size: usize,
+        total_cells: usize,
+    ) -> f64 {
+        use ump_color::PlanInputs;
+        use ump_core::{par_colored_blocks, Scheme, SharedMut};
+
+        let n_owned = self.local.n_owned_cells;
+        let n_edges = self.local.mesh.n_edges();
+        let cell_plan = cache.get(
+            Scheme::TwoLevel,
+            &[],
+            &PlanInputs::new(n_owned, vec![], block_size),
+        );
+        let edge_plan = cache.get(
+            Scheme::TwoLevel,
+            &["edge2cell"],
+            &PlanInputs::new(n_edges, vec![&self.local.mesh.edge2cell], block_size),
+        );
+
+        // save_soln over owned cells (vector copy per block)
+        {
+            let (q, qold) = (&self.q, SharedMut::new(&mut self.qold));
+            par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+                let (s, e) = (range.start as usize * 4, range.end as usize * 4);
+                unsafe { qold.get_mut().data[s..e].copy_from_slice(&q.data[s..e]) };
+            });
+        }
+
+        let mut rms = R::ZERO;
+        for phase in 0..2u64 {
+            {
+                let mesh = &self.local.mesh;
+                let (x, q, consts) = (&self.x, &self.q, &self.consts);
+                let adt = SharedMut::new(&mut self.adt);
+                par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+                    unsafe {
+                        drivers::simd_adt_sweep::<R, L>(
+                            range.start as usize..range.end as usize,
+                            mesh,
+                            x,
+                            q,
+                            adt.get_mut(),
+                            consts,
+                        );
+                    }
+                });
+            }
+            self.local.cell_halo.execute(comm, &mut self.q.data, 4, phase * 2);
+            self.local
+                .cell_halo
+                .execute(comm, &mut self.adt.data, 1, phase * 2 + 1);
+            {
+                let mesh = &self.local.mesh;
+                let (x, q, adt, consts) = (&self.x, &self.q, &self.adt, &self.consts);
+                let res = SharedMut::new(&mut self.res);
+                par_colored_blocks(edge_plan.two_level(), n_threads, |_b, range| {
+                    unsafe {
+                        drivers::simd_res_sweep::<R, L>(
+                            range.start as usize..range.end as usize,
+                            mesh,
+                            x,
+                            q,
+                            adt,
+                            res.get_mut(),
+                            consts,
+                        );
+                    }
+                });
+            }
+            for be in 0..self.local.mesh.n_bedges() {
+                let n = self.local.mesh.bedge2node.row(be);
+                let c0 = self.local.mesh.bedge2cell.at(be, 0);
+                bres_calc(
+                    self.x.row(n[0] as usize),
+                    self.x.row(n[1] as usize),
+                    self.q.row(c0),
+                    self.adt.row(c0)[0],
+                    self.res.row_mut(c0),
+                    self.bound[be],
+                    &self.consts,
+                );
+            }
+            // update over owned cells with deterministic per-block rms
+            {
+                let plan = cell_plan.two_level();
+                let mut rms_blocks = vec![R::ZERO; plan.blocks.len()];
+                {
+                    let (qold, adt) = (&self.qold, &self.adt);
+                    let q = SharedMut::new(&mut self.q);
+                    let res = SharedMut::new(&mut self.res);
+                    let rmss = SharedMut::new(&mut rms_blocks);
+                    par_colored_blocks(plan, n_threads, |b, range| {
+                        let mut local = R::ZERO;
+                        for c in range.start as usize..range.end as usize {
+                            unsafe {
+                                update(
+                                    qold.row(c),
+                                    q.get_mut().row_mut(c),
+                                    res.get_mut().row_mut(c),
+                                    adt.row(c)[0],
+                                    &mut local,
+                                );
+                            }
+                        }
+                        unsafe { rmss.get_mut()[b] = local };
+                    });
+                }
+                for v in rms_blocks {
+                    rms += v;
+                }
+                for v in &mut self.res.data[n_owned * 4..] {
+                    *v = R::ZERO;
+                }
+            }
+        }
+        let global = comm.allreduce_sum(rms.to_f64());
+        (global / total_cells as f64).sqrt()
+    }
+}
+
+/// Run the hybrid (ranks × threads × SIMD) backend end to end.
+pub fn run_mpi_hybrid<R: Real, const L: usize>(
+    case: &AirfoilCase,
+    n_ranks: usize,
+    threads_per_rank: usize,
+    block_size: usize,
+    iters: usize,
+) -> (OpDat<R>, Vec<f64>) {
+    let mesh = &case.mesh;
+    let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+    let partition = rcb(&pts, n_ranks as u32);
+    let locals = distribute(mesh, &partition);
+    let total_cells = mesh.n_cells();
+
+    let results = Universe::new(n_ranks).run(|comm| {
+        let cache = ump_core::PlanCache::new();
+        let mut state = RankState::<R>::new(case, locals[comm.rank()].clone());
+        let mut history = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            history.push(state.step_hybrid::<L>(
+                comm,
+                &cache,
+                threads_per_rank,
+                block_size,
+                total_cells,
+            ));
+        }
+        (state.q.data, state.local.cell_global.clone(), state.local.n_owned_cells, history)
+    });
+
+    let history = results[0].3.clone();
+    let parts: Vec<(&[R], &[u32], usize)> = results
+        .iter()
+        .map(|(data, ids, n_owned, _)| (data.as_slice(), ids.as_slice(), *n_owned))
+        .collect();
+    let q = OpDat::from_vec(
+        "q",
+        total_cells,
+        4,
+        ump_core::dist::assemble_owned(&parts, total_cells, 4),
+    );
+    (q, history)
+}
+
+/// Initialize a rank state from a *mid-simulation* global state — lets
+/// tests hand the MPI backend a nontrivial flow field.
+pub fn rank_state_from_global<R: Real>(
+    case: &AirfoilCase,
+    local: LocalMesh,
+    global: &Airfoil<R>,
+) -> RankState<R> {
+    let mut st = RankState::<R>::new(case, local);
+    st.q.data = extract_rows(&global.q.data, 4, &st.local.cell_global);
+    st.qold.data = extract_rows(&global.qold.data, 4, &st.local.cell_global);
+    st.adt.data = extract_rows(&global.adt.data, 1, &st.local.cell_global);
+    st
+}
+
+/// Convenience: SIMD lanes used by the hybrid rank drivers; re-exported
+/// so binaries can name the width symbolically.
+pub type LaneVec<R, const L: usize> = VecR<R, L>;

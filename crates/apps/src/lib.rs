@@ -1,0 +1,23 @@
+//! # ump-apps — the paper's two benchmark applications
+//!
+//! * [`airfoil`] — the Airfoil benchmark (paper §6.1, Table II): a
+//!   non-linear 2-D inviscid finite-volume Euler solver with the five OP2
+//!   kernels `save_soln`, `adt_calc`, `res_calc`, `bres_calc`, `update`.
+//!   Generic over precision (`f32`/`f64`), as the paper runs both.
+//! * [`volna`] — the Volna shallow-water tsunami code (paper §6.1,
+//!   Table III): single precision, six kernels `sim_1`, `compute_flux`,
+//!   `numerical_flux`, `space_disc`, `RK_1`, `RK_2`.
+//!
+//! Each application provides *kernels* (the "user code" of the OP2
+//! abstraction — a scalar form generic over `R: Real` and a vector form
+//! generic over `VecR<R, LANES>`, mirroring `res_calc` / `res_calc_vec`
+//! in paper Fig. 3b) and *drivers* — the per-backend loop bodies OP2's
+//! code generator would emit (Figs 2b/3a/3b): sequential, threaded
+//! colored blocks, explicit SIMD with gather/scatter and the three-sweep
+//! structure, SIMT emulation, and the message-passing backend with halo
+//! exchanges and redundant exec-halo execution.
+
+#![deny(missing_docs)]
+
+pub mod airfoil;
+pub mod volna;

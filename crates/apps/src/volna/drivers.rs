@@ -1,0 +1,655 @@
+//! The Volna loop drivers (one `step_*` = one RK2 time step; returns the
+//! CFL Δt used). Backend shapes mirror the Airfoil drivers; the paper
+//! benchmarks Volna in single precision through the same MPI / OpenMP /
+//! OpenCL / intrinsics configurations.
+
+use ump_color::PlanInputs;
+use ump_core::{
+    par_colored_blocks, seq_loop, simt_colored, PlanCache, Recorder, Scheme, SharedDat, SharedMut,
+};
+use ump_simd::{split_sweep, IdxVec, Real, VecR};
+
+use super::kernels::{bc_flux, compute_flux, numerical_flux, rk_1, rk_2, sim_1, space_disc};
+use super::kernels_vec::{
+    compute_flux_vec, numerical_flux_vec, rk_1_vec, rk_2_vec, space_disc_vec,
+};
+use super::{profile, Volna, CFL, GRAVITY, H_MIN};
+
+fn maybe_time<T>(
+    rec: Option<&Recorder>,
+    name: &str,
+    word_bytes: usize,
+    n_elems: usize,
+    f: impl FnOnce() -> T,
+) -> T {
+    match rec {
+        Some(r) => r.time(&profile(name), word_bytes, n_elems, f),
+        None => f(),
+    }
+}
+
+#[inline(always)]
+fn two_rows_mut<R>(data: &mut [R], dim: usize, i: usize, j: usize) -> (&mut [R], &mut [R]) {
+    crate::airfoil::drivers::two_rows_mut(data, dim, i, j)
+}
+
+// ---------------------------------------------------------------------------
+// sequential reference
+// ---------------------------------------------------------------------------
+
+/// One RK2 step, scalar sequential. Returns Δt.
+pub fn step_seq<R: Real>(sim: &mut Volna<R>, rec: Option<&Recorder>) -> f64 {
+    let wb = R::BYTES;
+    let g = R::from_f64(GRAVITY);
+    let h_min = R::from_f64(H_MIN);
+    let cfl = R::from_f64(CFL);
+    let mesh = &sim.case.mesh;
+    let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
+
+    maybe_time(rec, "sim_1", wb, nc, || {
+        let (w, w_old) = (&sim.w, &mut sim.w_old);
+        seq_loop(0..nc, |c| sim_1(w.row(c), w_old.row_mut(c)));
+    });
+
+    let mut dt = R::INFINITY;
+    for phase in 0..2 {
+        let state = if phase == 0 { &sim.w } else { &sim.w1 };
+        maybe_time(rec, "compute_flux", wb, ne, || {
+            let eflux = &mut sim.eflux;
+            seq_loop(0..ne, |e| {
+                let c = mesh.edge2cell.row(e);
+                compute_flux(
+                    sim.egeom.row(e),
+                    state.row(c[0] as usize),
+                    state.row(c[1] as usize),
+                    eflux.row_mut(e),
+                    g,
+                    h_min,
+                );
+            });
+        });
+        if phase == 0 {
+            maybe_time(rec, "numerical_flux", wb, ne, || {
+                seq_loop(0..ne, |e| {
+                    let c = mesh.edge2cell.row(e);
+                    numerical_flux(
+                        sim.egeom.row(e),
+                        sim.eflux.row(e),
+                        sim.area.row(c[0] as usize)[0],
+                        sim.area.row(c[1] as usize)[0],
+                        &mut dt,
+                        cfl,
+                    );
+                });
+            });
+        }
+        maybe_time(rec, "space_disc", wb, ne, || {
+            let res = &mut sim.res;
+            seq_loop(0..ne, |e| {
+                let c = mesh.edge2cell.row(e);
+                let (c0, c1) = (c[0] as usize, c[1] as usize);
+                let (rl, rr) = two_rows_mut(&mut res.data, 4, c0, c1);
+                space_disc(
+                    sim.egeom.row(e),
+                    sim.eflux.row(e),
+                    state.row(c0),
+                    state.row(c1),
+                    rl,
+                    rr,
+                    g,
+                );
+            });
+        });
+        maybe_time(rec, "bc_flux", wb, mesh.n_bedges(), || {
+            let res = &mut sim.res;
+            seq_loop(0..mesh.n_bedges(), |be| {
+                let c0 = mesh.bedge2cell.at(be, 0);
+                bc_flux(sim.bgeom.row(be), state.row(c0), res.row_mut(c0), g);
+            });
+        });
+        if phase == 0 {
+            maybe_time(rec, "RK_1", wb, nc, || {
+                let (w_old, res, w1, area) = (&sim.w_old, &mut sim.res, &mut sim.w1, &sim.area);
+                seq_loop(0..nc, |c| {
+                    rk_1(w_old.row(c), res.row_mut(c), w1.row_mut(c), area.row(c)[0], dt);
+                });
+            });
+        } else {
+            maybe_time(rec, "RK_2", wb, nc, || {
+                let (w_old, w1, res, w, area) =
+                    (&sim.w_old, &sim.w1, &mut sim.res, &mut sim.w, &sim.area);
+                seq_loop(0..nc, |c| {
+                    rk_2(
+                        w_old.row(c),
+                        w1.row(c),
+                        res.row_mut(c),
+                        w.row_mut(c),
+                        area.row(c)[0],
+                        dt,
+                    );
+                });
+            });
+        }
+    }
+    dt.to_f64()
+}
+
+// ---------------------------------------------------------------------------
+// threaded (OpenMP-analogue)
+// ---------------------------------------------------------------------------
+
+/// One RK2 step with colored-block threading.
+pub fn step_threaded<R: Real>(
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let wb = R::BYTES;
+    let g = R::from_f64(GRAVITY);
+    let h_min = R::from_f64(H_MIN);
+    let cfl = R::from_f64(CFL);
+    let mesh = &sim.case.mesh;
+    let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
+
+    let cell_plan = cache.get(Scheme::TwoLevel, &[], &PlanInputs::new(nc, vec![], block_size));
+    let edge_direct = cache.get(Scheme::TwoLevel, &[], &PlanInputs::new(ne, vec![], block_size));
+    let edge_colored = cache.get(
+        Scheme::TwoLevel,
+        &["edge2cell"],
+        &PlanInputs::new(ne, vec![&mesh.edge2cell], block_size),
+    );
+
+    maybe_time(rec, "sim_1", wb, nc, || {
+        let (w, w_old) = (&sim.w, &mut sim.w_old);
+        let wo = SharedDat::new(&mut w_old.data);
+        par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+            for c in range.start as usize..range.end as usize {
+                unsafe { sim_1(w.row(c), wo.slice_mut(c * 4, 4)) };
+            }
+        });
+    });
+
+    let mut dt = R::INFINITY;
+    for phase in 0..2 {
+        let state = if phase == 0 { &sim.w } else { &sim.w1 };
+        maybe_time(rec, "compute_flux", wb, ne, || {
+            let ef = SharedDat::new(&mut sim.eflux.data);
+            par_colored_blocks(edge_direct.two_level(), n_threads, |_b, range| {
+                for e in range.start as usize..range.end as usize {
+                    let c = mesh.edge2cell.row(e);
+                    unsafe {
+                        compute_flux(
+                            sim.egeom.row(e),
+                            state.row(c[0] as usize),
+                            state.row(c[1] as usize),
+                            ef.slice_mut(e * 4, 4),
+                            g,
+                            h_min,
+                        );
+                    }
+                }
+            });
+        });
+        if phase == 0 {
+            maybe_time(rec, "numerical_flux", wb, ne, || {
+                let plan = edge_direct.two_level();
+                let mut dt_blocks = vec![R::INFINITY; plan.blocks.len()];
+                {
+                    let dts = SharedDat::new(&mut dt_blocks);
+                    par_colored_blocks(plan, n_threads, |b, range| {
+                        let mut local = R::INFINITY;
+                        for e in range.start as usize..range.end as usize {
+                            let c = mesh.edge2cell.row(e);
+                            numerical_flux(
+                                sim.egeom.row(e),
+                                sim.eflux.row(e),
+                                sim.area.row(c[0] as usize)[0],
+                                sim.area.row(c[1] as usize)[0],
+                                &mut local,
+                                cfl,
+                            );
+                        }
+                        unsafe { dts.slice_mut(b, 1)[0] = local };
+                    });
+                }
+                for v in dt_blocks {
+                    dt = dt.min(v);
+                }
+            });
+        }
+        maybe_time(rec, "space_disc", wb, ne, || {
+            let ress = SharedDat::new(&mut sim.res.data);
+            par_colored_blocks(edge_colored.two_level(), n_threads, |_b, range| {
+                for e in range.start as usize..range.end as usize {
+                    let c = mesh.edge2cell.row(e);
+                    let (c0, c1) = (c[0] as usize, c[1] as usize);
+                    let (rl, rr) = unsafe { (ress.slice_mut(c0 * 4, 4), ress.slice_mut(c1 * 4, 4)) };
+                    space_disc(
+                        sim.egeom.row(e),
+                        sim.eflux.row(e),
+                        state.row(c0),
+                        state.row(c1),
+                        rl,
+                        rr,
+                        g,
+                    );
+                }
+            });
+        });
+        maybe_time(rec, "bc_flux", wb, mesh.n_bedges(), || {
+            let res = &mut sim.res;
+            seq_loop(0..mesh.n_bedges(), |be| {
+                let c0 = mesh.bedge2cell.at(be, 0);
+                bc_flux(sim.bgeom.row(be), state.row(c0), res.row_mut(c0), g);
+            });
+        });
+        let rk_name = if phase == 0 { "RK_1" } else { "RK_2" };
+        maybe_time(rec, rk_name, wb, nc, || {
+            let (w_old, w1, res, w, area) = (
+                &sim.w_old,
+                SharedMut::new(&mut sim.w1),
+                SharedMut::new(&mut sim.res),
+                SharedMut::new(&mut sim.w),
+                &sim.area,
+            );
+            par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+                for c in range.start as usize..range.end as usize {
+                    unsafe {
+                        if phase == 0 {
+                            rk_1(
+                                w_old.row(c),
+                                res.get_mut().row_mut(c),
+                                w1.get_mut().row_mut(c),
+                                area.row(c)[0],
+                                dt,
+                            );
+                        } else {
+                            rk_2(
+                                w_old.row(c),
+                                w1.get_mut().row(c),
+                                res.get_mut().row_mut(c),
+                                w.get_mut().row_mut(c),
+                                area.row(c)[0],
+                                dt,
+                            );
+                        }
+                    }
+                }
+            });
+        });
+    }
+    dt.to_f64()
+}
+
+// ---------------------------------------------------------------------------
+// explicit SIMD (single thread)
+// ---------------------------------------------------------------------------
+
+/// One RK2 step, explicitly vectorized at `L` lanes (the paper's
+/// single-precision Volna vector configurations).
+pub fn step_simd<R: Real, const L: usize>(sim: &mut Volna<R>, rec: Option<&Recorder>) -> f64 {
+    let wb = R::BYTES;
+    let g = R::from_f64(GRAVITY);
+    let h_min = R::from_f64(H_MIN);
+    let cfl = R::from_f64(CFL);
+    let mesh = &sim.case.mesh;
+    let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
+    let e2c = &mesh.edge2cell.data;
+
+    maybe_time(rec, "sim_1", wb, nc, || {
+        let flat = nc * 4;
+        let sweep = split_sweep(0..flat, L, 0);
+        for i in sweep.scalar_items() {
+            sim.w_old.data[i] = sim.w.data[i];
+        }
+        for i in sweep.vector_chunks() {
+            VecR::<R, L>::load(&sim.w.data, i).store(&mut sim.w_old.data, i);
+        }
+    });
+
+    let mut dt = R::INFINITY;
+    for phase in 0..2 {
+        let state = if phase == 0 { &sim.w } else { &sim.w1 };
+        maybe_time(rec, "compute_flux", wb, ne, || {
+            let sweep = split_sweep(0..ne, L, 0);
+            for e in sweep.scalar_items() {
+                let c = mesh.edge2cell.row(e);
+                compute_flux(
+                    sim.egeom.row(e),
+                    state.row(c[0] as usize),
+                    state.row(c[1] as usize),
+                    sim.eflux.row_mut(e),
+                    g,
+                    h_min,
+                );
+            }
+            for es in sweep.vector_chunks() {
+                let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
+                let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
+                let geom: [VecR<R, L>; 4] =
+                    std::array::from_fn(|d| VecR::load_strided(&sim.egeom.data, es * 4 + d, 4));
+                let wl: [VecR<R, L>; 4] =
+                    std::array::from_fn(|d| VecR::gather(&state.data, c0, 4, d));
+                let wr: [VecR<R, L>; 4] =
+                    std::array::from_fn(|d| VecR::gather(&state.data, c1, 4, d));
+                let f = compute_flux_vec(&geom, &wl, &wr, g, h_min);
+                for d in 0..4 {
+                    f[d].store_strided(&mut sim.eflux.data, es * 4 + d, 4);
+                }
+            }
+        });
+        if phase == 0 {
+            maybe_time(rec, "numerical_flux", wb, ne, || {
+                let sweep = split_sweep(0..ne, L, 0);
+                let mut dt_v = VecR::<R, L>::splat(R::INFINITY);
+                for e in sweep.scalar_items() {
+                    let c = mesh.edge2cell.row(e);
+                    numerical_flux(
+                        sim.egeom.row(e),
+                        sim.eflux.row(e),
+                        sim.area.row(c[0] as usize)[0],
+                        sim.area.row(c[1] as usize)[0],
+                        &mut dt,
+                        cfl,
+                    );
+                }
+                for es in sweep.vector_chunks() {
+                    let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
+                    let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
+                    let lam = VecR::<R, L>::load_strided(&sim.eflux.data, es * 4 + 3, 4);
+                    let al = VecR::gather(&sim.area.data, c0, 1, 0);
+                    let ar = VecR::gather(&sim.area.data, c1, 1, 0);
+                    numerical_flux_vec(lam, al, ar, &mut dt_v, cfl);
+                }
+                dt = dt.min(dt_v.reduce_min());
+            });
+        }
+        maybe_time(rec, "space_disc", wb, ne, || {
+            let sweep = split_sweep(0..ne, L, 0);
+            for e in sweep.scalar_items() {
+                let c = mesh.edge2cell.row(e);
+                let (c0, c1) = (c[0] as usize, c[1] as usize);
+                let (rl, rr) = two_rows_mut(&mut sim.res.data, 4, c0, c1);
+                space_disc(
+                    sim.egeom.row(e),
+                    sim.eflux.row(e),
+                    state.row(c0),
+                    state.row(c1),
+                    rl,
+                    rr,
+                    g,
+                );
+            }
+            for es in sweep.vector_chunks() {
+                let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
+                let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
+                let geom: [VecR<R, L>; 4] =
+                    std::array::from_fn(|d| VecR::load_strided(&sim.egeom.data, es * 4 + d, 4));
+                let ef: [VecR<R, L>; 4] =
+                    std::array::from_fn(|d| VecR::load_strided(&sim.eflux.data, es * 4 + d, 4));
+                let wl: [VecR<R, L>; 4] =
+                    std::array::from_fn(|d| VecR::gather(&state.data, c0, 4, d));
+                let wr: [VecR<R, L>; 4] =
+                    std::array::from_fn(|d| VecR::gather(&state.data, c1, 4, d));
+                let (rl, rr) = space_disc_vec(&geom, &ef, &wl, &wr, g);
+                for d in 0..3 {
+                    rl[d].scatter_add_serial(&mut sim.res.data, c0, 4, d);
+                    rr[d].scatter_add_serial(&mut sim.res.data, c1, 4, d);
+                }
+            }
+        });
+        maybe_time(rec, "bc_flux", wb, mesh.n_bedges(), || {
+            seq_loop(0..mesh.n_bedges(), |be| {
+                let c0 = mesh.bedge2cell.at(be, 0);
+                bc_flux(sim.bgeom.row(be), state.row(c0), sim.res.row_mut(c0), g);
+            });
+        });
+        let rk_name = if phase == 0 { "RK_1" } else { "RK_2" };
+        maybe_time(rec, rk_name, wb, nc, || {
+            let sweep = split_sweep(0..nc, L, 0);
+            for c in sweep.scalar_items() {
+                if phase == 0 {
+                    let (w_old, res, w1, area) =
+                        (&sim.w_old, &mut sim.res, &mut sim.w1, &sim.area);
+                    rk_1(w_old.row(c), res.row_mut(c), w1.row_mut(c), area.row(c)[0], dt);
+                } else {
+                    let (w_old, w1, res, w, area) =
+                        (&sim.w_old, &sim.w1, &mut sim.res, &mut sim.w, &sim.area);
+                    rk_2(
+                        w_old.row(c),
+                        w1.row(c),
+                        res.row_mut(c),
+                        w.row_mut(c),
+                        area.row(c)[0],
+                        dt,
+                    );
+                }
+            }
+            for cs in sweep.vector_chunks() {
+                let w_old: [VecR<R, L>; 4] =
+                    std::array::from_fn(|d| VecR::load_strided(&sim.w_old.data, cs * 4 + d, 4));
+                let mut res: [VecR<R, L>; 4] =
+                    std::array::from_fn(|d| VecR::load_strided(&sim.res.data, cs * 4 + d, 4));
+                let area = VecR::<R, L>::load(&sim.area.data, cs);
+                if phase == 0 {
+                    let mut w1 = [VecR::<R, L>::zero(); 4];
+                    rk_1_vec(&w_old, &mut res, &mut w1, area, dt);
+                    for d in 0..4 {
+                        w1[d].store_strided(&mut sim.w1.data, cs * 4 + d, 4);
+                        res[d].store_strided(&mut sim.res.data, cs * 4 + d, 4);
+                    }
+                } else {
+                    let w1: [VecR<R, L>; 4] =
+                        std::array::from_fn(|d| VecR::load_strided(&sim.w1.data, cs * 4 + d, 4));
+                    let mut w = [VecR::<R, L>::zero(); 4];
+                    rk_2_vec(&w_old, &w1, &mut res, &mut w, area, dt);
+                    for d in 0..4 {
+                        w[d].store_strided(&mut sim.w.data, cs * 4 + d, 4);
+                        res[d].store_strided(&mut sim.res.data, cs * 4 + d, 4);
+                    }
+                }
+            }
+        });
+    }
+    dt.to_f64()
+}
+
+// ---------------------------------------------------------------------------
+// SIMT (OpenCL) emulation
+// ---------------------------------------------------------------------------
+
+/// One RK2 step through the SIMT emulation (space_disc uses the colored
+/// increment; other loops run as threaded blocks, since direct loops have
+/// no increment phase to color).
+pub fn step_simt<R: Real>(
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    simt_width: usize,
+    sched_overhead_ns: u64,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let g = R::from_f64(GRAVITY);
+    let mesh_edges = sim.case.mesh.n_edges();
+    let edge_colored = cache.get(
+        Scheme::TwoLevel,
+        &["edge2cell"],
+        &PlanInputs::new(mesh_edges, vec![&sim.case.mesh.edge2cell], block_size),
+    );
+
+    // everything except space_disc is identical to the threaded backend
+    // (whole-kernel vectorization of direct loops is the compiler's job
+    // in OpenCL; the emulation models the colored-increment path)
+    let dt = step_simt_inner(sim, cache, n_threads, block_size, rec, |sim, state_is_w1, rec| {
+        let mesh = &sim.case.mesh;
+        let state = if state_is_w1 { &sim.w1 } else { &sim.w };
+        maybe_time(rec, "space_disc", R::BYTES, mesh.n_edges(), || {
+            let ress = SharedDat::new(&mut sim.res.data);
+            simt_colored(
+                edge_colored.two_level(),
+                n_threads,
+                simt_width,
+                sched_overhead_ns,
+                |e| {
+                    let c = mesh.edge2cell.row(e);
+                    let (c0, c1) = (c[0] as usize, c[1] as usize);
+                    let mut rl = [R::ZERO; 4];
+                    let mut rr = [R::ZERO; 4];
+                    space_disc(
+                        sim.egeom.row(e),
+                        sim.eflux.row(e),
+                        state.row(c0),
+                        state.row(c1),
+                        &mut rl,
+                        &mut rr,
+                        g,
+                    );
+                    (c0, rl, c1, rr)
+                },
+                |_e, (c0, rl, c1, rr)| unsafe {
+                    let d0 = ress.slice_mut(c0 * 4, 4);
+                    for d in 0..4 {
+                        d0[d] += rl[d];
+                    }
+                    let d1 = ress.slice_mut(c1 * 4, 4);
+                    for d in 0..4 {
+                        d1[d] += rr[d];
+                    }
+                },
+            );
+        });
+    });
+    dt
+}
+
+/// Shared skeleton: the threaded step with `space_disc` supplied by the
+/// caller (lets the SIMT backend swap in its colored-increment version).
+fn step_simt_inner<R: Real>(
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+    space_disc_impl: impl Fn(&mut Volna<R>, bool, Option<&Recorder>),
+) -> f64 {
+    let wb = R::BYTES;
+    let g = R::from_f64(GRAVITY);
+    let h_min = R::from_f64(H_MIN);
+    let cfl = R::from_f64(CFL);
+    let (nc, ne) = (sim.case.mesh.n_cells(), sim.case.mesh.n_edges());
+
+    let cell_plan = cache.get(Scheme::TwoLevel, &[], &PlanInputs::new(nc, vec![], block_size));
+    let edge_direct = cache.get(Scheme::TwoLevel, &[], &PlanInputs::new(ne, vec![], block_size));
+
+    maybe_time(rec, "sim_1", wb, nc, || {
+        let (w, w_old) = (&sim.w, &mut sim.w_old);
+        let wo = SharedDat::new(&mut w_old.data);
+        par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+            for c in range.start as usize..range.end as usize {
+                unsafe { sim_1(w.row(c), wo.slice_mut(c * 4, 4)) };
+            }
+        });
+    });
+
+    let mut dt = R::INFINITY;
+    for phase in 0..2 {
+        maybe_time(rec, "compute_flux", wb, ne, || {
+            let mesh = &sim.case.mesh;
+            let state = if phase == 0 { &sim.w } else { &sim.w1 };
+            let ef = SharedDat::new(&mut sim.eflux.data);
+            par_colored_blocks(edge_direct.two_level(), n_threads, |_b, range| {
+                for e in range.start as usize..range.end as usize {
+                    let c = mesh.edge2cell.row(e);
+                    unsafe {
+                        compute_flux(
+                            sim.egeom.row(e),
+                            state.row(c[0] as usize),
+                            state.row(c[1] as usize),
+                            ef.slice_mut(e * 4, 4),
+                            g,
+                            h_min,
+                        );
+                    }
+                }
+            });
+        });
+        if phase == 0 {
+            maybe_time(rec, "numerical_flux", wb, ne, || {
+                let mesh = &sim.case.mesh;
+                let plan = edge_direct.two_level();
+                let mut dt_blocks = vec![R::INFINITY; plan.blocks.len()];
+                {
+                    let dts = SharedDat::new(&mut dt_blocks);
+                    par_colored_blocks(plan, n_threads, |b, range| {
+                        let mut local = R::INFINITY;
+                        for e in range.start as usize..range.end as usize {
+                            let c = mesh.edge2cell.row(e);
+                            numerical_flux(
+                                sim.egeom.row(e),
+                                sim.eflux.row(e),
+                                sim.area.row(c[0] as usize)[0],
+                                sim.area.row(c[1] as usize)[0],
+                                &mut local,
+                                cfl,
+                            );
+                        }
+                        unsafe { dts.slice_mut(b, 1)[0] = local };
+                    });
+                }
+                for v in dt_blocks {
+                    dt = dt.min(v);
+                }
+            });
+        }
+        space_disc_impl(sim, phase == 1, rec);
+        maybe_time(rec, "bc_flux", wb, sim.case.mesh.n_bedges(), || {
+            let state_is_w1 = phase == 1;
+            let nb = sim.case.mesh.n_bedges();
+            for be in 0..nb {
+                let c0 = sim.case.mesh.bedge2cell.at(be, 0);
+                let wrow: [R; 4] = std::array::from_fn(|d| {
+                    if state_is_w1 { sim.w1.row(c0)[d] } else { sim.w.row(c0)[d] }
+                });
+                bc_flux(sim.bgeom.row(be), &wrow, sim.res.row_mut(c0), g);
+            }
+        });
+        let rk_name = if phase == 0 { "RK_1" } else { "RK_2" };
+        maybe_time(rec, rk_name, wb, nc, || {
+            let (w_old, w1, res, w, area) = (
+                &sim.w_old,
+                SharedMut::new(&mut sim.w1),
+                SharedMut::new(&mut sim.res),
+                SharedMut::new(&mut sim.w),
+                &sim.area,
+            );
+            par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+                for c in range.start as usize..range.end as usize {
+                    unsafe {
+                        if phase == 0 {
+                            rk_1(
+                                w_old.row(c),
+                                res.get_mut().row_mut(c),
+                                w1.get_mut().row_mut(c),
+                                area.row(c)[0],
+                                dt,
+                            );
+                        } else {
+                            rk_2(
+                                w_old.row(c),
+                                w1.get_mut().row(c),
+                                res.get_mut().row_mut(c),
+                                w.get_mut().row_mut(c),
+                                area.row(c)[0],
+                                dt,
+                            );
+                        }
+                    }
+                }
+            });
+        });
+    }
+    dt.to_f64()
+}

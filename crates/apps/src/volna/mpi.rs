@@ -1,0 +1,233 @@
+//! The Volna message-passing backend: same owner-compute + redundant
+//! exec-halo scheme as Airfoil's (see `airfoil::mpi`), with the
+//! shallow-water twist that the CFL timestep is a *global* min-reduction
+//! — the implicit synchronization point §6.5 charges the Phi for.
+//!
+//! Per rank and time step:
+//!
+//! ```text
+//! sim_1 over owned cells
+//! phase 1: halo-exchange w → compute_flux/numerical_flux/space_disc/bc
+//!          over ALL local edges, dt = allreduce_min, RK_1 over owned
+//! phase 2: halo-exchange w1 → flux kernels on w1, RK_2 over owned
+//! ```
+
+use ump_core::{distribute, LocalMesh, OpDat, Recorder};
+use ump_mesh::generators::CoastalCase;
+use ump_minimpi::{Comm, Universe};
+use ump_part::rcb;
+use ump_simd::Real;
+
+use super::kernels::{bc_flux, compute_flux, numerical_flux, rk_1, rk_2, sim_1, space_disc};
+use super::{Volna, CFL, GRAVITY, H_MIN};
+
+/// A rank-local Volna state (geometry-derived dats rebuilt from the
+/// local mesh; cell state extracted from the global case).
+pub struct RankState<R: Real> {
+    /// The rank's mesh piece.
+    pub local: LocalMesh,
+    /// Cell state (owned + ghost).
+    pub w: OpDat<R>,
+    /// Saved state.
+    pub w_old: OpDat<R>,
+    /// RK stage state.
+    pub w1: OpDat<R>,
+    /// Residuals.
+    pub res: OpDat<R>,
+    /// Cell areas (local geometry).
+    pub area: OpDat<R>,
+    /// Edge geometry.
+    pub egeom: OpDat<R>,
+    /// Edge fluxes.
+    pub eflux: OpDat<R>,
+    /// Boundary-edge geometry.
+    pub bgeom: OpDat<R>,
+}
+
+impl<R: Real> RankState<R> {
+    /// Build a rank's state from the global case and its mesh piece.
+    pub fn new(case: &CoastalCase, local: LocalMesh) -> RankState<R> {
+        // reuse the single-process constructor on the *local* mesh for
+        // all geometry-derived dats, then overwrite the physical state
+        // from the global initial condition through the id maps
+        let local_case = CoastalCase {
+            mesh: local.mesh.clone(),
+            bathy_cell: local
+                .cell_global
+                .iter()
+                .map(|&g| case.bathy_cell[g as usize])
+                .collect(),
+            eta0_cell: local
+                .cell_global
+                .iter()
+                .map(|&g| case.eta0_cell[g as usize])
+                .collect(),
+        };
+        let sim = Volna::<R>::from_case(local_case);
+        RankState {
+            w: sim.w,
+            w_old: sim.w_old,
+            w1: sim.w1,
+            res: sim.res,
+            area: sim.area,
+            egeom: sim.egeom,
+            eflux: sim.eflux,
+            bgeom: sim.bgeom,
+            local,
+        }
+    }
+
+    /// One RK2 step on this rank; returns the globally-agreed Δt.
+    pub fn step(&mut self, comm: &Comm, rec: Option<&Recorder>) -> f64 {
+        let g = R::from_f64(GRAVITY);
+        let h_min = R::from_f64(H_MIN);
+        let cfl = R::from_f64(CFL);
+        let mesh = &self.local.mesh;
+        let n_owned = self.local.n_owned_cells;
+        let time = |rec: Option<&Recorder>, name: &str, n: usize, f: &mut dyn FnMut()| match rec {
+            Some(r) => r.time(&super::profile(name), R::BYTES, n, f),
+            None => f(),
+        };
+
+        time(rec, "sim_1", n_owned, &mut || {
+            for c in 0..n_owned {
+                let (w, w_old) = (&self.w, &mut self.w_old);
+                sim_1(w.row(c), w_old.row_mut(c));
+            }
+        });
+
+        let mut dt = R::INFINITY;
+        let mut global_dt = f64::INFINITY;
+        for phase in 0..2u64 {
+            // refresh ghosts of the state the flux kernels will gather
+            if phase == 0 {
+                self.local.cell_halo.execute(comm, &mut self.w.data, 4, phase);
+            } else {
+                self.local.cell_halo.execute(comm, &mut self.w1.data, 4, phase);
+            }
+            let state = if phase == 0 { &self.w } else { &self.w1 };
+            time(rec, "compute_flux", mesh.n_edges(), &mut || {
+                for e in 0..mesh.n_edges() {
+                    let c = mesh.edge2cell.row(e);
+                    compute_flux(
+                        self.egeom.row(e),
+                        state.row(c[0] as usize),
+                        state.row(c[1] as usize),
+                        self.eflux.row_mut(e),
+                        g,
+                        h_min,
+                    );
+                }
+            });
+            if phase == 0 {
+                time(rec, "numerical_flux", mesh.n_edges(), &mut || {
+                    for e in 0..mesh.n_edges() {
+                        let c = mesh.edge2cell.row(e);
+                        numerical_flux(
+                            self.egeom.row(e),
+                            self.eflux.row(e),
+                            self.area.row(c[0] as usize)[0],
+                            self.area.row(c[1] as usize)[0],
+                            &mut dt,
+                            cfl,
+                        );
+                    }
+                });
+                // the global CFL step: the implicit synchronization point
+                global_dt = comm.allreduce_min(dt.to_f64());
+            }
+            let dt_step = R::from_f64(global_dt);
+            time(rec, "space_disc", mesh.n_edges(), &mut || {
+                for e in 0..mesh.n_edges() {
+                    let c = mesh.edge2cell.row(e);
+                    let (c0, c1) = (c[0] as usize, c[1] as usize);
+                    let (rl, rr) =
+                        crate::airfoil::drivers::two_rows_mut(&mut self.res.data, 4, c0, c1);
+                    space_disc(
+                        self.egeom.row(e),
+                        self.eflux.row(e),
+                        state.row(c0),
+                        state.row(c1),
+                        rl,
+                        rr,
+                        g,
+                    );
+                }
+            });
+            time(rec, "bc_flux", mesh.n_bedges(), &mut || {
+                for be in 0..mesh.n_bedges() {
+                    let c0 = mesh.bedge2cell.at(be, 0);
+                    bc_flux(self.bgeom.row(be), state.row(c0), self.res.row_mut(c0), g);
+                }
+            });
+            let rk_name = if phase == 0 { "RK_1" } else { "RK_2" };
+            time(rec, rk_name, n_owned, &mut || {
+                for c in 0..n_owned {
+                    if phase == 0 {
+                        let (w_old, res, w1, area) =
+                            (&self.w_old, &mut self.res, &mut self.w1, &self.area);
+                        rk_1(w_old.row(c), res.row_mut(c), w1.row_mut(c), area.row(c)[0], dt_step);
+                    } else {
+                        let (w_old, w1, res, w, area) =
+                            (&self.w_old, &self.w1, &mut self.res, &mut self.w, &self.area);
+                        rk_2(
+                            w_old.row(c),
+                            w1.row(c),
+                            res.row_mut(c),
+                            w.row_mut(c),
+                            area.row(c)[0],
+                            dt_step,
+                        );
+                    }
+                }
+                // discard ghost increments (owners recompute them)
+                for v in &mut self.res.data[n_owned * 4..] {
+                    *v = R::ZERO;
+                }
+            });
+        }
+        global_dt
+    }
+}
+
+/// Run `steps` RK2 steps of Volna across `n_ranks` message-passing
+/// ranks; returns the assembled global state and the Δt history.
+pub fn run_mpi<R: Real>(
+    case: &CoastalCase,
+    n_ranks: usize,
+    steps: usize,
+    rec: Option<&Recorder>,
+) -> (OpDat<R>, Vec<f64>) {
+    let mesh = &case.mesh;
+    let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+    let partition = rcb(&pts, n_ranks as u32);
+    let locals = distribute(mesh, &partition);
+    let total_cells = mesh.n_cells();
+
+    let results = Universe::new(n_ranks).run(|comm| {
+        let mut state = RankState::<R>::new(case, locals[comm.rank()].clone());
+        let mut history = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            history.push(state.step(comm, rec));
+        }
+        (
+            state.w.data,
+            state.local.cell_global.clone(),
+            state.local.n_owned_cells,
+            history,
+        )
+    });
+
+    let history = results[0].3.clone();
+    let parts: Vec<(&[R], &[u32], usize)> = results
+        .iter()
+        .map(|(data, ids, n_owned, _)| (data.as_slice(), ids.as_slice(), *n_owned))
+        .collect();
+    let w = OpDat::from_vec(
+        "w",
+        total_cells,
+        4,
+        ump_core::dist::assemble_owned(&parts, total_cells, 4),
+    );
+    (w, history)
+}

@@ -1,0 +1,387 @@
+//! The kernel cost model (see crate docs for scope).
+
+use ump_core::LoopProfile;
+
+use crate::machines::Machine;
+
+/// Backend configurations of the paper's evaluation (§6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Scalar pure-MPI (non-vectorized baseline of Fig. 5).
+    ScalarMpi,
+    /// Scalar MPI+OpenMP (threading overhead, colored blocks).
+    ScalarThreaded,
+    /// Compiler auto-vectorization with the permute schemes (Fig. 7's
+    /// "auto-vectorized": vector code but permutation-gathered data).
+    AutoVec,
+    /// Explicit vector intrinsics, pure MPI.
+    VecMpi,
+    /// Explicit vector intrinsics, MPI+OpenMP.
+    VecThreaded,
+    /// OpenCL SIMT on CPU/Phi (§6.3: whole-kernel-or-nothing
+    /// vectorization plus runtime scheduling cost).
+    OpenCl,
+    /// CUDA on the GPU (the paper's revised Kepler backend).
+    Cuda,
+}
+
+impl Backend {
+    /// Does this backend emit vector (packed) arithmetic?
+    pub fn vectorized(self, kernel_vectorizable: bool) -> bool {
+        match self {
+            Backend::ScalarMpi | Backend::ScalarThreaded => false,
+            Backend::VecMpi | Backend::VecThreaded | Backend::Cuda => true,
+            // OpenCL / auto-vec only succeed when the kernel has no
+            // unsupported constructs (Table VI's ✓ column)
+            Backend::AutoVec | Backend::OpenCl => kernel_vectorizable,
+        }
+    }
+
+    /// Uses threads within a process (adds launch overhead per loop).
+    pub fn threaded(self) -> bool {
+        matches!(
+            self,
+            Backend::ScalarThreaded | Backend::VecThreaded | Backend::OpenCl | Backend::Cuda
+        )
+    }
+}
+
+/// What the model needs to know about one kernel invocation; everything
+/// here is *measured* from the real implementation (profiles from the
+/// loop signatures, locality from the real plans).
+#[derive(Clone, Debug)]
+pub struct KernelWork {
+    /// The loop profile (transfer counts, FLOPs, transcendentals).
+    pub profile: LoopProfile,
+    /// Iteration-set size.
+    pub n_elems: usize,
+    /// Word size: 4 (SP) or 8 (DP).
+    pub word_bytes: usize,
+    /// Indirect references per unique target within a cache-resident
+    /// block (≥ 1), from `ump_color::PlanStats::reuse_factor`.
+    pub reuse: f64,
+    /// Serialization depth of the colored increment (max element colors
+    /// per block; 1 when no indirect write).
+    pub serialization: u32,
+    /// Mapping-table words (i32) read per element.
+    pub map_words: usize,
+    /// `true` when the kernel body contains no constructs that defeat
+    /// OpenCL/auto-vectorization (Table VI's right columns; `bres_calc`'s
+    /// data-dependent branch is the canonical `false`).
+    pub vectorizable: bool,
+}
+
+/// What bound the kernel (the §6.6 classification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Off-chip bandwidth.
+    Bandwidth,
+    /// Arithmetic throughput (incl. transcendentals).
+    Compute,
+    /// Serialization / scheduling / gather latency.
+    Latency,
+}
+
+/// Model output for one kernel on one machine/backend.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Wall seconds.
+    pub seconds: f64,
+    /// Useful bandwidth (paper counting) achieved, GB/s.
+    pub gb_s: f64,
+    /// Useful GFLOP/s achieved.
+    pub gflop_s: f64,
+    /// Dominant limiter.
+    pub bound: Bottleneck,
+}
+
+/// Predict one kernel's execution.
+pub fn predict(m: &Machine, backend: Backend, w: &KernelWork) -> Prediction {
+    let t = w.profile.transfers();
+    let n = w.n_elems as f64;
+    let wb = w.word_bytes as f64;
+    let lanes = m.vec_lanes(w.word_bytes) as f64;
+    let vectorized = backend.vectorized(w.vectorizable);
+
+    // ---- memory time -------------------------------------------------------
+    let direct_words = (t.direct_read + t.direct_write) as f64;
+    let indirect_words = (t.indirect_read + t.indirect_write) as f64;
+    // off-chip traffic: direct streams + indirect unique traffic (reuse
+    // absorbed by cache) + mapping tables
+    let offchip_bytes_per_elem =
+        direct_words * wb + indirect_words * wb / w.reuse.max(1.0) + w.map_words as f64 * 4.0;
+    // bandwidth efficiency: streamed fraction runs at STREAM speed,
+    // gathered fraction at the machine's gather efficiency
+    let frac_indirect = if direct_words + indirect_words > 0.0 {
+        indirect_words / (direct_words + indirect_words)
+    } else {
+        0.0
+    };
+    let bw_eff = 1.0 - frac_indirect * (1.0 - m.gather_eff);
+    let t_mem = n * offchip_bytes_per_elem / (m.stream_gbs * 1e9 * bw_eff);
+
+    // ---- compute time ------------------------------------------------------
+    let flops = n * w.profile.flops_per_elem;
+    // vector code reaches a fraction of GEMM; scalar code loses the lanes
+    let comp_roof = if vectorized {
+        m.gemm(w.word_bytes) * 0.55
+    } else {
+        // scalar issue ≈ GEMM/lanes, corrected by the machine's
+        // scalar-issue factor (superscalar CPUs > 1, in-order Phi < 1)
+        m.gemm(w.word_bytes) / lanes * m.scalar_ilp
+    };
+    let mut t_comp = flops / (comp_roof * 1e9);
+    // transcendentals: sqrt-class ops at their own (un)throughput
+    let trans = n * w.profile.transcendentals_per_elem;
+    if trans > 0.0 {
+        let per_core_rate = m.freq_ghz * 1e9 / m.sqrt_cycles;
+        let rate = per_core_rate
+            * m.cores as f64
+            * if vectorized { lanes * 1.5 } else { 1.0 };
+        t_comp += trans / rate;
+    }
+
+    // ---- latency terms -----------------------------------------------------
+    let mut t_lat = 0.0;
+    // serialized colored scatter: every indirect-written word leaves the
+    // vector one lane at a time, `serialization` colors deep
+    let scatter_s_per_op = m.scatter_cycles / (m.cores as f64 * m.freq_ghz * 1e9);
+    if t.indirect_write > 0 && vectorized {
+        let serial_factor = if m.is_gpu {
+            // warp-serialized increments (paper: GPUs hit this harder on
+            // longer vectors, §6.6)
+            w.serialization as f64 * 0.5
+        } else {
+            1.0
+        };
+        t_lat += n * t.indirect_write as f64 * scatter_s_per_op * serial_factor;
+    }
+    // AutoVec's permute schemes gather formerly-direct data too (§4):
+    if backend == Backend::AutoVec && vectorized {
+        t_lat += n * direct_words * scatter_s_per_op;
+        // and destroy block locality (full permute): charge the reuse back
+        t_lat += n * indirect_words * wb * (1.0 - 1.0 / w.reuse.max(1.0))
+            / (m.stream_gbs * 1e9 * bw_eff);
+    }
+    // loop launch / scheduling overheads
+    let mut t_over = 0.0;
+    if backend.threaded() {
+        t_over += m.launch_us * 1e-6;
+    }
+    if backend == Backend::OpenCl {
+        // per-work-group scheduling (blocks of ~256 work-items)
+        t_over += (n / 256.0) * m.opencl_sched_ns * 1e-9;
+    }
+
+    let core = t_mem.max(t_comp);
+    let mut seconds = core + t_lat + t_over;
+    // MPI implicit synchronization (reductions / halo waits)
+    if matches!(backend, Backend::ScalarMpi | Backend::VecMpi) || backend.threaded() {
+        seconds *= 1.0 + m.mpi_sync_frac;
+    }
+
+    let bound = if t_lat + t_over > core {
+        Bottleneck::Latency
+    } else if t_mem >= t_comp {
+        Bottleneck::Bandwidth
+    } else {
+        Bottleneck::Compute
+    };
+
+    // "useful" volumes for the achieved-rate columns (paper counting:
+    // full per-element words, no cache correction, no map tables)
+    let useful_bytes = n * w.profile.bytes_per_elem(w.word_bytes);
+    Prediction {
+        seconds,
+        gb_s: useful_bytes / seconds / 1e9,
+        gflop_s: flops / seconds / 1e9,
+        bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::{cpu1, cpu2, k40, phi};
+    use ump_apps::airfoil;
+
+    fn work(kernel: &str, n: usize, wb: usize) -> KernelWork {
+        let profile = airfoil::profile(kernel);
+        let (reuse, serialization, map_words, vectorizable) = match kernel {
+            "save_soln" | "update" => (1.0, 1, 0, true),
+            "adt_calc" => (3.6, 1, 4, true),
+            "res_calc" => (3.5, 4, 4, true),
+            "bres_calc" => (1.0, 2, 3, false),
+            _ => (1.0, 1, 0, true),
+        };
+        KernelWork {
+            profile,
+            n_elems: n,
+            word_bytes: wb,
+            reuse,
+            serialization,
+            map_words,
+            vectorizable,
+        }
+    }
+
+    const NC: usize = 2_880_000;
+    const NE: usize = 5_757_200;
+
+    #[test]
+    fn direct_kernels_are_bandwidth_bound_everywhere() {
+        for m in crate::machines::all() {
+            for b in [Backend::ScalarMpi, Backend::VecMpi] {
+                let p = predict(&m, b, &work("save_soln", NC, 8));
+                assert_eq!(p.bound, Bottleneck::Bandwidth, "{} {:?}", m.name, b);
+            }
+        }
+    }
+
+    #[test]
+    fn vectorization_does_not_speed_up_direct_kernels_on_cpu() {
+        // §6.6: "vectorization on the CPU does not increase the
+        // performance of these direct kernels"
+        let m = cpu1();
+        let s = predict(&m, Backend::ScalarMpi, &work("update", NC, 8)).seconds;
+        let v = predict(&m, Backend::VecMpi, &work("update", NC, 8)).seconds;
+        assert!((s / v - 1.0).abs() < 0.1, "scalar {s}, vec {v}");
+    }
+
+    #[test]
+    fn adt_calc_compute_bound_scalar_becomes_bandwidth_bound_vectorized() {
+        // §6.6: adt_calc compute-limited without vectorization; with it,
+        // bandwidth-bound on CPU2/Phi/K40
+        let m = cpu1();
+        let s = predict(&m, Backend::ScalarMpi, &work("adt_calc", NC, 8));
+        assert_eq!(s.bound, Bottleneck::Compute);
+        let v2 = predict(&cpu2(), Backend::VecMpi, &work("adt_calc", NC, 8));
+        assert_eq!(v2.bound, Bottleneck::Bandwidth);
+        // and the speedup from vectorizing it on CPU1 is large (paper
+        // Table V 24.6s -> Table VII 12.7s ≈ 1.9x)
+        let v1 = predict(&m, Backend::VecMpi, &work("adt_calc", NC, 8));
+        let speedup = s.seconds / v1.seconds;
+        assert!((1.5..4.2).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn overall_vec_speedup_matches_paper_band() {
+        // paper conclusions: CPU speedups 1.6–2.0 SP / 1.1–1.4 DP;
+        // Phi 2.0–2.2 SP / 1.7–1.8 DP. Sum the five airfoil kernels.
+        let total = |m: &Machine, b: Backend, wb: usize| -> f64 {
+            ["save_soln", "adt_calc", "res_calc", "update"]
+                .iter()
+                .map(|k| {
+                    let n = if *k == "res_calc" { NE } else { NC };
+                    2.0 * predict(m, b, &work(k, n, wb)).seconds
+                })
+                .sum()
+        };
+        for (m, wb, lo, hi) in [
+            (cpu1(), 8, 1.05, 1.8),
+            (cpu1(), 4, 1.4, 2.4),
+            (phi(), 8, 1.4, 2.3),
+            (phi(), 4, 1.6, 3.4),
+        ] {
+            let s = total(&m, Backend::ScalarMpi, wb);
+            let v = total(&m, Backend::VecMpi, wb);
+            let speedup = s / v;
+            assert!(
+                (lo..hi).contains(&speedup),
+                "{} wb={wb}: speedup {speedup} not in [{lo},{hi}]",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn phi_is_comparable_to_mid_range_cpu_and_k40_wins() {
+        // §7: Phi ≈ CPU-pair; K40 ≈ 2.5–3x CPU1
+        let total = |m: &Machine, b: Backend| -> f64 {
+            ["save_soln", "adt_calc", "res_calc", "update"]
+                .iter()
+                .map(|k| {
+                    let n = if *k == "res_calc" { NE } else { NC };
+                    2.0 * predict(m, b, &work(k, n, 8)).seconds
+                })
+                .sum()
+        };
+        let c1 = total(&cpu1(), Backend::VecMpi);
+        let c2 = total(&cpu2(), Backend::VecMpi);
+        let p = total(&phi(), Backend::VecThreaded);
+        let g = total(&k40(), Backend::Cuda);
+        assert!(p < c1 * 1.4 && p > c2 * 0.8, "phi {p} vs cpu1 {c1} / cpu2 {c2}");
+        let k40_speedup = c1 / g;
+        assert!((2.0..4.0).contains(&k40_speedup), "k40 speedup {k40_speedup}");
+    }
+
+    #[test]
+    fn opencl_is_only_slightly_better_than_scalar_threads_on_cpu() {
+        // §6.3: OpenCL ≈ plain OpenMP overall on the CPU
+        let m = cpu1();
+        let kernels = ["save_soln", "adt_calc", "res_calc", "update"];
+        let t_omp: f64 = kernels
+            .iter()
+            .map(|k| {
+                let n = if *k == "res_calc" { NE } else { NC };
+                predict(&m, Backend::ScalarThreaded, &work(k, n, 8)).seconds
+            })
+            .sum();
+        let t_ocl: f64 = kernels
+            .iter()
+            .map(|k| {
+                let n = if *k == "res_calc" { NE } else { NC };
+                predict(&m, Backend::OpenCl, &work(k, n, 8)).seconds
+            })
+            .sum();
+        let ratio = t_omp / t_ocl;
+        assert!((0.75..1.45).contains(&ratio), "omp/ocl = {ratio}");
+        // but explicit intrinsics clearly beat OpenCL (§6.3 last line)
+        let t_vec: f64 = kernels
+            .iter()
+            .map(|k| {
+                let n = if *k == "res_calc" { NE } else { NC };
+                predict(&m, Backend::VecMpi, &work(k, n, 8)).seconds
+            })
+            .sum();
+        assert!(t_vec < t_ocl * 0.9, "vec {t_vec} vs ocl {t_ocl}");
+    }
+
+    #[test]
+    fn indirect_kernels_hurt_more_on_longer_vectors() {
+        // Table IX: res_calc's relative gain on Phi/K40 lags the direct
+        // kernels' (serialization scales with lanes)
+        let rel = |m: &Machine, k: &str, b: Backend| -> f64 {
+            let base = predict(&cpu1(), Backend::VecMpi, &work(k, NE, 8)).seconds;
+            base / predict(m, b, &work(k, NE, 8)).seconds
+        };
+        let phi_res = rel(&phi(), "res_calc", Backend::VecThreaded);
+        let phi_save = rel(&phi(), "save_soln", Backend::VecThreaded);
+        assert!(
+            phi_res < phi_save,
+            "res_calc rel {phi_res} should lag save_soln rel {phi_save} on Phi"
+        );
+    }
+
+    #[test]
+    fn sp_to_dp_runtime_ratio_grows_when_vectorized() {
+        // §6.4: baseline DP/SP ≈ 1.3–1.4x, vectorized ≈ 1.8–2.1x
+        let m = cpu1();
+        let t = |b: Backend, wb: usize| -> f64 {
+            ["save_soln", "adt_calc", "res_calc", "update"]
+                .iter()
+                .map(|k| {
+                    let n = if *k == "res_calc" { NE } else { NC };
+                    predict(&m, b, &work(k, n, wb)).seconds
+                })
+                .sum()
+        };
+        let scalar_ratio = t(Backend::ScalarMpi, 8) / t(Backend::ScalarMpi, 4);
+        let vec_ratio = t(Backend::VecMpi, 8) / t(Backend::VecMpi, 4);
+        assert!(
+            vec_ratio > scalar_ratio + 0.15,
+            "vectorized DP/SP {vec_ratio} should exceed scalar {scalar_ratio}"
+        );
+        assert!(vec_ratio > 1.5, "vectorized DP/SP {vec_ratio}");
+    }
+}

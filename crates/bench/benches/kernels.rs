@@ -1,0 +1,91 @@
+//! Criterion: per-kernel scalar vs explicitly vectorized execution —
+//! the host-measurable core of the paper's claim (Fig. 6 / Table VII).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ump_apps::airfoil::{drivers, Airfoil};
+use ump_apps::volna::{self, Volna};
+use ump_core::PlanCache;
+
+fn airfoil_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("airfoil_step");
+    group.sample_size(10);
+    let (nx, ny) = (300, 150);
+
+    group.bench_function("scalar_dp", |b| {
+        let mut sim = Airfoil::<f64>::new(nx, ny);
+        b.iter(|| drivers::step_seq(&mut sim, None));
+    });
+    group.bench_function("simd_dp_l4", |b| {
+        let mut sim = Airfoil::<f64>::new(nx, ny);
+        b.iter(|| drivers::step_simd::<f64, 4>(&mut sim, None));
+    });
+    group.bench_function("simd_dp_l8", |b| {
+        let mut sim = Airfoil::<f64>::new(nx, ny);
+        b.iter(|| drivers::step_simd::<f64, 8>(&mut sim, None));
+    });
+    group.bench_function("scalar_sp", |b| {
+        let mut sim = Airfoil::<f32>::new(nx, ny);
+        b.iter(|| drivers::step_seq(&mut sim, None));
+    });
+    group.bench_function("simd_sp_l8", |b| {
+        let mut sim = Airfoil::<f32>::new(nx, ny);
+        b.iter(|| drivers::step_simd::<f32, 8>(&mut sim, None));
+    });
+    group.bench_function("threaded_dp", |b| {
+        let mut sim = Airfoil::<f64>::new(nx, ny);
+        let cache = PlanCache::new();
+        b.iter(|| drivers::step_threaded(&mut sim, &cache, 0, 1024, None));
+    });
+    group.bench_function("simd_threaded_dp_l4", |b| {
+        let mut sim = Airfoil::<f64>::new(nx, ny);
+        let cache = PlanCache::new();
+        b.iter(|| drivers::step_simd_threaded::<f64, 4>(&mut sim, &cache, 0, 1024, None));
+    });
+    group.bench_function("simt_dp", |b| {
+        let mut sim = Airfoil::<f64>::new(nx, ny);
+        let cache = PlanCache::new();
+        b.iter(|| drivers::step_simt(&mut sim, &cache, 0, 8, 0, 256, None));
+    });
+    group.finish();
+}
+
+fn coloring_schemes(c: &mut Criterion) {
+    // Fig. 8a ablation on the host: original vs full/block permute
+    let mut group = c.benchmark_group("res_calc_scheme");
+    group.sample_size(10);
+    let (nx, ny) = (300, 150);
+    for (name, scheme) in [
+        ("original", ump_core::Scheme::TwoLevel),
+        ("full_permute", ump_core::Scheme::FullPermute),
+        ("block_permute", ump_core::Scheme::BlockPermute),
+    ] {
+        group.bench_function(name, |b| {
+            let mut sim = Airfoil::<f64>::new(nx, ny);
+            let cache = PlanCache::new();
+            b.iter(|| drivers::step_simd_scheme::<f64, 4>(&mut sim, &cache, scheme, 1024, None));
+        });
+    }
+    group.finish();
+}
+
+fn volna_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("volna_step");
+    group.sample_size(10);
+    let (nx, ny) = (150, 150);
+    group.bench_function("scalar_sp", |b| {
+        let mut sim = Volna::<f32>::new(nx, ny);
+        b.iter(|| volna::drivers::step_seq(&mut sim, None));
+    });
+    group.bench_function("simd_sp_l8", |b| {
+        let mut sim = Volna::<f32>::new(nx, ny);
+        b.iter(|| volna::drivers::step_simd::<f32, 8>(&mut sim, None));
+    });
+    group.bench_function("simd_sp_l16", |b| {
+        let mut sim = Volna::<f32>::new(nx, ny);
+        b.iter(|| volna::drivers::step_simd::<f32, 16>(&mut sim, None));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, airfoil_steps, coloring_schemes, volna_steps);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion: plan-construction and partitioning costs — OP2 amortizes
+//! these over the time loop via the plan cache; this bench quantifies
+//! what is being amortized.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ump_color::{BlockPermutePlan, FullPermutePlan, PlanInputs, TwoLevelPlan};
+use ump_mesh::dual::cell_dual;
+use ump_mesh::generators::quad_channel;
+use ump_part::{greedy_bfs, rcb};
+
+fn plan_building(c: &mut Criterion) {
+    let mesh = quad_channel(200, 100).mesh;
+    let mut group = c.benchmark_group("plan_build");
+    group.sample_size(10);
+    group.bench_function("two_level", |b| {
+        b.iter(|| {
+            let inputs = PlanInputs::new(mesh.n_edges(), vec![&mesh.edge2cell], 256);
+            TwoLevelPlan::build(&inputs)
+        })
+    });
+    group.bench_function("full_permute", |b| {
+        b.iter(|| {
+            let inputs = PlanInputs::new(mesh.n_edges(), vec![&mesh.edge2cell], 256);
+            FullPermutePlan::build(&inputs)
+        })
+    });
+    group.bench_function("block_permute", |b| {
+        b.iter(|| {
+            let inputs = PlanInputs::new(mesh.n_edges(), vec![&mesh.edge2cell], 256);
+            BlockPermutePlan::build(&inputs)
+        })
+    });
+    group.finish();
+}
+
+fn partitioning(c: &mut Criterion) {
+    let mesh = quad_channel(200, 100).mesh;
+    let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|i| mesh.cell_centroid(i)).collect();
+    let dual = cell_dual(&mesh);
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    group.bench_function("rcb_8", |b| b.iter(|| rcb(&pts, 8)));
+    group.bench_function("greedy_bfs_8", |b| b.iter(|| greedy_bfs(&dual, 8)));
+    group.finish();
+}
+
+fn mesh_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh");
+    group.sample_size(10);
+    group.bench_function("quad_channel_200x100", |b| b.iter(|| quad_channel(200, 100)));
+    group.finish();
+}
+
+criterion_group!(benches, plan_building, partitioning, mesh_derivation);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion: SIMD primitive ablations — scatter modes (the paper
+//! measured masked scatters slower than serialized ones, §4.2) and
+//! AoS-vs-SoA gather layout (DESIGN.md ablation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ump_mesh::SplitMix64;
+use ump_simd::{F64x4, IdxVec, Mask, VecR};
+
+fn setup(n: usize) -> (Vec<f64>, Vec<i32>) {
+    let mut rng = SplitMix64::new(99);
+    let data: Vec<f64> = (0..n * 4).map(|i| i as f64 * 0.25).collect();
+    let idx: Vec<i32> = (0..n).map(|_| rng.next_below(n) as i32).collect();
+    (data, idx)
+}
+
+fn scatter_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scatter_modes");
+    let (_, idx) = setup(1 << 16);
+    let mut out = vec![0.0f64; (1 << 16) * 4];
+    group.bench_function("serialized", |b| {
+        b.iter(|| {
+            for chunk in idx.chunks_exact(4) {
+                let iv = IdxVec::<4>::from_array([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                F64x4::splat(1.0).scatter_add_serial(black_box(&mut out), iv, 4, 0);
+            }
+        })
+    });
+    group.bench_function("masked", |b| {
+        let mask = Mask::<4>::splat(true);
+        b.iter(|| {
+            for chunk in idx.chunks_exact(4) {
+                let iv = IdxVec::<4>::from_array([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                F64x4::splat(1.0).scatter_add_masked(black_box(&mut out), iv, 4, 0, mask);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn gather_layout(c: &mut Criterion) {
+    // AoS gather (data[idx*4+d] per component) vs SoA-contiguous loads
+    let mut group = c.benchmark_group("gather_layout");
+    let (data, idx) = setup(1 << 16);
+    group.bench_function("aos_gather", |b| {
+        b.iter(|| {
+            let mut acc = F64x4::zero();
+            for chunk in idx.chunks_exact(4) {
+                let iv = IdxVec::<4>::from_array([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                for d in 0..4 {
+                    acc += F64x4::gather(black_box(&data), iv, 4, d);
+                }
+            }
+            acc.reduce_sum()
+        })
+    });
+    group.bench_function("contiguous_load", |b| {
+        b.iter(|| {
+            let mut acc = F64x4::zero();
+            for i in (0..data.len()).step_by(4) {
+                acc += F64x4::load(black_box(&data), i);
+            }
+            acc.reduce_sum()
+        })
+    });
+    group.finish();
+}
+
+fn vector_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_math");
+    let xs: Vec<f64> = (1..=4096).map(|i| i as f64).collect();
+    group.bench_function("sqrt_vec4", |b| {
+        b.iter(|| {
+            let mut acc = F64x4::zero();
+            for i in (0..xs.len()).step_by(4) {
+                acc += F64x4::load(black_box(&xs), i).sqrt();
+            }
+            acc.reduce_sum()
+        })
+    });
+    group.bench_function("sqrt_scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &x in black_box(&xs) {
+                acc += x.sqrt();
+            }
+            acc
+        })
+    });
+    group.bench_function("fma_vec8", |b| {
+        let v = VecR::<f64, 8>::splat(1.0001);
+        b.iter(|| {
+            let mut acc = VecR::<f64, 8>::splat(1.0);
+            for _ in 0..512 {
+                acc = acc.mul_add(v, v);
+            }
+            acc.reduce_sum()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scatter_modes, gather_layout, vector_math);
+criterion_main!(benches);

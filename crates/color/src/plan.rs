@@ -1,0 +1,441 @@
+//! Execution plans: the three coloring schemes of the paper.
+//!
+//! A plan is computed once per (loop shape, block size) and cached by the
+//! runtime — OP2's `op_plan_get`. See the crate docs for the semantics of
+//! each scheme.
+
+use std::ops::Range;
+
+use ump_mesh::MapTable;
+
+use crate::blocks::{color_blocks, make_blocks};
+use crate::coloring::{color_elements, Coloring};
+
+/// What a plan is built from: the iteration-set size and the maps through
+/// which the loop *writes* (INC/WRITE/RW indirect arguments).
+#[derive(Clone)]
+pub struct PlanInputs<'a> {
+    /// Iteration-set size.
+    pub n_elems: usize,
+    /// Written maps (all with `from_size == n_elems`).
+    pub written_maps: Vec<&'a MapTable>,
+    /// Mini-partition size for the block-based schemes.
+    pub block_size: usize,
+}
+
+impl<'a> PlanInputs<'a> {
+    /// Convenience constructor.
+    pub fn new(n_elems: usize, written_maps: Vec<&'a MapTable>, block_size: usize) -> Self {
+        for m in &written_maps {
+            assert_eq!(m.from_size, n_elems, "map/set size mismatch");
+        }
+        PlanInputs {
+            n_elems,
+            written_maps,
+            block_size,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The "original" two-level plan (paper §3): colored blocks for thread
+/// concurrency, element colors inside each block to serialize indirect
+/// increments.
+#[derive(Clone, Debug)]
+pub struct TwoLevelPlan {
+    /// Contiguous element ranges (mini-partitions).
+    pub blocks: Vec<Range<u32>>,
+    /// Block coloring.
+    pub block_colors: Coloring,
+    /// Block ids grouped by color: `blocks_by_color[c]` lists the blocks
+    /// a thread team may execute concurrently.
+    pub blocks_by_color: Vec<Vec<u32>>,
+    /// Per-element color *within its block* (0 for direct loops).
+    pub elem_colors: Vec<u32>,
+    /// Number of element colors in each block.
+    pub n_elem_colors: Vec<u32>,
+}
+
+impl TwoLevelPlan {
+    /// Build the plan.
+    pub fn build(inputs: &PlanInputs<'_>) -> TwoLevelPlan {
+        let blocks = make_blocks(inputs.n_elems, inputs.block_size);
+        let block_colors = color_blocks(&blocks, &inputs.written_maps);
+        let mut blocks_by_color = vec![Vec::new(); block_colors.n_colors as usize];
+        for (b, &c) in block_colors.colors.iter().enumerate() {
+            blocks_by_color[c as usize].push(b as u32);
+        }
+        let (elem_colors, n_elem_colors) =
+            color_within_blocks(&blocks, &inputs.written_maps, inputs.n_elems);
+        TwoLevelPlan {
+            blocks,
+            block_colors,
+            blocks_by_color,
+            elem_colors,
+            n_elem_colors,
+        }
+    }
+
+    /// Maximum element-color count over all blocks (the serialization
+    /// depth of the colored increment).
+    pub fn max_elem_colors(&self) -> u32 {
+        self.n_elem_colors.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Check plan invariants (used by tests and `debug_assert!`).
+    pub fn validate(&self, inputs: &PlanInputs<'_>) -> Result<(), String> {
+        let covered: usize = self.blocks.iter().map(|b| b.len()).sum();
+        if covered != inputs.n_elems {
+            return Err("blocks do not tile the set".into());
+        }
+        crate::blocks::validate_block_coloring(&self.blocks, &inputs.written_maps, &self.block_colors)
+            .map_err(|(a, b)| format!("blocks {a} and {b} conflict with equal color"))?;
+        // same-colored elements within a block must not share targets
+        for (bi, r) in self.blocks.iter().enumerate() {
+            for m in &inputs.written_maps {
+                let mut seen: std::collections::HashMap<(u32, i32), u32> =
+                    std::collections::HashMap::new();
+                for e in r.clone() {
+                    let c = self.elem_colors[e as usize];
+                    if c >= self.n_elem_colors[bi] {
+                        return Err(format!("element {e} color {c} exceeds block count"));
+                    }
+                    for &t in m.row(e as usize) {
+                        if let Some(&prev) = seen.get(&(c, t)) {
+                            return Err(format!(
+                                "elements {prev} and {e} in block {bi} share target {t} with color {c}"
+                            ));
+                        }
+                        seen.insert((c, t), e);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedy element coloring restricted to conflicts *within* each block.
+fn color_within_blocks(
+    blocks: &[Range<u32>],
+    written_maps: &[&MapTable],
+    n_elems: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut elem_colors = vec![0u32; n_elems];
+    let mut n_elem_colors = vec![0u32; blocks.len()];
+    if written_maps.is_empty() {
+        for (bi, r) in blocks.iter().enumerate() {
+            n_elem_colors[bi] = u32::from(!r.is_empty());
+        }
+        return (elem_colors, n_elem_colors);
+    }
+    // stamp-dedup per-target masks, reset implicitly per block
+    let mut masks: Vec<Vec<u64>> = written_maps.iter().map(|m| vec![0u64; m.to_size]).collect();
+    let mut stamps: Vec<Vec<u32>> = written_maps
+        .iter()
+        .map(|m| vec![u32::MAX; m.to_size])
+        .collect();
+    for (bi, r) in blocks.iter().enumerate() {
+        let mut block_max = 0u32;
+        for e in r.clone() {
+            let mut forbidden = 0u64;
+            for ((m, masks), stamps) in written_maps.iter().zip(&masks).zip(&stamps) {
+                for &t in m.row(e as usize) {
+                    if stamps[t as usize] == bi as u32 {
+                        forbidden |= masks[t as usize];
+                    }
+                }
+            }
+            let c = forbidden.trailing_ones();
+            assert!(c < 64, "element coloring exceeded 64 colors within a block");
+            elem_colors[e as usize] = c;
+            block_max = block_max.max(c + 1);
+            for ((m, masks), stamps) in written_maps.iter().zip(&mut masks).zip(&mut stamps) {
+                for &t in m.row(e as usize) {
+                    if stamps[t as usize] != bi as u32 {
+                        stamps[t as usize] = bi as u32;
+                        masks[t as usize] = 0;
+                    }
+                    masks[t as usize] |= 1 << c;
+                }
+            }
+        }
+        n_elem_colors[bi] = block_max;
+    }
+    (elem_colors, n_elem_colors)
+}
+
+// ---------------------------------------------------------------------------
+
+/// The "full permute" plan (paper §4): a single global coloring; elements
+/// executed color by color through a permutation. Lanes within a color
+/// are independent (vector scatters are safe) but locality suffers.
+#[derive(Clone, Debug)]
+pub struct FullPermutePlan {
+    /// Global element coloring.
+    pub coloring: Coloring,
+    /// Permutation grouping elements by color.
+    pub perm: Vec<u32>,
+    /// `perm[offsets[c]..offsets[c+1]]` is the color-`c` group.
+    pub offsets: Vec<u32>,
+}
+
+impl FullPermutePlan {
+    /// Build the plan.
+    pub fn build(inputs: &PlanInputs<'_>) -> FullPermutePlan {
+        let coloring = if inputs.written_maps.is_empty() {
+            Coloring {
+                colors: vec![0; inputs.n_elems],
+                n_colors: u32::from(inputs.n_elems > 0),
+            }
+        } else {
+            color_elements(&inputs.written_maps)
+        };
+        let (perm, offsets) = coloring.group_by_color();
+        FullPermutePlan {
+            coloring,
+            perm,
+            offsets,
+        }
+    }
+
+    /// Element groups by color.
+    pub fn color_groups(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.coloring.n_colors as usize)
+            .map(move |c| &self.perm[self.offsets[c] as usize..self.offsets[c + 1] as usize])
+    }
+
+    /// Check plan invariants.
+    pub fn validate(&self, inputs: &PlanInputs<'_>) -> Result<(), String> {
+        let mut sorted = self.perm.clone();
+        sorted.sort_unstable();
+        if sorted != (0..inputs.n_elems as u32).collect::<Vec<_>>() {
+            return Err("perm is not a permutation".into());
+        }
+        crate::coloring::validate_coloring(&inputs.written_maps, &self.coloring)
+            .map_err(|(a, b)| format!("elements {a},{b} conflict with equal color"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The "block permute" plan (paper §4): blocks as in the two-level plan,
+/// but each block's elements are *permuted by color* so that within one
+/// (block, color) group every lane is independent — vectorizable
+/// scatters with block-local temporal locality.
+#[derive(Clone, Debug)]
+pub struct BlockPermutePlan {
+    /// Contiguous element ranges (mini-partitions).
+    pub blocks: Vec<Range<u32>>,
+    /// Block coloring (for thread-level concurrency, as in two-level).
+    pub block_colors: Coloring,
+    /// Block ids grouped by color.
+    pub blocks_by_color: Vec<Vec<u32>>,
+    /// Within-block execution order: `perm[b.start..b.end]` lists block
+    /// `b`'s elements sorted by element color.
+    pub perm: Vec<u32>,
+    /// Per-block color offsets into the block's own `perm` segment:
+    /// group `c` of block `b` is
+    /// `perm[b.start + color_offsets[b][c] .. b.start + color_offsets[b][c+1]]`.
+    pub color_offsets: Vec<Vec<u32>>,
+}
+
+impl BlockPermutePlan {
+    /// Build the plan.
+    pub fn build(inputs: &PlanInputs<'_>) -> BlockPermutePlan {
+        let blocks = make_blocks(inputs.n_elems, inputs.block_size);
+        let block_colors = color_blocks(&blocks, &inputs.written_maps);
+        let mut blocks_by_color = vec![Vec::new(); block_colors.n_colors as usize];
+        for (b, &c) in block_colors.colors.iter().enumerate() {
+            blocks_by_color[c as usize].push(b as u32);
+        }
+        let (elem_colors, n_elem_colors) =
+            color_within_blocks(&blocks, &inputs.written_maps, inputs.n_elems);
+        let mut perm = vec![0u32; inputs.n_elems];
+        let mut color_offsets = Vec::with_capacity(blocks.len());
+        for (bi, r) in blocks.iter().enumerate() {
+            let ncol = n_elem_colors[bi] as usize;
+            let mut hist = vec![0u32; ncol + 1];
+            for e in r.clone() {
+                hist[elem_colors[e as usize] as usize + 1] += 1;
+            }
+            for c in 0..ncol {
+                hist[c + 1] += hist[c];
+            }
+            let offsets = hist.clone();
+            let mut cursor = hist;
+            for e in r.clone() {
+                let c = elem_colors[e as usize] as usize;
+                perm[r.start as usize + cursor[c] as usize] = e;
+                cursor[c] += 1;
+            }
+            color_offsets.push(offsets);
+        }
+        BlockPermutePlan {
+            blocks,
+            block_colors,
+            blocks_by_color,
+            perm,
+            color_offsets,
+        }
+    }
+
+    /// The color groups of one block: slices of element ids, each group
+    /// internally conflict-free.
+    pub fn block_groups(&self, b: usize) -> impl Iterator<Item = &[u32]> + '_ {
+        let r = self.blocks[b].clone();
+        let offs = &self.color_offsets[b];
+        (0..offs.len() - 1).map(move |c| {
+            &self.perm[r.start as usize + offs[c] as usize..r.start as usize + offs[c + 1] as usize]
+        })
+    }
+
+    /// Check plan invariants.
+    pub fn validate(&self, inputs: &PlanInputs<'_>) -> Result<(), String> {
+        let mut sorted = self.perm.clone();
+        sorted.sort_unstable();
+        if sorted != (0..inputs.n_elems as u32).collect::<Vec<_>>() {
+            return Err("perm is not a permutation".into());
+        }
+        crate::blocks::validate_block_coloring(&self.blocks, &inputs.written_maps, &self.block_colors)
+            .map_err(|(a, b)| format!("blocks {a},{b} conflict with equal color"))?;
+        for b in 0..self.blocks.len() {
+            for group in self.block_groups(b) {
+                for m in &inputs.written_maps {
+                    let mut seen = std::collections::HashSet::new();
+                    for &e in group {
+                        for &t in m.row(e as usize) {
+                            if !seen.insert(t) {
+                                return Err(format!(
+                                    "block {b} color group has duplicate target {t}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ump_mesh::generators::{perturbed_quads, quad_channel, tri_coastal};
+
+    fn inputs(mesh: &ump_mesh::Mesh2d, bs: usize) -> PlanInputs<'_> {
+        PlanInputs::new(mesh.n_edges(), vec![&mesh.edge2cell], bs)
+    }
+
+    #[test]
+    fn two_level_plan_on_grid_is_valid() {
+        let m = quad_channel(12, 8).mesh;
+        let inp = inputs(&m, 24);
+        let plan = TwoLevelPlan::build(&inp);
+        plan.validate(&inp).unwrap();
+        assert!(plan.max_elem_colors() >= 2, "increments must serialize");
+        assert!(plan.blocks_by_color.iter().map(Vec::len).sum::<usize>() == plan.blocks.len());
+    }
+
+    #[test]
+    fn full_permute_plan_is_valid() {
+        let m = tri_coastal(9, 9).mesh;
+        let inp = inputs(&m, 16);
+        let plan = FullPermutePlan::build(&inp);
+        plan.validate(&inp).unwrap();
+        let total: usize = plan.color_groups().map(<[u32]>::len).sum();
+        assert_eq!(total, m.n_edges());
+    }
+
+    #[test]
+    fn block_permute_plan_is_valid() {
+        let m = perturbed_quads(11, 7, 0.3, 3);
+        for bs in [8usize, 32, 1000] {
+            let inp = inputs(&m, bs);
+            let plan = BlockPermutePlan::build(&inp);
+            plan.validate(&inp).unwrap();
+        }
+    }
+
+    #[test]
+    fn block_permute_groups_have_distinct_targets() {
+        let m = quad_channel(10, 10).mesh;
+        let inp = inputs(&m, 64);
+        let plan = BlockPermutePlan::build(&inp);
+        for b in 0..plan.blocks.len() {
+            for group in plan.block_groups(b) {
+                let mut targets = Vec::new();
+                for &e in group {
+                    targets.extend_from_slice(m.edge2cell.row(e as usize));
+                }
+                let before = targets.len();
+                targets.sort_unstable();
+                targets.dedup();
+                assert_eq!(before, targets.len());
+            }
+        }
+    }
+
+    #[test]
+    fn direct_loop_plans_are_trivial() {
+        let inp = PlanInputs::new(100, vec![], 32);
+        let two = TwoLevelPlan::build(&inp);
+        two.validate(&inp).unwrap();
+        assert_eq!(two.block_colors.n_colors, 1);
+        assert_eq!(two.max_elem_colors(), 1);
+        let fp = FullPermutePlan::build(&inp);
+        fp.validate(&inp).unwrap();
+        assert_eq!(fp.coloring.n_colors, 1);
+    }
+
+    #[test]
+    fn empty_set_plans() {
+        let inp = PlanInputs::new(0, vec![], 32);
+        let two = TwoLevelPlan::build(&inp);
+        assert!(two.blocks.is_empty());
+        let fp = FullPermutePlan::build(&inp);
+        assert_eq!(fp.coloring.n_colors, 0);
+        let bp = BlockPermutePlan::build(&inp);
+        assert!(bp.perm.is_empty());
+    }
+
+    #[test]
+    fn full_permute_destroys_locality_relative_to_block_permute() {
+        // Each full-permute color pass sweeps (nearly) the whole set —
+        // the cache is cold again on the next pass — while a
+        // block-permute color group never leaves its block.
+        let m = quad_channel(24, 24).mesh;
+        let inp = inputs(&m, 128);
+        let fp = FullPermutePlan::build(&inp);
+        let bp = BlockPermutePlan::build(&inp);
+        let span = |xs: &[u32]| -> usize {
+            if xs.is_empty() {
+                return 0;
+            }
+            (*xs.iter().max().unwrap() - *xs.iter().min().unwrap()) as usize
+        };
+        for group in fp.color_groups().take(2) {
+            assert!(
+                span(group) > m.n_edges() / 2,
+                "full-permute pass should span most of the set"
+            );
+        }
+        for b in 0..bp.blocks.len() {
+            for group in bp.block_groups(b) {
+                assert!(span(group) < 128, "block-permute group leaves its block");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_written_maps_plan() {
+        let m = quad_channel(8, 8).mesh;
+        let inp = PlanInputs::new(m.n_edges(), vec![&m.edge2cell, &m.edge2node], 32);
+        let plan = TwoLevelPlan::build(&inp);
+        plan.validate(&inp).unwrap();
+        let bp = BlockPermutePlan::build(&inp);
+        bp.validate(&inp).unwrap();
+    }
+}

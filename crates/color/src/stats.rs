@@ -1,0 +1,219 @@
+//! Plan statistics: the locality and serialization quantities the paper's
+//! performance analysis (§6) reasons with.
+//!
+//! * **Reuse factor** — indirect references per unique target inside a
+//!   block: how much gather traffic caching can absorb when the block's
+//!   working set is resident ("as long as blocks are small enough so that
+//!   their data is contained in cache, this permits data reuse").
+//! * **Serialization depth** — element colors per block: how many
+//!   sequential passes the colored increment costs a vector unit.
+//! * **Lane utilization** — fraction of full vector packets when each
+//!   color group is chopped into `lanes`-wide chunks (the "small blocks
+//!   may suffer from the underutilization of vector lanes" effect of the
+//!   block-permute scheme).
+
+use ump_mesh::MapTable;
+
+use crate::plan::{BlockPermutePlan, FullPermutePlan, TwoLevelPlan};
+
+/// Aggregate statistics of an execution plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanStats {
+    /// Number of blocks (1 for full-permute plans).
+    pub n_blocks: usize,
+    /// Number of block colors.
+    pub n_block_colors: u32,
+    /// Maximum per-block element colors (serialization depth).
+    pub max_elem_colors: u32,
+    /// Mean indirect references per unique target within a block (or
+    /// within a color group for full permute) — ≥ 1; higher is better.
+    pub reuse_factor: f64,
+    /// Fraction of elements that fill complete `lanes`-wide packets.
+    pub lane_utilization: f64,
+}
+
+fn reuse_of_groups<'a>(
+    groups: impl Iterator<Item = Vec<u32>>,
+    maps: &[&'a MapTable],
+) -> f64 {
+    let mut total_refs = 0usize;
+    let mut total_unique = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    for group in groups {
+        for m in maps {
+            seen.clear();
+            for &e in &group {
+                for &t in m.row(e as usize) {
+                    total_refs += 1;
+                    seen.insert(t);
+                }
+            }
+            total_unique += seen.len();
+        }
+    }
+    if total_unique == 0 {
+        1.0
+    } else {
+        total_refs as f64 / total_unique as f64
+    }
+}
+
+fn utilization(group_sizes: impl Iterator<Item = usize>, lanes: usize) -> f64 {
+    let mut full = 0usize;
+    let mut total = 0usize;
+    for g in group_sizes {
+        total += g;
+        full += (g / lanes) * lanes;
+    }
+    if total == 0 {
+        1.0
+    } else {
+        full as f64 / total as f64
+    }
+}
+
+impl PlanStats {
+    /// Statistics of a two-level plan. Reuse is measured over whole
+    /// blocks (the cache-resident unit); lane utilization over blocks,
+    /// since the SIMD backend sweeps each block contiguously.
+    pub fn of_two_level(plan: &TwoLevelPlan, maps: &[&MapTable], lanes: usize) -> PlanStats {
+        PlanStats {
+            n_blocks: plan.blocks.len(),
+            n_block_colors: plan.block_colors.n_colors,
+            max_elem_colors: plan.max_elem_colors(),
+            reuse_factor: reuse_of_groups(
+                plan.blocks.iter().map(|r| r.clone().collect()),
+                maps,
+            ),
+            lane_utilization: utilization(plan.blocks.iter().map(|b| b.len()), lanes),
+        }
+    }
+
+    /// Statistics of a full-permute plan. Reuse is measured over color
+    /// groups — the execution unit — which is what destroys locality.
+    pub fn of_full_permute(plan: &FullPermutePlan, maps: &[&MapTable], lanes: usize) -> PlanStats {
+        PlanStats {
+            n_blocks: 1,
+            n_block_colors: plan.coloring.n_colors,
+            max_elem_colors: 1,
+            reuse_factor: reuse_of_groups(plan.color_groups().map(<[u32]>::to_vec), maps),
+            lane_utilization: utilization(plan.color_groups().map(<[u32]>::len), lanes),
+        }
+    }
+
+    /// Statistics of a block-permute plan. Reuse over blocks (the cache
+    /// unit), lane utilization over (block, color) groups (the vector
+    /// unit).
+    pub fn of_block_permute(plan: &BlockPermutePlan, maps: &[&MapTable], lanes: usize) -> PlanStats {
+        let max_elem_colors = plan
+            .color_offsets
+            .iter()
+            .map(|o| o.len() as u32 - 1)
+            .max()
+            .unwrap_or(0);
+        let group_sizes = (0..plan.blocks.len())
+            .flat_map(|b| plan.block_groups(b).map(<[u32]>::len).collect::<Vec<_>>());
+        PlanStats {
+            n_blocks: plan.blocks.len(),
+            n_block_colors: plan.block_colors.n_colors,
+            max_elem_colors,
+            reuse_factor: reuse_of_groups(
+                plan.blocks.iter().map(|r| r.clone().collect()),
+                maps,
+            ),
+            lane_utilization: utilization(group_sizes, lanes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanInputs;
+    use ump_mesh::generators::quad_channel;
+
+    fn setup(bs: usize) -> (ump_mesh::Mesh2d, usize) {
+        (quad_channel(24, 16).mesh, bs)
+    }
+
+    #[test]
+    fn two_level_reuse_exceeds_one() {
+        let (m, bs) = setup(128);
+        let inp = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], bs);
+        let plan = TwoLevelPlan::build(&inp);
+        let stats = PlanStats::of_two_level(&plan, &[&m.edge2cell], 4);
+        // each interior cell is touched by 4 edges; blocks of 128 edges
+        // should realize a large part of that reuse
+        assert!(stats.reuse_factor > 1.5, "reuse {}", stats.reuse_factor);
+        assert!(stats.lane_utilization > 0.9);
+        assert!(stats.max_elem_colors >= 2);
+    }
+
+    #[test]
+    fn full_permute_reuse_is_near_one_within_groups() {
+        let (m, _) = setup(0);
+        let inp = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 128);
+        let fp = FullPermutePlan::build(&inp);
+        let stats = PlanStats::of_full_permute(&fp, &[&m.edge2cell], 4);
+        // a color group never repeats a target (that is its definition)
+        assert!(
+            (stats.reuse_factor - 1.0).abs() < 1e-9,
+            "reuse {}",
+            stats.reuse_factor
+        );
+        assert_eq!(stats.max_elem_colors, 1);
+        assert!(stats.lane_utilization > 0.9, "big groups, high utilization");
+    }
+
+    #[test]
+    fn block_permute_keeps_block_reuse_but_splits_lanes() {
+        let (m, bs) = setup(64);
+        let inp = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], bs);
+        let two = TwoLevelPlan::build(&inp);
+        let bp = BlockPermutePlan::build(&inp);
+        let st_two = PlanStats::of_two_level(&two, &[&m.edge2cell], 8);
+        let st_bp = PlanStats::of_block_permute(&bp, &[&m.edge2cell], 8);
+        // same blocks, same reuse
+        assert!((st_two.reuse_factor - st_bp.reuse_factor).abs() < 1e-9);
+        // …but chopping blocks into color groups wastes lanes
+        assert!(
+            st_bp.lane_utilization < st_two.lane_utilization,
+            "bp {} vs two {}",
+            st_bp.lane_utilization,
+            st_two.lane_utilization
+        );
+    }
+
+    #[test]
+    fn small_blocks_hurt_lane_utilization() {
+        let (m, _) = setup(0);
+        let inp8 = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 8);
+        let inp256 = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 256);
+        let bp8 = PlanStats::of_block_permute(
+            &BlockPermutePlan::build(&inp8),
+            &[&m.edge2cell],
+            8,
+        );
+        let bp256 = PlanStats::of_block_permute(
+            &BlockPermutePlan::build(&inp256),
+            &[&m.edge2cell],
+            8,
+        );
+        assert!(
+            bp8.lane_utilization < bp256.lane_utilization,
+            "8: {}, 256: {}",
+            bp8.lane_utilization,
+            bp256.lane_utilization
+        );
+    }
+
+    #[test]
+    fn direct_loop_stats_are_benign() {
+        let inp = PlanInputs::new(1000, vec![], 128);
+        let plan = TwoLevelPlan::build(&inp);
+        let stats = PlanStats::of_two_level(&plan, &[], 4);
+        assert_eq!(stats.reuse_factor, 1.0);
+        assert_eq!(stats.max_elem_colors, 1);
+        assert_eq!(stats.n_block_colors, 1);
+    }
+}

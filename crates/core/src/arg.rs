@@ -1,0 +1,140 @@
+//! Access descriptors: the information carried by
+//! `op_arg_dat(dat, idx, map, dim, "typ", access)` in the OP2 API
+//! (paper Fig. 2a). The loop drivers are statically generated, so at run
+//! time these descriptors serve two purposes: deriving the per-kernel
+//! transfer characteristics of Tables II/III, and identifying the written
+//! maps that a coloring plan must respect.
+
+/// How an argument is accessed (OP2's `OP_READ` / `OP_WRITE` / `OP_INC` /
+/// `OP_RW`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Read only.
+    Read,
+    /// Write only (every component overwritten).
+    Write,
+    /// Increment (read-modify-write; needs race protection when indirect).
+    Inc,
+    /// Read and write.
+    Rw,
+}
+
+impl Access {
+    /// Words *read* per component under the paper's counting convention
+    /// (INC and RW touch the value both ways).
+    pub fn reads(self) -> bool {
+        !matches!(self, Access::Write)
+    }
+
+    /// Words *written* per component.
+    pub fn writes(self) -> bool {
+        !matches!(self, Access::Read)
+    }
+}
+
+/// Whether the argument is direct on the iteration set or reached through
+/// a mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Indirection {
+    /// Direct (`OP_ID`): element `n` touches `dat[n]`.
+    Direct,
+    /// Indirect through the named map at slot `idx`:
+    /// element `n` touches `dat[map[n*map_dim + idx]]`.
+    Indirect {
+        /// Map name (plan cache key component).
+        map: String,
+        /// Slot within the map row.
+        idx: usize,
+    },
+    /// A global argument (reduction target or constant), `dim` words.
+    Global,
+}
+
+/// One argument of a parallel loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgInfo {
+    /// Dataset name.
+    pub dat: String,
+    /// Components per element.
+    pub dim: usize,
+    /// Access mode.
+    pub access: Access,
+    /// Direct / indirect / global.
+    pub ind: Indirection,
+}
+
+impl ArgInfo {
+    /// Direct argument.
+    pub fn direct(dat: impl Into<String>, dim: usize, access: Access) -> ArgInfo {
+        ArgInfo {
+            dat: dat.into(),
+            dim,
+            access,
+            ind: Indirection::Direct,
+        }
+    }
+
+    /// Indirect argument through `map` slot `idx`.
+    pub fn indirect(
+        dat: impl Into<String>,
+        dim: usize,
+        access: Access,
+        map: impl Into<String>,
+        idx: usize,
+    ) -> ArgInfo {
+        ArgInfo {
+            dat: dat.into(),
+            dim,
+            access,
+            ind: Indirection::Indirect {
+                map: map.into(),
+                idx,
+            },
+        }
+    }
+
+    /// Global (reduction) argument.
+    pub fn global(dat: impl Into<String>, dim: usize, access: Access) -> ArgInfo {
+        ArgInfo {
+            dat: dat.into(),
+            dim,
+            access,
+            ind: Indirection::Global,
+        }
+    }
+
+    /// Is this argument indirect?
+    pub fn is_indirect(&self) -> bool {
+        matches!(self.ind, Indirection::Indirect { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_read_write_flags() {
+        assert!(Access::Read.reads() && !Access::Read.writes());
+        assert!(!Access::Write.reads() && Access::Write.writes());
+        assert!(Access::Inc.reads() && Access::Inc.writes());
+        assert!(Access::Rw.reads() && Access::Rw.writes());
+    }
+
+    #[test]
+    fn constructors() {
+        let a = ArgInfo::direct("q", 4, Access::Read);
+        assert!(!a.is_indirect());
+        let b = ArgInfo::indirect("x", 2, Access::Read, "edge2node", 1);
+        assert!(b.is_indirect());
+        match &b.ind {
+            Indirection::Indirect { map, idx } => {
+                assert_eq!(map, "edge2node");
+                assert_eq!(*idx, 1);
+            }
+            _ => unreachable!(),
+        }
+        let g = ArgInfo::global("rms", 1, Access::Inc);
+        assert_eq!(g.ind, Indirection::Global);
+    }
+}

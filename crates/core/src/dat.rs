@@ -1,0 +1,155 @@
+//! Data on sets: the `op_dat`.
+
+use ump_simd::Real;
+
+/// A dataset over a set: `dim` components of type `R` per element,
+/// AoS layout (`data[e*dim + c]`) as the paper's CPU backends use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpDat<R: Real> {
+    /// Dataset name (diagnostics / table rows).
+    pub name: String,
+    /// Number of set elements.
+    pub set_size: usize,
+    /// Components per element.
+    pub dim: usize,
+    /// The values, `set_size * dim` long.
+    pub data: Vec<R>,
+}
+
+impl<R: Real> OpDat<R> {
+    /// Zero-initialized dat.
+    pub fn zeros(name: impl Into<String>, set_size: usize, dim: usize) -> OpDat<R> {
+        OpDat {
+            name: name.into(),
+            set_size,
+            dim,
+            data: vec![R::ZERO; set_size * dim],
+        }
+    }
+
+    /// Dat initialized per element by `f(element) -> [components]`.
+    pub fn from_fn(
+        name: impl Into<String>,
+        set_size: usize,
+        dim: usize,
+        mut f: impl FnMut(usize) -> Vec<R>,
+    ) -> OpDat<R> {
+        let mut data = Vec::with_capacity(set_size * dim);
+        for e in 0..set_size {
+            let row = f(e);
+            assert_eq!(row.len(), dim, "initializer arity mismatch");
+            data.extend_from_slice(&row);
+        }
+        OpDat {
+            name: name.into(),
+            set_size,
+            dim,
+            data,
+        }
+    }
+
+    /// Wrap existing storage.
+    pub fn from_vec(name: impl Into<String>, set_size: usize, dim: usize, data: Vec<R>) -> OpDat<R> {
+        assert_eq!(data.len(), set_size * dim, "dat storage size mismatch");
+        OpDat {
+            name: name.into(),
+            set_size,
+            dim,
+            data,
+        }
+    }
+
+    /// The component slice of element `e`.
+    #[inline]
+    pub fn row(&self, e: usize) -> &[R] {
+        &self.data[e * self.dim..(e + 1) * self.dim]
+    }
+
+    /// Mutable component slice of element `e`.
+    #[inline]
+    pub fn row_mut(&mut self, e: usize) -> &mut [R] {
+        &mut self.data[e * self.dim..(e + 1) * self.dim]
+    }
+
+    /// Total bytes of payload (Table IV memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * R::BYTES
+    }
+
+    /// Maximum |difference| against another dat (backend equivalence
+    /// tests).
+    pub fn max_abs_diff(&self, other: &OpDat<R>) -> f64 {
+        assert_eq!(self.data.len(), other.data.len(), "dat shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// `true` when every value is finite — failure-injection guard used
+    /// by integration tests after each backend run.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Convert precision (used to set up SP runs from DP initial data).
+    pub fn convert<T: Real>(&self) -> OpDat<T> {
+        OpDat {
+            name: self.name.clone(),
+            set_size: self.set_size,
+            dim: self.dim,
+            data: self.data.iter().map(|&v| T::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape() {
+        let d: OpDat<f64> = OpDat::zeros("q", 10, 4);
+        assert_eq!(d.data.len(), 40);
+        assert_eq!(d.bytes(), 320);
+        assert_eq!(d.row(3), &[0.0; 4]);
+    }
+
+    #[test]
+    fn from_fn_rows() {
+        let d: OpDat<f32> = OpDat::from_fn("x", 3, 2, |e| vec![e as f32, -(e as f32)]);
+        assert_eq!(d.row(2), &[2.0, -2.0]);
+        assert_eq!(d.bytes(), 24);
+    }
+
+    #[test]
+    fn row_mut_updates() {
+        let mut d: OpDat<f64> = OpDat::zeros("r", 4, 2);
+        d.row_mut(1)[0] = 5.0;
+        assert_eq!(d.data[2], 5.0);
+    }
+
+    #[test]
+    fn diff_and_finite() {
+        let a: OpDat<f64> = OpDat::from_vec("a", 2, 1, vec![1.0, 2.0]);
+        let b: OpDat<f64> = OpDat::from_vec("a", 2, 1, vec![1.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert!(a.all_finite());
+        let nan: OpDat<f64> = OpDat::from_vec("n", 1, 1, vec![f64::NAN]);
+        assert!(!nan.all_finite());
+    }
+
+    #[test]
+    fn precision_conversion() {
+        let a: OpDat<f64> = OpDat::from_vec("a", 2, 1, vec![1.25, -3.5]);
+        let s: OpDat<f32> = a.convert();
+        assert_eq!(s.data, vec![1.25f32, -3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "storage size mismatch")]
+    fn from_vec_validates_shape() {
+        let _: OpDat<f64> = OpDat::from_vec("bad", 3, 2, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,347 @@
+//! Execution engines shared by all generated loop drivers.
+//!
+//! Three engines mirror the paper's shared-memory backends:
+//!
+//! * [`seq_loop`] — the scalar reference (also the per-rank inner loop of
+//!   the message-passing backend),
+//! * [`par_colored_blocks`] — the OpenMP analogue: blocks of one color
+//!   dispatched to a thread pool, no synchronization needed inside a
+//!   color round (paper §3),
+//! * [`simt_colored`] — the OpenCL-on-CPU analogue: each block is a
+//!   work-group executed by one thread; work-items advance in lock-step
+//!   chunks of the SIMT width, buffering their indirect increments in
+//!   private storage and applying them serialized by element color
+//!   (paper Fig. 3a, with the work-group barrier removed exactly as §4.1
+//!   describes for sequential work-group execution).
+//!
+//! Mutation from multiple threads is funnelled through [`SharedDat`], a
+//! raw-pointer wrapper whose safety contract is the coloring invariant:
+//! *within one color round no two concurrent bodies touch the same
+//! element*. Plans are validated (tests + `debug_assert`) to uphold it.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ump_color::TwoLevelPlan;
+
+/// A shared mutable view of a dat's storage for colored concurrency.
+///
+/// # Safety contract
+/// Callers may only touch element ranges that the active plan guarantees
+/// conflict-free for the current color round. All constructors are safe;
+/// the access methods are `unsafe` to mark that contract.
+pub struct SharedDat<'a, R> {
+    ptr: *mut R,
+    len: usize,
+    _marker: PhantomData<&'a mut [R]>,
+}
+
+unsafe impl<R: Send> Send for SharedDat<'_, R> {}
+unsafe impl<R: Send> Sync for SharedDat<'_, R> {}
+
+impl<'a, R> SharedDat<'a, R> {
+    /// Wrap a mutable slice.
+    pub fn new(data: &'a mut [R]) -> SharedDat<'a, R> {
+        SharedDat {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying storage.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable subslice `[start, start+len)`.
+    ///
+    /// # Safety
+    /// The range must be disjoint from every range other threads access
+    /// during the current color round (the coloring invariant).
+    #[inline(always)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [R] {
+        debug_assert!(start + len <= self.len, "SharedDat range out of bounds");
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+
+    /// Shared view of the whole storage.
+    ///
+    /// # Safety
+    /// No thread may be mutating the elements read.
+    #[inline(always)]
+    pub unsafe fn as_slice(&self) -> &[R] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+/// A shared mutable handle to an arbitrary value for colored concurrency,
+/// when a whole structure (not just a flat slice) must be reachable from
+/// block bodies. Same safety contract as [`SharedDat`]: bodies may only
+/// touch parts of the value that the plan proves conflict-free for the
+/// current color round.
+pub struct SharedMut<'a, T> {
+    ptr: *mut T,
+    _marker: PhantomData<&'a mut T>,
+}
+
+unsafe impl<T: Send> Send for SharedMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedMut<'_, T> {}
+
+impl<'a, T> SharedMut<'a, T> {
+    /// Wrap an exclusive reference.
+    pub fn new(value: &'a mut T) -> SharedMut<'a, T> {
+        SharedMut {
+            ptr: value,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reborrow mutably.
+    ///
+    /// # Safety
+    /// Concurrent callers must touch disjoint parts of the value, per the
+    /// active plan's coloring invariant.
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self) -> &mut T {
+        unsafe { &mut *self.ptr }
+    }
+}
+
+/// The scalar reference executor: `body(e)` for every element in order.
+#[inline]
+pub fn seq_loop(range: Range<usize>, mut body: impl FnMut(usize)) {
+    for e in range {
+        body(e);
+    }
+}
+
+/// Number of worker threads to use when the caller passes 0.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Colored-block parallel execution (the OpenMP backend's shape):
+/// for each block color, the blocks of that color are distributed over
+/// `n_threads` workers through an atomic work queue; `body(block_id,
+/// range)` runs with exclusive access to everything its block writes.
+pub fn par_colored_blocks(
+    plan: &TwoLevelPlan,
+    n_threads: usize,
+    body: impl Fn(usize, Range<u32>) + Sync,
+) {
+    let n_threads = if n_threads == 0 {
+        default_threads()
+    } else {
+        n_threads
+    };
+    for blocks in &plan.blocks_by_color {
+        if blocks.is_empty() {
+            continue;
+        }
+        if n_threads == 1 || blocks.len() == 1 {
+            for &b in blocks {
+                body(b as usize, plan.blocks[b as usize].clone());
+            }
+            continue;
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = n_threads.min(blocks.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= blocks.len() {
+                        break;
+                    }
+                    let b = blocks[i] as usize;
+                    body(b, plan.blocks[b].clone());
+                });
+            }
+        });
+    }
+}
+
+/// SIMT (OpenCL-on-CPU) emulation: work-groups = plan blocks, executed by
+/// a pool of `n_threads`; inside a group, work-items run in lock-step
+/// chunks of `simt_width`. `compute(e)` produces the element's private
+/// increment record; `apply(e, inc)` commits it, called serialized in
+/// element-color order within each chunk — the "colored increment" of
+/// paper Fig. 3a.
+///
+/// `sched_overhead_ns` busy-waits per work-group dispatch, modelling the
+/// OpenCL runtime's work-group scheduling cost the paper measures against
+/// static OpenMP loops (§4.1); pass 0 for none.
+pub fn simt_colored<I: Send>(
+    plan: &TwoLevelPlan,
+    n_threads: usize,
+    simt_width: usize,
+    sched_overhead_ns: u64,
+    compute: impl Fn(usize) -> I + Sync,
+    apply: impl Fn(usize, &I) + Sync,
+) {
+    assert!(simt_width >= 1);
+    let body = |block_id: usize, range: Range<u32>| {
+        if sched_overhead_ns > 0 {
+            let t0 = std::time::Instant::now();
+            while (t0.elapsed().as_nanos() as u64) < sched_overhead_ns {
+                std::hint::spin_loop();
+            }
+        }
+        let n_colors = plan.n_elem_colors[block_id];
+        let mut incs: Vec<(usize, I)> = Vec::with_capacity(simt_width);
+        let mut chunk_start = range.start as usize;
+        let end = range.end as usize;
+        while chunk_start < end {
+            let chunk_end = (chunk_start + simt_width).min(end);
+            // lock-step compute phase: all work-items of the chunk
+            incs.clear();
+            for e in chunk_start..chunk_end {
+                incs.push((e, compute(e)));
+            }
+            // colored increment phase
+            for col in 0..n_colors {
+                for (e, inc) in &incs {
+                    if plan.elem_colors[*e] == col {
+                        apply(*e, inc);
+                    }
+                }
+            }
+            chunk_start = chunk_end;
+        }
+    };
+    par_colored_blocks(plan, n_threads, body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ump_color::PlanInputs;
+    use ump_mesh::generators::quad_channel;
+
+    #[test]
+    fn seq_loop_visits_in_order() {
+        let mut seen = Vec::new();
+        seq_loop(3..7, |e| seen.push(e));
+        assert_eq!(seen, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn shared_dat_disjoint_writes() {
+        let mut data = vec![0.0f64; 100];
+        let shared = SharedDat::new(&mut data);
+        std::thread::scope(|s| {
+            let sh = &shared;
+            s.spawn(move || unsafe {
+                sh.slice_mut(0, 50).iter_mut().for_each(|x| *x = 1.0);
+            });
+            s.spawn(move || unsafe {
+                sh.slice_mut(50, 50).iter_mut().for_each(|x| *x = 2.0);
+            });
+        });
+        assert!(data[..50].iter().all(|&x| x == 1.0));
+        assert!(data[50..].iter().all(|&x| x == 2.0));
+    }
+
+    /// Edge-loop increment executed through the colored engine must equal
+    /// the sequential result exactly (same per-target accumulation order
+    /// is NOT guaranteed across colors, but targets are hit by one color
+    /// at a time and within a block sequentially — with f64 and small
+    /// counts the check below is exact for these integer-valued data).
+    #[test]
+    fn colored_blocks_reproduce_sequential_increment() {
+        let m = quad_channel(16, 12).mesh;
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 32);
+        let plan = TwoLevelPlan::build(&inputs);
+
+        let mut reference = vec![0.0f64; m.n_cells()];
+        for e in 0..m.n_edges() {
+            let c = m.edge2cell.row(e);
+            reference[c[0] as usize] += 1.0;
+            reference[c[1] as usize] += 1.0;
+        }
+
+        let mut out = vec![0.0f64; m.n_cells()];
+        let shared = SharedDat::new(&mut out);
+        let e2c = &m.edge2cell;
+        par_colored_blocks(&plan, 4, |_b, range| {
+            for e in range {
+                let c = e2c.row(e as usize);
+                unsafe {
+                    shared.slice_mut(c[0] as usize, 1)[0] += 1.0;
+                    shared.slice_mut(c[1] as usize, 1)[0] += 1.0;
+                }
+            }
+        });
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn simt_emulation_reproduces_sequential_increment() {
+        let m = quad_channel(10, 10).mesh;
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 16);
+        let plan = TwoLevelPlan::build(&inputs);
+
+        let mut reference = vec![0.0f64; m.n_cells()];
+        for e in 0..m.n_edges() {
+            let c = m.edge2cell.row(e);
+            reference[c[0] as usize] += (e % 7) as f64;
+            reference[c[1] as usize] -= 1.0;
+        }
+
+        let mut out = vec![0.0f64; m.n_cells()];
+        let shared = SharedDat::new(&mut out);
+        let e2c = &m.edge2cell;
+        simt_colored(
+            &plan,
+            2,
+            8,
+            0,
+            |e| {
+                let c = e2c.row(e);
+                [(c[0], (e % 7) as f64), (c[1], -1.0)]
+            },
+            |_e, inc| {
+                for &(target, v) in inc {
+                    unsafe {
+                        shared.slice_mut(target as usize, 1)[0] += v;
+                    }
+                }
+            },
+        );
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn single_thread_path_equals_multithread_path() {
+        let m = quad_channel(8, 8).mesh;
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 16);
+        let plan = TwoLevelPlan::build(&inputs);
+        let run = |threads: usize| {
+            let mut out = vec![0.0f64; m.n_cells()];
+            let shared = SharedDat::new(&mut out);
+            par_colored_blocks(&plan, threads, |_b, range| {
+                for e in range {
+                    let c = m.edge2cell.row(e as usize);
+                    unsafe {
+                        shared.slice_mut(c[0] as usize, 1)[0] += e as f64;
+                    }
+                }
+            });
+            out
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-loop instrumentation: the timing/bandwidth/GFLOP bookkeeping
+//! behind Tables V–VIII ("useful bandwidth, calculated based on the
+//! minimal amount of data moved", §6.1).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::profile::LoopProfile;
+
+/// Accumulated statistics of one parallel loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LoopStats {
+    /// Number of invocations.
+    pub calls: usize,
+    /// Total wall seconds.
+    pub seconds: f64,
+    /// Total useful bytes moved (paper counting: per-element words ×
+    /// word size × elements, no cache or map-table corrections).
+    pub bytes: f64,
+    /// Total useful FLOPs.
+    pub flops: f64,
+}
+
+impl LoopStats {
+    /// Achieved useful bandwidth in GB/s.
+    pub fn gb_per_s(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.bytes / self.seconds / 1e9
+        }
+    }
+
+    /// Achieved computational throughput in GFLOP/s.
+    pub fn gflop_per_s(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.flops / self.seconds / 1e9
+        }
+    }
+}
+
+/// A per-run recorder of loop statistics.
+#[derive(Default)]
+pub struct Recorder {
+    stats: Mutex<HashMap<String, LoopStats>>,
+}
+
+impl Recorder {
+    /// Fresh recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Time `f` as one invocation of `profile` over `n_elems` elements of
+    /// a `word_bytes` application (4 = SP, 8 = DP).
+    pub fn time<T>(
+        &self,
+        profile: &LoopProfile,
+        word_bytes: usize,
+        n_elems: usize,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed().as_secs_f64();
+        self.record(
+            &profile.name,
+            dt,
+            profile.bytes_per_elem(word_bytes) * n_elems as f64,
+            profile.flops_per_elem * n_elems as f64,
+        );
+        out
+    }
+
+    /// Record a pre-measured invocation.
+    pub fn record(&self, name: &str, seconds: f64, bytes: f64, flops: f64) {
+        let mut stats = self.stats.lock();
+        let entry = stats.entry(name.to_string()).or_default();
+        entry.calls += 1;
+        entry.seconds += seconds;
+        entry.bytes += bytes;
+        entry.flops += flops;
+    }
+
+    /// Statistics of one loop, if recorded.
+    pub fn get(&self, name: &str) -> Option<LoopStats> {
+        self.stats.lock().get(name).copied()
+    }
+
+    /// All statistics sorted by loop name.
+    pub fn report(&self) -> Vec<(String, LoopStats)> {
+        let stats = self.stats.lock();
+        let mut rows: Vec<_> = stats.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Sum of wall seconds over all loops.
+    pub fn total_seconds(&self) -> f64 {
+        self.stats.lock().values().map(|s| s.seconds).sum()
+    }
+
+    /// Merge another recorder into this one (used to combine per-rank
+    /// recorders of the message-passing backend; times are maxed, volumes
+    /// summed, matching how MPI runtimes are reported).
+    pub fn merge_rank(&self, other: &Recorder) {
+        let other_stats = other.stats.lock();
+        let mut stats = self.stats.lock();
+        for (name, s) in other_stats.iter() {
+            let e = stats.entry(name.clone()).or_default();
+            e.calls = e.calls.max(s.calls);
+            e.seconds = e.seconds.max(s.seconds);
+            e.bytes += s.bytes;
+            e.flops += s.flops;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arg::{Access, ArgInfo};
+
+    fn copy_profile() -> LoopProfile {
+        LoopProfile {
+            name: "save_soln".into(),
+            set: "cells".into(),
+            args: vec![
+                ArgInfo::direct("q", 4, Access::Read),
+                ArgInfo::direct("qold", 4, Access::Write),
+            ],
+            flops_per_elem: 4.0,
+            transcendentals_per_elem: 0.0,
+            description: "Direct copy".into(),
+        }
+    }
+
+    #[test]
+    fn time_accumulates_volume() {
+        let rec = Recorder::new();
+        let p = copy_profile();
+        rec.time(&p, 8, 1000, || {});
+        rec.time(&p, 8, 1000, || {});
+        let s = rec.get("save_soln").unwrap();
+        assert_eq!(s.calls, 2);
+        // 8 words/elem * 8 B * 1000 elems * 2 calls
+        assert_eq!(s.bytes, 2.0 * 8.0 * 8.0 * 1000.0);
+        assert_eq!(s.flops, 2.0 * 4.0 * 1000.0);
+        assert!(s.seconds >= 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let rec = Recorder::new();
+        rec.record("k", 0.5, 1e9, 2e9);
+        let s = rec.get("k").unwrap();
+        assert!((s.gb_per_s() - 2.0).abs() < 1e-12);
+        assert!((s.gflop_per_s() - 4.0).abs() < 1e-12);
+        let zero = LoopStats::default();
+        assert_eq!(zero.gb_per_s(), 0.0);
+    }
+
+    #[test]
+    fn report_is_sorted_and_total_sums() {
+        let rec = Recorder::new();
+        rec.record("b", 1.0, 0.0, 0.0);
+        rec.record("a", 2.0, 0.0, 0.0);
+        let rows = rec.report();
+        assert_eq!(rows[0].0, "a");
+        assert_eq!(rows[1].0, "b");
+        assert_eq!(rec.total_seconds(), 3.0);
+    }
+
+    #[test]
+    fn rank_merge_maxes_time_sums_volume() {
+        let a = Recorder::new();
+        a.record("k", 1.0, 100.0, 10.0);
+        let b = Recorder::new();
+        b.record("k", 2.0, 100.0, 10.0);
+        a.merge_rank(&b);
+        let s = a.get("k").unwrap();
+        assert_eq!(s.seconds, 2.0);
+        assert_eq!(s.bytes, 200.0);
+    }
+}

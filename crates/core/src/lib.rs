@@ -1,0 +1,44 @@
+//! # ump-core — the OP2-style abstraction layer
+//!
+//! OP2 (paper §3) describes unstructured-mesh computation as parallel
+//! loops over sets with access-annotated arguments, and compiles each
+//! loop to backend-specific stub code. The Rust equivalent here:
+//!
+//! * [`dat::OpDat`] — typed data on a set with an arity (`op_dat`),
+//! * [`arg::ArgInfo`]/[`arg::Access`] — the access descriptors of
+//!   `op_arg_dat(dat, idx, map, dim, "typ", access)`,
+//! * [`profile::LoopProfile`] — per-loop metadata from which the
+//!   Table II/III transfer & FLOP characteristics are *derived* rather
+//!   than hard-coded,
+//! * [`plan::PlanCache`] — `op_plan_get`: coloring plans computed once per
+//!   (loop shape, block size, scheme) and reused,
+//! * [`exec`] — the execution engines shared by every "generated" loop
+//!   driver: sequential, colored-blocks threaded (the OpenMP analogue),
+//!   lock-step SIMT emulation (the OpenCL analogue), plus the raw-pointer
+//!   wrappers that let colored concurrency mutate dats race-free,
+//! * [`dist`] — mesh distribution for the message-passing backend:
+//!   owner-compute cells, redundantly executed boundary edges (OP2's
+//!   import-exec halo), ghost-cell exchange plans,
+//! * [`instrument`] — the per-loop time/bytes/FLOP registry behind every
+//!   reproduced table.
+//!
+//! Per-kernel loop *drivers* (what OP2's code generator emits, Figs
+//! 2b/3a/3b) live in `ump-apps`, assembled from these building blocks.
+
+#![deny(missing_docs)]
+
+pub mod arg;
+pub mod dat;
+pub mod dist;
+pub mod exec;
+pub mod instrument;
+pub mod plan;
+pub mod profile;
+
+pub use arg::{Access, ArgInfo, Indirection};
+pub use dat::OpDat;
+pub use dist::{assemble_owned, distribute, extract_rows, LocalMesh};
+pub use exec::{par_colored_blocks, seq_loop, simt_colored, SharedDat, SharedMut};
+pub use instrument::{LoopStats, Recorder};
+pub use plan::{PlanCache, Scheme};
+pub use profile::LoopProfile;

@@ -1,0 +1,171 @@
+//! Plan caching — OP2's `op_plan_get`.
+//!
+//! Coloring plans are expensive to build and depend only on the loop
+//! *shape* (iteration set, written maps, block size, scheme), not on the
+//! data, so OP2 computes them on first execution and reuses them across
+//! the time loop. Same here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use ump_color::{BlockPermutePlan, FullPermutePlan, PlanInputs, TwoLevelPlan};
+
+/// Which coloring/execution scheme a plan uses (paper §4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Original two-level coloring (colored blocks + colored increments).
+    TwoLevel,
+    /// Global color permutation (lane independence, no locality).
+    FullPermute,
+    /// Per-block color permutation (lane independence within blocks).
+    BlockPermute,
+}
+
+/// A built plan of any scheme.
+#[derive(Clone, Debug)]
+pub enum AnyPlan {
+    /// Two-level plan.
+    TwoLevel(TwoLevelPlan),
+    /// Full-permute plan.
+    Full(FullPermutePlan),
+    /// Block-permute plan.
+    Block(BlockPermutePlan),
+}
+
+impl AnyPlan {
+    /// The two-level plan, panicking otherwise (driver/scheme mismatch is
+    /// a programming error).
+    pub fn two_level(&self) -> &TwoLevelPlan {
+        match self {
+            AnyPlan::TwoLevel(p) => p,
+            _ => panic!("expected a two-level plan"),
+        }
+    }
+
+    /// The full-permute plan.
+    pub fn full_permute(&self) -> &FullPermutePlan {
+        match self {
+            AnyPlan::Full(p) => p,
+            _ => panic!("expected a full-permute plan"),
+        }
+    }
+
+    /// The block-permute plan.
+    pub fn block_permute(&self) -> &BlockPermutePlan {
+        match self {
+            AnyPlan::Block(p) => p,
+            _ => panic!("expected a block-permute plan"),
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    set_size: usize,
+    written_maps: Vec<String>,
+    block_size: usize,
+    scheme: Scheme,
+}
+
+/// Cache of built plans. Cheap to clone handles out; `get` builds at most
+/// once per key.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<AnyPlan>>>,
+    builds: Mutex<usize>,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Fetch (building if needed) the plan for a loop shape.
+    ///
+    /// `written_map_names` must parallel `inputs.written_maps` — names are
+    /// the cache key, tables the build input.
+    pub fn get(
+        &self,
+        scheme: Scheme,
+        written_map_names: &[&str],
+        inputs: &PlanInputs<'_>,
+    ) -> Arc<AnyPlan> {
+        let key = PlanKey {
+            set_size: inputs.n_elems,
+            written_maps: written_map_names.iter().map(|s| s.to_string()).collect(),
+            block_size: inputs.block_size,
+            scheme,
+        };
+        if let Some(plan) = self.plans.lock().get(&key) {
+            return Arc::clone(plan);
+        }
+        // build outside the lock (plans can take a while on big meshes)
+        let plan = Arc::new(match scheme {
+            Scheme::TwoLevel => AnyPlan::TwoLevel(TwoLevelPlan::build(inputs)),
+            Scheme::FullPermute => AnyPlan::Full(FullPermutePlan::build(inputs)),
+            Scheme::BlockPermute => AnyPlan::Block(BlockPermutePlan::build(inputs)),
+        });
+        *self.builds.lock() += 1;
+        Arc::clone(
+            self.plans
+                .lock()
+                .entry(key)
+                .or_insert(plan),
+        )
+    }
+
+    /// Number of plans actually built (cache-effectiveness metric).
+    pub fn builds(&self) -> usize {
+        *self.builds.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ump_mesh::generators::quad_channel;
+
+    #[test]
+    fn cache_builds_once_per_shape() {
+        let m = quad_channel(8, 8).mesh;
+        let cache = PlanCache::new();
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 64);
+        let a = cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs);
+        let b = cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.builds(), 1);
+        // different block size -> different plan
+        let inputs2 = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 128);
+        let c = cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.builds(), 2);
+        // different scheme -> different plan
+        cache.get(Scheme::FullPermute, &["edge2cell"], &inputs);
+        assert_eq!(cache.builds(), 3);
+    }
+
+    #[test]
+    fn accessors_match_scheme() {
+        let m = quad_channel(4, 4).mesh;
+        let cache = PlanCache::new();
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 16);
+        assert!(matches!(
+            &*cache.get(Scheme::BlockPermute, &["edge2cell"], &inputs),
+            AnyPlan::Block(_)
+        ));
+        let p = cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs);
+        let _ = p.two_level();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a two-level plan")]
+    fn wrong_accessor_panics() {
+        let m = quad_channel(4, 4).mesh;
+        let cache = PlanCache::new();
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 16);
+        let p = cache.get(Scheme::FullPermute, &["edge2cell"], &inputs);
+        let _ = p.two_level();
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-loop characteristics derived from the access descriptors — the
+//! machinery behind Tables II and III.
+//!
+//! The paper counts, for each kernel, the *useful* floating-point words
+//! moved per set element (ignoring mapping tables and caching) split into
+//! direct/indirect reads/writes, plus useful FLOPs (transcendentals
+//! counted as one). `OP_INC`/`OP_RW` arguments count on both sides. These
+//! counts come straight out of the `op_par_loop` signature; we reproduce
+//! them from [`ArgInfo`] lists rather than hard-coding the table.
+
+use crate::arg::{ArgInfo, Indirection};
+
+/// Static profile of a parallel loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopProfile {
+    /// Kernel name (`res_calc`, …).
+    pub name: String,
+    /// Name of the iteration set (`edges`, `cells`, …).
+    pub set: String,
+    /// The loop's arguments.
+    pub args: Vec<ArgInfo>,
+    /// Useful floating-point operations per element (paper's counting:
+    /// transcendentals = 1).
+    pub flops_per_elem: f64,
+    /// Of which transcendental (sqrt etc.) — they dominate scalar cost
+    /// (§6.2: 44-cycle sqrt).
+    pub transcendentals_per_elem: f64,
+    /// One-line description (Table II's "Description" column).
+    pub description: String,
+}
+
+/// Per-element word-transfer counts (Table II/III columns).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransferCounts {
+    /// Directly-accessed words read.
+    pub direct_read: usize,
+    /// Directly-accessed words written.
+    pub direct_write: usize,
+    /// Indirectly-accessed words read.
+    pub indirect_read: usize,
+    /// Indirectly-accessed words written.
+    pub indirect_write: usize,
+}
+
+impl TransferCounts {
+    /// Total words moved per element.
+    pub fn total_words(self) -> usize {
+        self.direct_read + self.direct_write + self.indirect_read + self.indirect_write
+    }
+}
+
+impl LoopProfile {
+    /// Derive the per-element transfer counts from the argument list.
+    pub fn transfers(&self) -> TransferCounts {
+        let mut t = TransferCounts::default();
+        for a in &self.args {
+            match a.ind {
+                Indirection::Direct => {
+                    if a.access.reads() {
+                        t.direct_read += a.dim;
+                    }
+                    if a.access.writes() {
+                        t.direct_write += a.dim;
+                    }
+                }
+                Indirection::Indirect { .. } => {
+                    if a.access.reads() {
+                        t.indirect_read += a.dim;
+                    }
+                    if a.access.writes() {
+                        t.indirect_write += a.dim;
+                    }
+                }
+                // global reduction scalars are asymptotically free
+                Indirection::Global => {}
+            }
+        }
+        t
+    }
+
+    /// Useful bytes per element for a word size.
+    pub fn bytes_per_elem(&self, word_bytes: usize) -> f64 {
+        (self.transfers().total_words() * word_bytes) as f64
+    }
+
+    /// FLOP-per-byte ratio at a word size (Table II/III's last column; the
+    /// quantity compared against machine balance in §6.1).
+    pub fn flop_per_byte(&self, word_bytes: usize) -> f64 {
+        self.flops_per_elem / self.bytes_per_elem(word_bytes)
+    }
+
+    /// Does this loop write indirectly (and hence need coloring)?
+    pub fn needs_coloring(&self) -> bool {
+        self.args
+            .iter()
+            .any(|a| a.is_indirect() && a.access.writes())
+    }
+
+    /// Does the loop access anything indirectly (gathers)?
+    pub fn is_indirect(&self) -> bool {
+        self.args.iter().any(ArgInfo::is_indirect)
+    }
+
+    /// Does the loop carry a global reduction?
+    pub fn has_reduction(&self) -> bool {
+        self.args.iter().any(|a| a.ind == Indirection::Global)
+    }
+
+    /// Names of maps written through (the plan-cache key contribution).
+    pub fn written_maps(&self) -> Vec<String> {
+        let mut maps: Vec<String> = self
+            .args
+            .iter()
+            .filter(|a| a.access.writes())
+            .filter_map(|a| match &a.ind {
+                Indirection::Indirect { map, .. } => Some(map.clone()),
+                _ => None,
+            })
+            .collect();
+        maps.sort();
+        maps.dedup();
+        maps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arg::{Access, ArgInfo};
+
+    /// The paper's res_calc signature (Fig. 2a + Table II row).
+    fn res_calc_profile() -> LoopProfile {
+        LoopProfile {
+            name: "res_calc".into(),
+            set: "edges".into(),
+            args: vec![
+                ArgInfo::indirect("x", 2, Access::Read, "edge2node", 0),
+                ArgInfo::indirect("x", 2, Access::Read, "edge2node", 1),
+                ArgInfo::indirect("q", 4, Access::Read, "edge2cell", 0),
+                ArgInfo::indirect("q", 4, Access::Read, "edge2cell", 1),
+                ArgInfo::indirect("adt", 1, Access::Read, "edge2cell", 0),
+                ArgInfo::indirect("adt", 1, Access::Read, "edge2cell", 1),
+                ArgInfo::indirect("res", 4, Access::Inc, "edge2cell", 0),
+                ArgInfo::indirect("res", 4, Access::Inc, "edge2cell", 1),
+            ],
+            flops_per_elem: 73.0,
+            transcendentals_per_elem: 0.0,
+            description: "Gather, colored scatter".into(),
+        }
+    }
+
+    #[test]
+    fn res_calc_matches_paper_table_ii() {
+        let p = res_calc_profile();
+        let t = p.transfers();
+        assert_eq!(t.direct_read, 0);
+        assert_eq!(t.direct_write, 0);
+        // paper: 22 indirect reads = x(4) + q(8) + adt(2) + res-INC(8)
+        assert_eq!(t.indirect_read, 22);
+        assert_eq!(t.indirect_write, 8);
+        // paper: 0.3 DP / 0.6 SP
+        assert!((p.flop_per_byte(8) - 0.3).abs() < 0.01);
+        assert!((p.flop_per_byte(4) - 0.6).abs() < 0.02);
+        assert!(p.needs_coloring());
+        assert!(p.is_indirect());
+        assert!(!p.has_reduction());
+        assert_eq!(p.written_maps(), vec!["edge2cell".to_string()]);
+    }
+
+    #[test]
+    fn adt_calc_matches_paper_table_ii() {
+        // adt_calc: reads x on 4 nodes (dim 2), reads q direct (4),
+        // writes adt direct (1); 64 flops
+        let p = LoopProfile {
+            name: "adt_calc".into(),
+            set: "cells".into(),
+            args: vec![
+                ArgInfo::indirect("x", 2, Access::Read, "cell2node", 0),
+                ArgInfo::indirect("x", 2, Access::Read, "cell2node", 1),
+                ArgInfo::indirect("x", 2, Access::Read, "cell2node", 2),
+                ArgInfo::indirect("x", 2, Access::Read, "cell2node", 3),
+                ArgInfo::direct("q", 4, Access::Read),
+                ArgInfo::direct("adt", 1, Access::Write),
+            ],
+            flops_per_elem: 64.0,
+            transcendentals_per_elem: 4.0,
+            description: "Gather, direct write".into(),
+        };
+        let t = p.transfers();
+        assert_eq!(
+            (t.direct_read, t.direct_write, t.indirect_read, t.indirect_write),
+            (4, 1, 8, 0)
+        );
+        // paper: 0.57 DP, 1.14 SP (printed rounded to 2 digits)
+        assert!((p.flop_per_byte(8) - 0.615).abs() < 0.07);
+        assert!(!p.needs_coloring());
+        assert!(p.is_indirect());
+    }
+
+    #[test]
+    fn update_matches_paper_table_ii() {
+        let p = LoopProfile {
+            name: "update".into(),
+            set: "cells".into(),
+            args: vec![
+                ArgInfo::direct("qold", 4, Access::Read),
+                ArgInfo::direct("q", 4, Access::Write),
+                ArgInfo::direct("res", 4, Access::Rw),
+                ArgInfo::direct("adt", 1, Access::Read),
+                ArgInfo::global("rms", 1, Access::Inc),
+            ],
+            flops_per_elem: 17.0,
+            transcendentals_per_elem: 0.0,
+            description: "Direct, reduction".into(),
+        };
+        let t = p.transfers();
+        assert_eq!((t.direct_read, t.direct_write), (9, 8));
+        assert!(p.has_reduction());
+        assert!(!p.needs_coloring());
+        assert!(!p.is_indirect());
+        // paper: 0.1 DP
+        assert!((p.flop_per_byte(8) - 0.125).abs() < 0.03);
+    }
+
+    #[test]
+    fn direct_copy_kernel() {
+        let p = LoopProfile {
+            name: "save_soln".into(),
+            set: "cells".into(),
+            args: vec![
+                ArgInfo::direct("q", 4, Access::Read),
+                ArgInfo::direct("qold", 4, Access::Write),
+            ],
+            flops_per_elem: 4.0,
+            transcendentals_per_elem: 0.0,
+            description: "Direct copy".into(),
+        };
+        let t = p.transfers();
+        assert_eq!(t.total_words(), 8);
+        assert!(p.written_maps().is_empty());
+    }
+}

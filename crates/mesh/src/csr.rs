@@ -1,0 +1,186 @@
+//! Compressed sparse row adjacency.
+//!
+//! The coloring, partitioning and halo-construction passes all consume
+//! element adjacency in CSR form: `offsets[i]..offsets[i+1]` indexes the
+//! neighbor list of element `i` in `values`.
+
+/// CSR adjacency structure over `n = offsets.len() - 1` rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    /// Row start offsets; `offsets.len() == rows + 1`, monotone,
+    /// `offsets[rows] == values.len()`.
+    pub offsets: Vec<u32>,
+    /// Concatenated neighbor/value lists.
+    pub values: Vec<i32>,
+}
+
+impl Csr {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored values.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value slice of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[i32] {
+        &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Build a CSR from per-row pair lists: `pairs` holds `(row, value)`
+    /// entries in any order.
+    pub fn from_pairs(rows: usize, pairs: impl IntoIterator<Item = (u32, i32)>) -> Csr {
+        let mut counts = vec![0u32; rows + 1];
+        let pairs: Vec<(u32, i32)> = pairs.into_iter().collect();
+        for &(r, _) in &pairs {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut values = vec![0i32; pairs.len()];
+        let mut cursor = counts.clone();
+        for (r, v) in pairs {
+            let slot = cursor[r as usize] as usize;
+            values[slot] = v;
+            cursor[r as usize] += 1;
+        }
+        Csr {
+            offsets: counts,
+            values,
+        }
+    }
+
+    /// Sort the entries of each row in place (canonical form for tests and
+    /// deterministic iteration).
+    pub fn sort_rows(&mut self) {
+        for i in 0..self.rows() {
+            let (s, e) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+            self.values[s..e].sort_unstable();
+        }
+    }
+
+    /// Remove duplicate entries within each row (requires sorted rows).
+    pub fn dedup_rows(&mut self) {
+        let rows = self.rows();
+        let mut new_offsets = Vec::with_capacity(rows + 1);
+        let mut new_values = Vec::with_capacity(self.values.len());
+        new_offsets.push(0u32);
+        for i in 0..rows {
+            let row = self.row(i);
+            let mut last: Option<i32> = None;
+            for &v in row {
+                if last != Some(v) {
+                    new_values.push(v);
+                    last = Some(v);
+                }
+            }
+            new_offsets.push(new_values.len() as u32);
+        }
+        self.offsets = new_offsets;
+        self.values = new_values;
+    }
+
+    /// Validate structural invariants; returns an error description on
+    /// failure. Used by `debug_assert!` call sites.
+    pub fn validate(&self, value_bound: Option<usize>) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets empty".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] != 0".into());
+        }
+        for w in self.offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("offsets not monotone".into());
+            }
+        }
+        if *self.offsets.last().unwrap() as usize != self.values.len() {
+            return Err("last offset != values.len()".into());
+        }
+        if let Some(bound) = value_bound {
+            for &v in &self.values {
+                if v < 0 || v as usize >= bound {
+                    return Err(format!("value {v} out of bound {bound}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum row degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.rows()).map(|i| self.row(i).len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_groups_by_row() {
+        let csr = Csr::from_pairs(3, vec![(2, 20), (0, 1), (2, 21), (0, 2), (2, 22)]);
+        assert_eq!(csr.rows(), 3);
+        assert_eq!(csr.nnz(), 5);
+        assert_eq!(csr.row(0), &[1, 2]);
+        assert_eq!(csr.row(1), &[] as &[i32]);
+        assert_eq!(csr.row(2), &[20, 21, 22]);
+        csr.validate(None).unwrap();
+    }
+
+    #[test]
+    fn sort_and_dedup() {
+        let mut csr = Csr::from_pairs(2, vec![(0, 3), (0, 1), (0, 3), (1, 5), (1, 5), (1, 5)]);
+        csr.sort_rows();
+        csr.dedup_rows();
+        assert_eq!(csr.row(0), &[1, 3]);
+        assert_eq!(csr.row(1), &[5]);
+        csr.validate(Some(6)).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_breakage() {
+        let good = Csr {
+            offsets: vec![0, 1, 2],
+            values: vec![0, 1],
+        };
+        good.validate(Some(2)).unwrap();
+        let bad_bound = Csr {
+            offsets: vec![0, 1, 2],
+            values: vec![0, 7],
+        };
+        assert!(bad_bound.validate(Some(2)).is_err());
+        let bad_mono = Csr {
+            offsets: vec![0, 2, 1],
+            values: vec![0, 1],
+        };
+        assert!(bad_mono.validate(None).is_err());
+        let bad_tail = Csr {
+            offsets: vec![0, 1, 3],
+            values: vec![0, 1],
+        };
+        assert!(bad_tail.validate(None).is_err());
+    }
+
+    #[test]
+    fn degrees() {
+        let csr = Csr::from_pairs(3, vec![(0, 1), (1, 0), (1, 2), (1, 3)]);
+        assert_eq!(csr.max_degree(), 3);
+    }
+
+    #[test]
+    fn empty_rows_structure() {
+        let csr = Csr::from_pairs(4, Vec::<(u32, i32)>::new());
+        assert_eq!(csr.rows(), 4);
+        assert_eq!(csr.nnz(), 0);
+        for i in 0..4 {
+            assert!(csr.row(i).is_empty());
+        }
+        csr.validate(Some(0)).unwrap();
+    }
+}

@@ -1,0 +1,124 @@
+//! Adjacency graphs derived from mesh connectivity.
+//!
+//! The partitioner works on the *dual graph* (cells adjacent through
+//! shared edges — what PT-Scotch partitions in OP2's MPI backend), and
+//! RCM renumbering works on the node graph (nodes adjacent through
+//! edges).
+
+use crate::csr::Csr;
+use crate::mesh::Mesh2d;
+use crate::topology::MapTable;
+
+/// Cell dual graph: cells are adjacent when they share an interior edge.
+pub fn cell_dual(mesh: &Mesh2d) -> Csr {
+    let mut pairs = Vec::with_capacity(mesh.n_edges() * 2);
+    for e in 0..mesh.n_edges() {
+        let c = mesh.edge2cell.row(e);
+        pairs.push((c[0] as u32, c[1]));
+        pairs.push((c[1] as u32, c[0]));
+    }
+    let mut csr = Csr::from_pairs(mesh.n_cells(), pairs);
+    csr.sort_rows();
+    csr.dedup_rows();
+    csr
+}
+
+/// Node graph: nodes are adjacent when joined by an (interior or
+/// boundary) edge.
+pub fn node_graph(mesh: &Mesh2d) -> Csr {
+    let mut pairs = Vec::with_capacity((mesh.n_edges() + mesh.n_bedges()) * 2);
+    let mut push_map = |m: &MapTable| {
+        for e in 0..m.from_size {
+            let n = m.row(e);
+            pairs.push((n[0] as u32, n[1]));
+            pairs.push((n[1] as u32, n[0]));
+        }
+    };
+    push_map(&mesh.edge2node);
+    push_map(&mesh.bedge2node);
+    let mut csr = Csr::from_pairs(mesh.n_nodes(), pairs);
+    csr.sort_rows();
+    csr.dedup_rows();
+    csr
+}
+
+/// Generic symmetric adjacency over the *from* set of any arity-2 map:
+/// two `from` elements are adjacent when they share a target. This is the
+/// conflict graph underlying loop coloring ("edges that increment the
+/// same cell must get different colors").
+pub fn share_target_graph(map: &MapTable) -> Csr {
+    let inv = map.invert();
+    let mut pairs = Vec::new();
+    for t in 0..inv.rows() {
+        let elems = inv.row(t);
+        for (i, &a) in elems.iter().enumerate() {
+            for &b in &elems[i + 1..] {
+                pairs.push((a as u32, b));
+                pairs.push((b as u32, a));
+            }
+        }
+    }
+    let mut csr = Csr::from_pairs(map.from_size, pairs);
+    csr.sort_rows();
+    csr.dedup_rows();
+    csr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::quad_channel;
+
+    #[test]
+    fn dual_graph_of_grid_has_lattice_degrees() {
+        let m = quad_channel(4, 3).mesh;
+        let dual = cell_dual(&m);
+        dual.validate(Some(m.n_cells())).unwrap();
+        assert_eq!(dual.rows(), 12);
+        // corner cells have 2 neighbors, edge cells 3, interior 4
+        let degrees: Vec<usize> = (0..dual.rows()).map(|c| dual.row(c).len()).collect();
+        assert_eq!(*degrees.iter().min().unwrap(), 2);
+        assert_eq!(*degrees.iter().max().unwrap(), 4);
+        let total: usize = degrees.iter().sum();
+        assert_eq!(total, 2 * m.n_edges());
+    }
+
+    #[test]
+    fn dual_graph_is_symmetric() {
+        let m = quad_channel(5, 4).mesh;
+        let dual = cell_dual(&m);
+        for c in 0..dual.rows() {
+            for &n in dual.row(c) {
+                assert!(dual.row(n as usize).contains(&(c as i32)));
+            }
+        }
+    }
+
+    #[test]
+    fn node_graph_matches_grid_structure() {
+        let m = quad_channel(3, 3).mesh;
+        let g = node_graph(&m);
+        assert_eq!(g.rows(), 16);
+        // grid interior node has 4 neighbors, corner 2
+        let degrees: Vec<usize> = (0..g.rows()).map(|n| g.row(n).len()).collect();
+        assert_eq!(*degrees.iter().min().unwrap(), 2);
+        assert_eq!(*degrees.iter().max().unwrap(), 4);
+    }
+
+    #[test]
+    fn share_target_graph_links_edges_through_cells() {
+        let m = quad_channel(3, 1).mesh;
+        let g = share_target_graph(&m.edge2cell);
+        g.validate(Some(m.n_edges())).unwrap();
+        // every interior edge of a 3x1 strip shares a cell with the other:
+        // edges (0-1) and (1-2) both touch cell 1
+        for e in 0..g.rows() {
+            for &n in g.row(e) {
+                // adjacency implies a genuinely shared cell
+                let a = m.edge2cell.row(e);
+                let b = m.edge2cell.row(n as usize);
+                assert!(a.iter().any(|x| b.contains(x)));
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Binary mesh serialization.
+//!
+//! A small self-describing format (magic, version, set sizes, raw arrays)
+//! built on the `bytes` crate — the stand-in for OP2's HDF5 mesh files.
+//! Little-endian throughout.
+
+use std::fs::File;
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::mesh::Mesh2d;
+use crate::topology::MapTable;
+
+const MAGIC: u32 = 0x554D_504D; // "UMPM"
+const VERSION: u32 = 1;
+
+/// Serialize a mesh to a byte buffer.
+pub fn encode(mesh: &Mesh2d) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        64 + mesh.n_nodes() * 16
+            + (mesh.cell2node.data.len()
+                + mesh.edge2node.data.len()
+                + mesh.edge2cell.data.len()
+                + mesh.bedge2node.data.len()
+                + mesh.bedge2cell.data.len())
+                * 4,
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(mesh.n_nodes() as u64);
+    buf.put_u64_le(mesh.n_cells() as u64);
+    buf.put_u64_le(mesh.n_edges() as u64);
+    buf.put_u64_le(mesh.n_bedges() as u64);
+    buf.put_u32_le(mesh.cell_arity() as u32);
+    for &[x, y] in &mesh.node_xy {
+        buf.put_f64_le(x);
+        buf.put_f64_le(y);
+    }
+    for m in [
+        &mesh.cell2node,
+        &mesh.edge2node,
+        &mesh.edge2cell,
+        &mesh.bedge2node,
+        &mesh.bedge2cell,
+    ] {
+        for &v in &m.data {
+            buf.put_i32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a mesh from a byte buffer.
+pub fn decode(mut buf: impl Buf) -> io::Result<Mesh2d> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if buf.remaining() < 45 {
+        return Err(bad("truncated header"));
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let n_nodes = buf.get_u64_le() as usize;
+    let n_cells = buf.get_u64_le() as usize;
+    let n_edges = buf.get_u64_le() as usize;
+    let n_bedges = buf.get_u64_le() as usize;
+    let arity = buf.get_u32_le() as usize;
+    if arity != 3 && arity != 4 {
+        return Err(bad("bad cell arity"));
+    }
+    let need = n_nodes * 16
+        + 4 * (n_cells * arity + n_edges * 2 + n_edges * 2 + n_bedges * 2 + n_bedges);
+    if buf.remaining() < need {
+        return Err(bad("truncated body"));
+    }
+    let mut node_xy = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        node_xy.push([x, y]);
+    }
+    let mut read_map = |name: &str, from: usize, to: usize, dim: usize| -> io::Result<MapTable> {
+        let mut data = Vec::with_capacity(from * dim);
+        for _ in 0..from * dim {
+            data.push(buf.get_i32_le());
+        }
+        for &v in &data {
+            if v < 0 || v as usize >= to {
+                return Err(bad("map index out of range"));
+            }
+        }
+        Ok(MapTable::new(name, from, to, dim, data))
+    };
+    let cell2node = read_map("cell2node", n_cells, n_nodes, arity)?;
+    let edge2node = read_map("edge2node", n_edges, n_nodes, 2)?;
+    let edge2cell = read_map("edge2cell", n_edges, n_cells, 2)?;
+    let bedge2node = read_map("bedge2node", n_bedges, n_nodes, 2)?;
+    let bedge2cell = read_map("bedge2cell", n_bedges, n_cells, 1)?;
+    Ok(Mesh2d {
+        node_xy,
+        cell2node,
+        edge2node,
+        edge2cell,
+        bedge2node,
+        bedge2cell,
+    })
+}
+
+/// Write a mesh to a file.
+pub fn write_file(mesh: &Mesh2d, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(File::create(path)?);
+    f.write_all(&encode(mesh))?;
+    f.flush()
+}
+
+/// Read a mesh from a file.
+pub fn read_file(path: impl AsRef<Path>) -> io::Result<Mesh2d> {
+    let mut f = io::BufReader::new(File::open(path)?);
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    decode(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{quad_channel, tri_coastal};
+
+    #[test]
+    fn roundtrip_quads() {
+        let m = quad_channel(7, 4).mesh;
+        let bytes = encode(&m);
+        let back = decode(bytes).unwrap();
+        assert_eq!(m.node_xy, back.node_xy);
+        assert_eq!(m.cell2node, back.cell2node);
+        assert_eq!(m.edge2cell, back.edge2cell);
+        assert_eq!(m.bedge2cell, back.bedge2cell);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_triangles() {
+        let m = tri_coastal(5, 3).mesh;
+        let back = decode(encode(&m)).unwrap();
+        assert_eq!(back.cell_arity(), 3);
+        assert_eq!(m.edge2node, back.edge2node);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let m = quad_channel(2, 2).mesh;
+        let mut raw = encode(&m).to_vec();
+        raw[0] ^= 0xFF;
+        assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let m = quad_channel(2, 2).mesh;
+        let raw = encode(&m).to_vec();
+        for cut in [0usize, 10, 44, raw.len() - 1] {
+            assert!(
+                decode(Bytes::from(raw[..cut].to_vec())).is_err(),
+                "cut {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let m = quad_channel(2, 2).mesh;
+        let mut raw = encode(&m).to_vec();
+        // corrupt the first cell2node entry (header 44 B + 9 nodes × 16 B)
+        let off = 44 + m.n_nodes() * 16;
+        raw[off..off + 4].copy_from_slice(&i32::MAX.to_le_bytes());
+        assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ump_mesh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mesh.umpm");
+        let m = quad_channel(3, 3).mesh;
+        write_file(&m, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(m.node_xy, back.node_xy);
+        std::fs::remove_file(&path).ok();
+    }
+}

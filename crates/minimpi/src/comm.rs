@@ -1,0 +1,392 @@
+//! The communicator: SPMD launch, point-to-point messages, barriers,
+//! reductions.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Default receive-watchdog timeout.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct Message {
+    from: usize,
+    tag: u64,
+    data: Box<dyn Any + Send>,
+}
+
+/// Shared collective state: one barrier + a slot array for
+/// gather-style collectives.
+struct Shared {
+    barrier: Barrier,
+    slots: Mutex<Vec<Option<Box<dyn Any + Send>>>>,
+}
+
+/// An SPMD universe: spawns `n_ranks` threads each running the same
+/// closure with its own [`Comm`].
+pub struct Universe {
+    n_ranks: usize,
+    timeout: Duration,
+}
+
+impl Universe {
+    /// Create a universe of `n_ranks` ranks.
+    pub fn new(n_ranks: usize) -> Universe {
+        assert!(n_ranks >= 1);
+        Universe {
+            n_ranks,
+            timeout: DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Override the receive-watchdog timeout (tests use short values).
+    pub fn with_timeout(mut self, timeout: Duration) -> Universe {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Run the SPMD closure on every rank; returns the per-rank results
+    /// in rank order. Panics propagate (a failing rank fails the run).
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        let n = self.n_ranks;
+        let shared = Arc::new(Shared {
+            barrier: Barrier::new(n),
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+        });
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Message>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let timeout = self.timeout;
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, rx) in rxs.into_iter().enumerate() {
+                let txs = txs.clone();
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move || {
+                    let comm = Comm {
+                        rank,
+                        size: n,
+                        txs,
+                        rx,
+                        pending: RefCell::new(Vec::new()),
+                        shared,
+                        timeout,
+                    };
+                    f(&comm)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // re-raise the rank's own panic payload so callers see
+                    // the real diagnostic (watchdog message, assert text…)
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+}
+
+/// Reduction operator for [`Comm::allreduce`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of contributions (OP2's `OP_INC` global argument).
+    Sum,
+    /// Minimum (OP2's `OP_MIN`, e.g. the CFL time step in Volna).
+    Min,
+    /// Maximum (OP2's `OP_MAX`).
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Per-rank communicator handle (not `Sync`: each rank owns its own).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    txs: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    pending: RefCell<Vec<Message>>,
+    shared: Arc<Shared>,
+    timeout: Duration,
+}
+
+impl Comm {
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `value` to rank `to` with a user `tag`. Non-blocking
+    /// (buffered, like `MPI_Isend` + background progress).
+    pub fn send<T: Send + 'static>(&self, to: usize, tag: u64, value: T) {
+        self.txs[to]
+            .send(Message {
+                from: self.rank,
+                tag,
+                data: Box::new(value),
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking receive of a `T` from rank `from` with tag `tag`.
+    /// Out-of-order arrivals are buffered and matched later.
+    ///
+    /// # Panics
+    /// On watchdog timeout (likely deadlock) or when the matched message
+    /// payload is not a `T` (protocol error).
+    pub fn recv<T: Send + 'static>(&self, from: usize, tag: u64) -> T {
+        let mut pending = self.pending.borrow_mut();
+        if let Some(pos) = pending.iter().position(|m| m.from == from && m.tag == tag) {
+            let msg = pending.remove(pos);
+            return Self::downcast(msg, from, tag);
+        }
+        loop {
+            match self.rx.recv_timeout(self.timeout) {
+                Ok(msg) if msg.from == from && msg.tag == tag => {
+                    return Self::downcast(msg, from, tag);
+                }
+                Ok(msg) => pending.push(msg),
+                Err(_) => panic!(
+                    "rank {}: recv(from={from}, tag={tag}) timed out after {:?} — deadlock? \
+                     {} unmatched message(s) pending",
+                    self.rank,
+                    self.timeout,
+                    pending.len()
+                ),
+            }
+        }
+    }
+
+    fn downcast<T: Send + 'static>(msg: Message, from: usize, tag: u64) -> T {
+        *msg.data.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "recv(from={from}, tag={tag}): payload type mismatch (expected {})",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Gather one value from every rank; every rank receives the full
+    /// rank-ordered vector.
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        self.shared.slots.lock()[self.rank] = Some(Box::new(value));
+        self.barrier();
+        let out: Vec<T> = {
+            let slots = self.shared.slots.lock();
+            slots
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .expect("missing allgather contribution")
+                        .downcast_ref::<T>()
+                        .expect("allgather type mismatch")
+                        .clone()
+                })
+                .collect()
+        };
+        self.barrier();
+        if self.rank == 0 {
+            let mut slots = self.shared.slots.lock();
+            for s in slots.iter_mut() {
+                *s = None;
+            }
+        }
+        self.barrier();
+        out
+    }
+
+    /// All-reduce a scalar with `op`, reducing in rank order (bit
+    /// reproducible).
+    pub fn allreduce(&self, value: f64, op: ReduceOp) -> f64 {
+        let all = self.allgather(value);
+        let mut acc = all[0];
+        for &v in &all[1..] {
+            acc = op.apply(acc, v);
+        }
+        acc
+    }
+
+    /// All-reduce a vector elementwise with `op`, rank order.
+    pub fn allreduce_vec(&self, values: &[f64], op: ReduceOp) -> Vec<f64> {
+        let all = self.allgather(values.to_vec());
+        let mut acc = all[0].clone();
+        for v in &all[1..] {
+            assert_eq!(v.len(), acc.len(), "allreduce_vec length mismatch");
+            for (a, &b) in acc.iter_mut().zip(v) {
+                *a = op.apply(*a, b);
+            }
+        }
+        acc
+    }
+
+    /// Convenience sum all-reduce.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.allreduce(value, ReduceOp::Sum)
+    }
+
+    /// Convenience min all-reduce.
+    pub fn allreduce_min(&self, value: f64) -> f64 {
+        self.allreduce(value, ReduceOp::Min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmd_returns_rank_ordered_results() {
+        let out = Universe::new(5).run(|c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn ping_pong() {
+        let out = Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                c.recv::<Vec<f64>>(1, 8)
+            } else {
+                let v = c.recv::<Vec<f64>>(0, 7);
+                let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+                c.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                // send tag 2 first, then tag 1
+                c.send(1, 2, 222i64);
+                c.send(1, 1, 111i64);
+                0
+            } else {
+                // receive in tag order 1, 2 regardless of arrival order
+                let a = c.recv::<i64>(0, 1);
+                let b = c.recv::<i64>(0, 2);
+                assert_eq!((a, b), (111, 222));
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        let sums = Universe::new(4).run(|c| c.allreduce_sum((c.rank() + 1) as f64));
+        assert!(sums.iter().all(|&s| s == 10.0));
+        let mins = Universe::new(4).run(|c| c.allreduce_min(10.0 - c.rank() as f64));
+        assert!(mins.iter().all(|&m| m == 7.0));
+        let maxs = Universe::new(3).run(|c| c.allreduce(c.rank() as f64, ReduceOp::Max));
+        assert!(maxs.iter().all(|&m| m == 2.0));
+    }
+
+    #[test]
+    fn allreduce_is_rank_order_deterministic() {
+        // Floating-point sum depends on order; rank order must make it
+        // identical on every rank and every run.
+        let contributions = [1e16, 1.0, -1e16, 1.0];
+        let expect = contributions.iter().fold(0.0, |a, &b| a + b);
+        for _ in 0..5 {
+            let out = Universe::new(4).run(|c| c.allreduce_sum(contributions[c.rank()]));
+            assert!(out.iter().all(|&s| s == expect));
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let out = Universe::new(3).run(|c| {
+            let mine = vec![c.rank() as f64, 1.0];
+            c.allreduce_vec(&mine, ReduceOp::Sum)
+        });
+        for v in out {
+            assert_eq!(v, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let out = Universe::new(3).run(|c| {
+            let a = c.allreduce_sum(1.0);
+            let b = c.allreduce_sum(2.0);
+            let g = c.allgather(c.rank());
+            (a, b, g)
+        });
+        for (a, b, g) in out {
+            assert_eq!((a, b), (3.0, 6.0));
+            assert_eq!(g, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let out = Universe::new(1).run(|c| {
+            assert_eq!(c.size(), 1);
+            c.allreduce_sum(5.0)
+        });
+        assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn recv_watchdog_fires_on_deadlock() {
+        Universe::new(2)
+            .with_timeout(Duration::from_millis(50))
+            .run(|c| {
+                if c.rank() == 0 {
+                    // rank 0 waits for a message nobody sends
+                    c.recv::<i32>(1, 99)
+                } else {
+                    0
+                }
+            });
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_is_a_protocol_error() {
+        Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 5i32);
+            } else {
+                let _: f64 = c.recv(0, 1);
+            }
+        });
+    }
+}

@@ -1,0 +1,243 @@
+//! Index-list exchange and halo data movement.
+//!
+//! OP2's MPI backend precomputes, per dataset, which elements each rank
+//! must *export* to neighbors and *import* into its halo region; every
+//! indirect loop then triggers `op_mpi_halo_exchanges` (paper Fig. 2b).
+//! This module is the transport half of that machinery: the ownership
+//! logic that decides *what* to exchange lives in `ump-core::dist`.
+
+use crate::comm::Comm;
+
+/// A reusable halo-exchange plan for one dataset layout.
+///
+/// `sends[r]` lists *local* element indices whose values are shipped to
+/// rank `r`; `recvs[r]` lists the local (halo) indices the incoming values
+/// from rank `r` are unpacked into, in the sender's order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExchangePlan {
+    /// Per-peer export index lists (local indices into the data array).
+    pub sends: Vec<Vec<u32>>,
+    /// Per-peer import index lists (local indices into the data array).
+    pub recvs: Vec<Vec<u32>>,
+}
+
+impl ExchangePlan {
+    /// An empty plan for `size` ranks.
+    pub fn empty(size: usize) -> ExchangePlan {
+        ExchangePlan {
+            sends: vec![Vec::new(); size],
+            recvs: vec![Vec::new(); size],
+        }
+    }
+
+    /// Total exported elements (halo send volume).
+    pub fn send_volume(&self) -> usize {
+        self.sends.iter().map(Vec::len).sum()
+    }
+
+    /// Total imported elements (halo recv volume).
+    pub fn recv_volume(&self) -> usize {
+        self.recvs.iter().map(Vec::len).sum()
+    }
+
+    /// Execute the exchange on a `dim`-component dataset: pack the export
+    /// rows, send, receive, unpack into the halo rows. `tag` disambiguates
+    /// concurrent exchanges (use the loop's dat index).
+    pub fn execute<T: Copy + Send + 'static>(
+        &self,
+        comm: &Comm,
+        data: &mut [T],
+        dim: usize,
+        tag: u64,
+    ) {
+        let me = comm.rank();
+        assert_eq!(self.sends.len(), comm.size(), "plan size mismatch");
+        // post all sends first (buffered — no deadlock)
+        for (r, idxs) in self.sends.iter().enumerate() {
+            if r == me || idxs.is_empty() {
+                continue;
+            }
+            let mut packet = Vec::with_capacity(idxs.len() * dim);
+            for &i in idxs {
+                let base = i as usize * dim;
+                packet.extend_from_slice(&data[base..base + dim]);
+            }
+            comm.send(r, tag, packet);
+        }
+        for (r, idxs) in self.recvs.iter().enumerate() {
+            if r == me || idxs.is_empty() {
+                continue;
+            }
+            let packet: Vec<T> = comm.recv(r, tag);
+            assert_eq!(packet.len(), idxs.len() * dim, "halo packet size mismatch");
+            for (k, &i) in idxs.iter().enumerate() {
+                let base = i as usize * dim;
+                data[base..base + dim].copy_from_slice(&packet[k * dim..(k + 1) * dim]);
+            }
+        }
+    }
+
+    /// Reverse exchange *accumulating* into the export rows: ships the
+    /// halo rows back to their owners and `+=`s them into the owned rows.
+    /// (Used by tests and by the ghost-accumulate ablation; the production
+    /// backend uses OP2's redundant-execution scheme instead.)
+    pub fn execute_reverse_add(
+        &self,
+        comm: &Comm,
+        data: &mut [f64],
+        dim: usize,
+        tag: u64,
+    ) {
+        let me = comm.rank();
+        for (r, idxs) in self.recvs.iter().enumerate() {
+            if r == me || idxs.is_empty() {
+                continue;
+            }
+            let mut packet = Vec::with_capacity(idxs.len() * dim);
+            for &i in idxs {
+                let base = i as usize * dim;
+                packet.extend_from_slice(&data[base..base + dim]);
+            }
+            comm.send(r, tag, packet);
+        }
+        for (r, idxs) in self.sends.iter().enumerate() {
+            if r == me || idxs.is_empty() {
+                continue;
+            }
+            let packet: Vec<f64> = comm.recv(r, tag);
+            assert_eq!(packet.len(), idxs.len() * dim);
+            for (k, &i) in idxs.iter().enumerate() {
+                let base = i as usize * dim;
+                for d in 0..dim {
+                    data[base + d] += packet[k * dim + d];
+                }
+            }
+        }
+    }
+}
+
+/// All-to-all exchange of index lists: `requests[r]` is what this rank
+/// wants from rank `r`; the return value's entry `r` is what rank `r`
+/// wants from this rank. The standard first step of halo-plan
+/// construction ("tell every owner which of its elements I need").
+pub fn all_to_all_indices(comm: &Comm, requests: &[Vec<u32>], tag: u64) -> Vec<Vec<u32>> {
+    let me = comm.rank();
+    let n = comm.size();
+    assert_eq!(requests.len(), n);
+    for (r, req) in requests.iter().enumerate() {
+        if r != me {
+            comm.send(r, tag, req.clone());
+        }
+    }
+    let mut out = vec![Vec::new(); n];
+    out[me] = requests[me].clone();
+    for r in 0..n {
+        if r != me {
+            out[r] = comm.recv::<Vec<u32>>(r, tag);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Universe;
+
+    #[test]
+    fn all_to_all_roundtrip() {
+        let out = Universe::new(3).run(|c| {
+            let me = c.rank() as u32;
+            // rank r asks rank q for [r*10 + q]
+            let requests: Vec<Vec<u32>> =
+                (0..3).map(|q| vec![me * 10 + q as u32]).collect();
+            let got = all_to_all_indices(c, &requests, 5);
+            // rank r receives from q the list [q*10 + r]
+            for q in 0..3u32 {
+                assert_eq!(got[q as usize], vec![q * 10 + me]);
+            }
+            true
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn halo_exchange_moves_owner_values_into_ghosts() {
+        // 2 ranks; each owns rows 0..3 and has one ghost row 3 mirroring
+        // the peer's row 1.
+        let out = Universe::new(2).run(|c| {
+            let me = c.rank();
+            let other = 1 - me;
+            let dim = 2;
+            let mut data = vec![0.0f64; 4 * dim];
+            for i in 0..3 {
+                data[i * dim] = (me * 100 + i) as f64;
+                data[i * dim + 1] = -((me * 100 + i) as f64);
+            }
+            let mut plan = ExchangePlan::empty(2);
+            plan.sends[other] = vec![1]; // ship my row 1
+            plan.recvs[other] = vec![3]; // into my ghost row 3
+            plan.execute(c, &mut data, dim, 0);
+            (data[3 * dim], data[3 * dim + 1])
+        });
+        assert_eq!(out[0], (101.0, -101.0));
+        assert_eq!(out[1], (1.0, -1.0));
+    }
+
+    #[test]
+    fn reverse_add_accumulates_ghost_contributions() {
+        let out = Universe::new(2).run(|c| {
+            let me = c.rank();
+            let other = 1 - me;
+            let mut data = vec![0.0f64; 4];
+            data[1] = 10.0; // my owned value
+            data[3] = (me + 1) as f64; // my ghost contribution to peer row 1
+            let mut plan = ExchangePlan::empty(2);
+            plan.sends[other] = vec![1];
+            plan.recvs[other] = vec![3];
+            plan.execute_reverse_add(c, &mut data, 1, 0);
+            data[1]
+        });
+        // rank 0's row 1 receives rank 1's ghost (2.0): 10 + 2 = 12
+        assert_eq!(out[0], 12.0);
+        // rank 1's row 1 receives rank 0's ghost (1.0): 10 + 1 = 11
+        assert_eq!(out[1], 11.0);
+    }
+
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        let out = Universe::new(2).run(|c| {
+            let mut data = vec![1.0f64, 2.0];
+            ExchangePlan::empty(2).execute(c, &mut data, 1, 0);
+            data
+        });
+        assert_eq!(out[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn volumes() {
+        let mut plan = ExchangePlan::empty(3);
+        plan.sends[1] = vec![0, 1];
+        plan.recvs[2] = vec![5];
+        assert_eq!(plan.send_volume(), 2);
+        assert_eq!(plan.recv_volume(), 1);
+    }
+
+    #[test]
+    fn concurrent_exchanges_with_distinct_tags() {
+        let out = Universe::new(2).run(|c| {
+            let other = 1 - c.rank();
+            let mut a = vec![c.rank() as f64 + 1.0, 0.0];
+            let mut b = vec![(c.rank() as f64 + 1.0) * 10.0, 0.0];
+            let mut plan = ExchangePlan::empty(2);
+            plan.sends[other] = vec![0];
+            plan.recvs[other] = vec![1];
+            // interleave: both sends go out before either recv completes
+            plan.execute(c, &mut a, 1, 1);
+            plan.execute(c, &mut b, 1, 2);
+            (a[1], b[1])
+        });
+        assert_eq!(out[0], (2.0, 20.0));
+        assert_eq!(out[1], (1.0, 10.0));
+    }
+}

@@ -1,0 +1,31 @@
+//! # ump-minimpi — a message-passing runtime on threads
+//!
+//! The paper's distributed-memory level is MPI: ranks own mesh partitions,
+//! exchange halos before indirect loops, and synchronize implicitly at
+//! global reductions (§2, §6.5). Real MPI is a wire-transport detail; the
+//! algorithmic content is point-to-point tagged messages, barriers, and
+//! reductions. This crate provides exactly those primitives with OS
+//! threads as ranks — every rank runs the *same SPMD closure*, just like
+//! `mpirun`:
+//!
+//! ```
+//! use ump_minimpi::Universe;
+//! let sums = Universe::new(4).run(|comm| {
+//!     comm.allreduce_sum(comm.rank() as f64)
+//! });
+//! assert!(sums.iter().all(|&s| s == 6.0));
+//! ```
+//!
+//! Reductions reduce in rank order, so results are bit-reproducible run to
+//! run — which the reproduction harness relies on when comparing backends.
+//!
+//! A receive that blocks longer than the configurable watchdog timeout
+//! panics with a diagnostic instead of deadlocking the test suite.
+
+#![deny(missing_docs)]
+
+pub mod comm;
+pub mod exchange;
+
+pub use comm::{Comm, ReduceOp, Universe};
+pub use exchange::{all_to_all_indices, ExchangePlan};

@@ -1,0 +1,392 @@
+//! # ump-part — mesh partitioning for the distributed-memory backend
+//!
+//! OP2's MPI backend "splits the mesh into partitions using standard
+//! partitioners such as PT-Scotch" (paper §3). PT-Scotch is a large
+//! external C library; per DESIGN.md we substitute two classic
+//! partitioners that produce the same *kind* of result — balanced parts
+//! with small boundaries — which is all the halo-exchange machinery and
+//! the performance model consume:
+//!
+//! * [`rcb`] — recursive coordinate bisection over cell centroids,
+//! * [`greedy_bfs`] — Farhat-style greedy breadth-first growth on the
+//!   dual graph,
+//! * [`refine_boundary`] — a local Kernighan–Lin-flavoured pass that
+//!   moves boundary cells to reduce edge cut under a balance constraint,
+//! * [`PartitionQuality`] — edge cut, imbalance and halo-volume metrics
+//!   (the quantities that drive MPI time in §6.5's analysis).
+
+#![deny(missing_docs)]
+
+use ump_mesh::Csr;
+
+/// A partition assignment: `part[i]` is the rank that owns element `i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Owner of each element.
+    pub part: Vec<u32>,
+    /// Number of parts.
+    pub n_parts: u32,
+}
+
+impl Partition {
+    /// Element count of each part.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.n_parts as usize];
+        for &p in &self.part {
+            s[p as usize] += 1;
+        }
+        s
+    }
+
+    /// The element ids owned by `rank`, ascending.
+    pub fn owned_by(&self, rank: u32) -> Vec<u32> {
+        self.part
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == rank)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Validate: every owner is in range and every part is non-empty
+    /// (empty parts break the rank runtime).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, &p) in self.part.iter().enumerate() {
+            if p >= self.n_parts {
+                return Err(format!("element {i} assigned to rank {p} >= {}", self.n_parts));
+            }
+        }
+        let sizes = self.sizes();
+        if let Some(rank) = sizes.iter().position(|&s| s == 0) {
+            return Err(format!("part {rank} is empty"));
+        }
+        Ok(())
+    }
+}
+
+/// Recursive coordinate bisection of points into `n_parts` parts.
+///
+/// At each step the current point set is split along its longer bounding
+/// box axis at the size-weighted median, recursing with part counts
+/// `⌈k/2⌉ / ⌊k/2⌋`, so any `n_parts` (not only powers of two) is balanced
+/// to within one element.
+pub fn rcb(points: &[[f64; 2]], n_parts: u32) -> Partition {
+    assert!(n_parts >= 1);
+    assert!(
+        points.len() >= n_parts as usize,
+        "fewer elements than parts"
+    );
+    let mut part = vec![0u32; points.len()];
+    let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+    rcb_recurse(points, &mut ids, 0, n_parts, &mut part);
+    Partition { part, n_parts }
+}
+
+fn rcb_recurse(points: &[[f64; 2]], ids: &mut [u32], first_part: u32, n_parts: u32, out: &mut [u32]) {
+    if n_parts == 1 {
+        for &i in ids.iter() {
+            out[i as usize] = first_part;
+        }
+        return;
+    }
+    // longer bbox axis
+    let (mut lo, mut hi) = ([f64::INFINITY; 2], [f64::NEG_INFINITY; 2]);
+    for &i in ids.iter() {
+        for a in 0..2 {
+            lo[a] = lo[a].min(points[i as usize][a]);
+            hi[a] = hi[a].max(points[i as usize][a]);
+        }
+    }
+    let axis = usize::from(hi[1] - lo[1] > hi[0] - lo[0]);
+    let left_parts = n_parts.div_ceil(2);
+    let split = ids.len() * left_parts as usize / n_parts as usize;
+    // weighted median via select_nth; tie-break on id for determinism
+    ids.select_nth_unstable_by(split.min(ids.len() - 1), |&a, &b| {
+        points[a as usize][axis]
+            .partial_cmp(&points[b as usize][axis])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let (left, right) = ids.split_at_mut(split);
+    rcb_recurse(points, left, first_part, left_parts, out);
+    rcb_recurse(points, right, first_part + left_parts, n_parts - left_parts, out);
+}
+
+/// Greedy BFS partitioning of a graph: parts are grown one at a time from
+/// a peripheral seed until they reach `n / n_parts` elements, then the
+/// next part starts from the unassigned vertex closest to the frontier.
+pub fn greedy_bfs(graph: &Csr, n_parts: u32) -> Partition {
+    assert!(n_parts >= 1);
+    let n = graph.rows();
+    assert!(n >= n_parts as usize, "fewer elements than parts");
+    let mut part = vec![u32::MAX; n];
+    let mut assigned = 0usize;
+    let mut frontier: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    let mut next_seed = 0usize;
+    for p in 0..n_parts {
+        let quota = (n - assigned) / (n_parts - p) as usize;
+        let mut count = 0usize;
+        // seed: prefer a leftover frontier vertex (adjacent to previous
+        // part) for compactness, else the first unassigned vertex
+        let seed = loop {
+            match frontier.pop_front() {
+                Some(v) if part[v as usize] == u32::MAX => break Some(v),
+                Some(_) => continue,
+                None => break None,
+            }
+        }
+        .unwrap_or_else(|| {
+            while part[next_seed] != u32::MAX {
+                next_seed += 1;
+            }
+            next_seed as u32
+        });
+        let mut queue = std::collections::VecDeque::new();
+        part[seed as usize] = p;
+        count += 1;
+        queue.push_back(seed);
+        while count < quota {
+            let Some(v) = queue.pop_front() else {
+                // disconnected remainder: jump to the next unassigned
+                while next_seed < n && part[next_seed] != u32::MAX {
+                    next_seed += 1;
+                }
+                if next_seed == n {
+                    break;
+                }
+                part[next_seed] = p;
+                count += 1;
+                queue.push_back(next_seed as u32);
+                continue;
+            };
+            for &w in graph.row(v as usize) {
+                if part[w as usize] == u32::MAX {
+                    if count < quota {
+                        part[w as usize] = p;
+                        count += 1;
+                        queue.push_back(w as u32);
+                    } else {
+                        frontier.push_back(w as u32);
+                    }
+                }
+            }
+        }
+        // anything left in this part's queue borders the next part
+        frontier.extend(queue);
+        assigned += count;
+    }
+    // sweep up any stragglers (disconnected graphs)
+    for v in 0..n {
+        if part[v] == u32::MAX {
+            part[v] = n_parts - 1;
+        }
+    }
+    Partition { part, n_parts }
+}
+
+/// One boundary-refinement sweep: move a cell to a neighboring part when
+/// that strictly reduces its external degree (edge cut) and keeps the
+/// destination within `balance_slack` of the average part size. Returns
+/// the number of moves made.
+pub fn refine_boundary(graph: &Csr, partition: &mut Partition, balance_slack: f64) -> usize {
+    let n = graph.rows();
+    let avg = n as f64 / partition.n_parts as f64;
+    let cap = (avg * (1.0 + balance_slack)).floor() as usize;
+    let mut sizes = partition.sizes();
+    let mut moves = 0usize;
+    for v in 0..n {
+        let home = partition.part[v];
+        // count neighbors per part
+        let mut counts: Vec<(u32, usize)> = Vec::new();
+        for &w in graph.row(v) {
+            let p = partition.part[w as usize];
+            match counts.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((p, 1)),
+            }
+        }
+        let home_links = counts
+            .iter()
+            .find(|(p, _)| *p == home)
+            .map_or(0, |&(_, c)| c);
+        if let Some(&(best, links)) = counts
+            .iter()
+            .filter(|&&(p, _)| p != home)
+            .max_by_key(|&&(p, c)| (c, std::cmp::Reverse(p)))
+        {
+            if links > home_links && sizes[best as usize] < cap && sizes[home as usize] > 1 {
+                partition.part[v] = best;
+                sizes[best as usize] += 1;
+                sizes[home as usize] -= 1;
+                moves += 1;
+            }
+        }
+    }
+    moves
+}
+
+/// Quality metrics of a partition over a graph (paper §6.5: halo volume
+/// and load balance drive the MPI overheads the Phi is so sensitive to).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of graph edges crossing parts (each counted once).
+    pub edge_cut: usize,
+    /// `max part size / average part size` (1.0 = perfect).
+    pub imbalance: f64,
+    /// Total halo volume: Σ over parts of the number of foreign vertices
+    /// adjacent to the part (what gets exchanged every iteration).
+    pub halo_volume: usize,
+}
+
+impl PartitionQuality {
+    /// Measure a partition against its graph.
+    pub fn measure(graph: &Csr, partition: &Partition) -> PartitionQuality {
+        let mut edge_cut = 0usize;
+        for v in 0..graph.rows() {
+            for &w in graph.row(v) {
+                if (w as usize) > v && partition.part[v] != partition.part[w as usize] {
+                    edge_cut += 1;
+                }
+            }
+        }
+        let sizes = partition.sizes();
+        let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        let imbalance = sizes.iter().copied().max().unwrap_or(0) as f64 / avg.max(1e-300);
+        // halo: foreign neighbors per part, dedup'd
+        let mut halo_volume = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..partition.n_parts {
+            seen.clear();
+            for v in 0..graph.rows() {
+                if partition.part[v] != p {
+                    continue;
+                }
+                for &w in graph.row(v) {
+                    if partition.part[w as usize] != p {
+                        seen.insert(w);
+                    }
+                }
+            }
+            halo_volume += seen.len();
+        }
+        PartitionQuality {
+            edge_cut,
+            imbalance,
+            halo_volume,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ump_mesh::dual::cell_dual;
+    use ump_mesh::generators::{perturbed_quads, quad_channel, tri_coastal};
+
+    fn centroids(m: &ump_mesh::Mesh2d) -> Vec<[f64; 2]> {
+        (0..m.n_cells()).map(|c| m.cell_centroid(c)).collect()
+    }
+
+    #[test]
+    fn rcb_balances_to_within_one() {
+        let m = quad_channel(20, 10).mesh;
+        for k in [2u32, 3, 4, 7, 8] {
+            let p = rcb(&centroids(&m), k);
+            p.validate().unwrap();
+            let sizes = p.sizes();
+            let (mn, mx) = (
+                *sizes.iter().min().unwrap(),
+                *sizes.iter().max().unwrap(),
+            );
+            assert!(mx - mn <= 1, "k={k} sizes={sizes:?}");
+        }
+    }
+
+    #[test]
+    fn rcb_cut_scales_like_perimeter() {
+        // For a 2-D grid, cut should be O(sqrt(n/k)*k), far below random's O(n)
+        let m = quad_channel(32, 32).mesh;
+        let dual = cell_dual(&m);
+        let p = rcb(&centroids(&m), 4);
+        let q = PartitionQuality::measure(&dual, &p);
+        // 4 quadrants of a 32x32 grid: ideal cut = 64; allow slack
+        assert!(q.edge_cut <= 100, "cut {}", q.edge_cut);
+        assert!(q.imbalance < 1.01);
+    }
+
+    #[test]
+    fn greedy_bfs_covers_and_balances() {
+        let m = tri_coastal(16, 12).mesh;
+        let dual = cell_dual(&m);
+        for k in [2u32, 5, 8] {
+            let p = greedy_bfs(&dual, k);
+            p.validate().unwrap();
+            let q = PartitionQuality::measure(&dual, &p);
+            assert!(q.imbalance < 1.25, "k={k} imbalance {}", q.imbalance);
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_cut() {
+        let m = perturbed_quads(18, 14, 0.3, 17);
+        let dual = cell_dual(&m);
+        let mut p = greedy_bfs(&dual, 6);
+        let before = PartitionQuality::measure(&dual, &p).edge_cut;
+        for _ in 0..3 {
+            refine_boundary(&dual, &mut p, 0.10);
+        }
+        p.validate().unwrap();
+        let after = PartitionQuality::measure(&dual, &p).edge_cut;
+        assert!(after <= before, "refinement {before} -> {after}");
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let m = quad_channel(4, 4).mesh;
+        let p = rcb(&centroids(&m), 1);
+        assert!(p.part.iter().all(|&x| x == 0));
+        let dual = cell_dual(&m);
+        let q = PartitionQuality::measure(&dual, &p);
+        assert_eq!(q.edge_cut, 0);
+        assert_eq!(q.halo_volume, 0);
+    }
+
+    #[test]
+    fn owned_by_lists_ascending_owners() {
+        let m = quad_channel(8, 4).mesh;
+        let p = rcb(&centroids(&m), 4);
+        let mut total = 0;
+        for r in 0..4 {
+            let owned = p.owned_by(r);
+            total += owned.len();
+            for w in owned.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for &e in &owned {
+                assert_eq!(p.part[e as usize], r);
+            }
+        }
+        assert_eq!(total, m.n_cells());
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_out_of_range() {
+        let bad = Partition {
+            part: vec![0, 0, 2],
+            n_parts: 2,
+        };
+        assert!(bad.validate().is_err());
+        let empty = Partition {
+            part: vec![0, 0, 0],
+            n_parts: 2,
+        };
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn rcb_is_deterministic() {
+        let m = perturbed_quads(12, 12, 0.2, 4);
+        let pts = centroids(&m);
+        assert_eq!(rcb(&pts, 5).part, rcb(&pts, 5).part);
+    }
+}

@@ -1,0 +1,150 @@
+//! Lane masks for vectorized control flow.
+//!
+//! The SIMD programming model has no per-lane branching; the paper (§4.2)
+//! requires kernels to replace conditionals with `select()` driven by
+//! comparison masks (AVX `vcmppd`+`vblendvpd`, IMCI mask registers). A
+//! [`Mask<L>`] is the portable equivalent: one boolean per lane, produced by
+//! the comparison methods on [`VecR`](crate::VecR) and consumed by
+//! `VecR::select` and the masked memory operations.
+
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A per-lane boolean mask for `L`-lane vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mask<const L: usize>(pub(crate) [bool; L]);
+
+impl<const L: usize> Mask<L> {
+    /// Mask with every lane set to `b`.
+    #[inline(always)]
+    pub fn splat(b: bool) -> Self {
+        Mask([b; L])
+    }
+
+    /// Mask from an explicit lane array.
+    #[inline(always)]
+    pub fn from_array(a: [bool; L]) -> Self {
+        Mask(a)
+    }
+
+    /// The lane array.
+    #[inline(always)]
+    pub fn to_array(self) -> [bool; L] {
+        self.0
+    }
+
+    /// Value of lane `i`.
+    #[inline(always)]
+    pub fn lane(self, i: usize) -> bool {
+        self.0[i]
+    }
+
+    /// `true` if any lane is set.
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&b| b)
+    }
+
+    /// `true` if all lanes are set.
+    #[inline(always)]
+    pub fn all(self) -> bool {
+        self.0.iter().all(|&b| b)
+    }
+
+    /// Number of set lanes.
+    #[inline(always)]
+    pub fn count(self) -> usize {
+        self.0.iter().filter(|&&b| b).count()
+    }
+
+    /// Mask of the first `n` lanes — the tail mask used when a loop
+    /// remainder is executed masked instead of scalar (an alternative the
+    /// paper measured and rejected; kept for the `scatter_modes` ablation).
+    #[inline(always)]
+    pub fn first(n: usize) -> Self {
+        let mut m = [false; L];
+        for (i, b) in m.iter_mut().enumerate() {
+            *b = i < n;
+        }
+        Mask(m)
+    }
+}
+
+impl<const L: usize> BitAnd for Mask<L> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitand(self, rhs: Self) -> Self {
+        let mut out = [false; L];
+        for i in 0..L {
+            out[i] = self.0[i] & rhs.0[i];
+        }
+        Mask(out)
+    }
+}
+
+impl<const L: usize> BitOr for Mask<L> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitor(self, rhs: Self) -> Self {
+        let mut out = [false; L];
+        for i in 0..L {
+            out[i] = self.0[i] | rhs.0[i];
+        }
+        Mask(out)
+    }
+}
+
+impl<const L: usize> BitXor for Mask<L> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitxor(self, rhs: Self) -> Self {
+        let mut out = [false; L];
+        for i in 0..L {
+            out[i] = self.0[i] ^ rhs.0[i];
+        }
+        Mask(out)
+    }
+}
+
+impl<const L: usize> Not for Mask<L> {
+    type Output = Self;
+    #[inline(always)]
+    fn not(self) -> Self {
+        let mut out = [false; L];
+        for i in 0..L {
+            out[i] = !self.0[i];
+        }
+        Mask(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_any_all_count() {
+        let t = Mask::<4>::splat(true);
+        let f = Mask::<4>::splat(false);
+        assert!(t.all() && t.any() && t.count() == 4);
+        assert!(!f.any() && !f.all() && f.count() == 0);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Mask::<4>::from_array([true, true, false, false]);
+        let b = Mask::<4>::from_array([true, false, true, false]);
+        assert_eq!((a & b).to_array(), [true, false, false, false]);
+        assert_eq!((a | b).to_array(), [true, true, true, false]);
+        assert_eq!((a ^ b).to_array(), [false, true, true, false]);
+        assert_eq!((!a).to_array(), [false, false, true, true]);
+    }
+
+    #[test]
+    fn first_n_tail_mask() {
+        let m = Mask::<8>::first(3);
+        assert_eq!(m.count(), 3);
+        assert!(m.lane(0) && m.lane(2) && !m.lane(3));
+        assert_eq!(Mask::<8>::first(0).count(), 0);
+        assert_eq!(Mask::<8>::first(8).count(), 8);
+    }
+}

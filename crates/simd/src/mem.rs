@@ -1,0 +1,251 @@
+//! Memory movement: packing mesh data into vector registers and back.
+//!
+//! The paper's §2 taxonomy of SIMD memory access — (1) aligned contiguous,
+//! (2) unaligned contiguous, (3) gather/scatter from computed addresses —
+//! maps onto the methods in this module:
+//!
+//! | paper operation                                   | method |
+//! |---------------------------------------------------|--------|
+//! | aligned/unaligned vector load of direct data      | [`VecR::load`] |
+//! | strided gather of AoS direct data (`data[n*dim+d]`)| [`VecR::load_strided`] |
+//! | map-driven gather (`data[map[n]*dim+d]`)          | [`VecR::gather`] |
+//! | vector store of direct data                       | [`VecR::store`] |
+//! | strided scatter of AoS direct data                | [`VecR::store_strided`] |
+//! | map-driven scatter (permute schemes, lanes distinct)| [`VecR::scatter`] |
+//! | serialized colored increment (original scheme)    | [`VecR::scatter_add_serial`] |
+//! | masked scatter-add (measured slower in the paper) | [`VecR::scatter_add_masked`] |
+
+use crate::{IdxVec, Mask, Real, VecR};
+
+impl<R: Real, const L: usize> VecR<R, L> {
+    /// Load `L` consecutive lanes from `data[start..start+L]`.
+    ///
+    /// The generated main loop guarantees `start` is a multiple of `L`
+    /// (after the scalar pre-sweep), making this the aligned-load case.
+    #[inline(always)]
+    pub fn load(data: &[R], start: usize) -> Self {
+        let mut out = [R::ZERO; L];
+        out.copy_from_slice(&data[start..start + L]);
+        VecR(out)
+    }
+
+    /// Strided gather of direct AoS data: lane `k` is
+    /// `data[start + k*stride]` — the paper's
+    /// `doublev(&arg2.data[n*4 + d], 4)` constructor.
+    #[inline(always)]
+    pub fn load_strided(data: &[R], start: usize, stride: usize) -> Self {
+        let mut out = [R::ZERO; L];
+        for k in 0..L {
+            out[k] = data[start + k * stride];
+        }
+        VecR(out)
+    }
+
+    /// Map-driven gather: lane `k` is `data[idx[k] as usize * dim + comp]` —
+    /// the paper's `doublev(arg0.data + comp, dim * map0idx)` constructor
+    /// (`_mm512_i32logather_pd` on IMCI).
+    #[inline(always)]
+    pub fn gather(data: &[R], idx: IdxVec<L>, dim: usize, comp: usize) -> Self {
+        let mut out = [R::ZERO; L];
+        for k in 0..L {
+            out[k] = data[idx.lane(k) as usize * dim + comp];
+        }
+        VecR(out)
+    }
+
+    /// Masked map-driven gather; inactive lanes are `fill`.
+    #[inline(always)]
+    pub fn gather_masked(
+        data: &[R],
+        idx: IdxVec<L>,
+        dim: usize,
+        comp: usize,
+        mask: Mask<L>,
+        fill: R,
+    ) -> Self {
+        let mut out = [fill; L];
+        for k in 0..L {
+            if mask.lane(k) {
+                out[k] = data[idx.lane(k) as usize * dim + comp];
+            }
+        }
+        VecR(out)
+    }
+
+    /// Store all lanes to `data[start..start+L]`.
+    #[inline(always)]
+    pub fn store(self, data: &mut [R], start: usize) {
+        data[start..start + L].copy_from_slice(&self.0);
+    }
+
+    /// Strided scatter of direct AoS data: `data[start + k*stride] = lane k`.
+    #[inline(always)]
+    pub fn store_strided(self, data: &mut [R], start: usize, stride: usize) {
+        for k in 0..L {
+            data[start + k * stride] = self.0[k];
+        }
+    }
+
+    /// Map-driven *overwriting* scatter: `data[idx[k]*dim + comp] = lane k`.
+    ///
+    /// Sound only when the lane targets are distinct; the full-permute and
+    /// block-permute coloring schemes guarantee this (paper §4). Debug
+    /// builds assert the invariant.
+    #[inline(always)]
+    pub fn scatter(self, data: &mut [R], idx: IdxVec<L>, dim: usize, comp: usize) {
+        debug_assert!(
+            idx.all_distinct(),
+            "vector scatter with colliding lanes — plan violates lane independence"
+        );
+        for k in 0..L {
+            data[idx.lane(k) as usize * dim + comp] = self.0[k];
+        }
+    }
+
+    /// Map-driven *accumulating* scatter with distinct lanes:
+    /// `data[idx[k]*dim + comp] += lane k` (IMCI scatter after the permute
+    /// schemes establish independence).
+    #[inline(always)]
+    pub fn scatter_add(self, data: &mut [R], idx: IdxVec<L>, dim: usize, comp: usize) {
+        debug_assert!(
+            idx.all_distinct(),
+            "vector scatter-add with colliding lanes — plan violates lane independence"
+        );
+        for k in 0..L {
+            data[idx.lane(k) as usize * dim + comp] += self.0[k];
+        }
+    }
+
+    /// Serialized accumulating scatter: lanes applied one at a time in lane
+    /// order, so colliding targets accumulate correctly.
+    ///
+    /// This is the "sequentially scattering data out of the vector
+    /// register" fallback the paper uses for the original two-level
+    /// coloring scheme, and the serialization bottleneck Table VIII blames
+    /// for `res_calc`'s Phi performance.
+    #[inline(always)]
+    pub fn scatter_add_serial(self, data: &mut [R], idx: IdxVec<L>, dim: usize, comp: usize) {
+        for k in 0..L {
+            data[idx.lane(k) as usize * dim + comp] += self.0[k];
+        }
+    }
+
+    /// Masked accumulating scatter: only lanes set in `mask` are applied,
+    /// still serialized. The paper measured masked scatters and found them
+    /// "slower than just sequentially scattering data"; kept for the
+    /// `scatter_modes` ablation bench.
+    #[inline(always)]
+    pub fn scatter_add_masked(
+        self,
+        data: &mut [R],
+        idx: IdxVec<L>,
+        dim: usize,
+        comp: usize,
+        mask: Mask<L>,
+    ) {
+        for k in 0..L {
+            if mask.lane(k) {
+                data[idx.lane(k) as usize * dim + comp] += self.0[k];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::F64x4;
+
+    fn data16() -> Vec<f64> {
+        (0..16).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let d = data16();
+        let v = F64x4::load(&d, 4);
+        assert_eq!(v.to_array(), [4.0, 5.0, 6.0, 7.0]);
+        let mut out = vec![0.0; 16];
+        v.store(&mut out, 8);
+        assert_eq!(&out[8..12], &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn strided_load_reads_aos_components() {
+        // 4 elements with dim=4 (airfoil q layout), component 2 of each:
+        let d = data16();
+        let v = F64x4::load_strided(&d, 2, 4);
+        assert_eq!(v.to_array(), [2.0, 6.0, 10.0, 14.0]);
+        let mut out = vec![0.0; 16];
+        v.store_strided(&mut out, 2, 4);
+        assert_eq!(out[2], 2.0);
+        assert_eq!(out[6], 6.0);
+        assert_eq!(out[14], 14.0);
+        assert_eq!(out[3], 0.0);
+    }
+
+    #[test]
+    fn gather_follows_mapping() {
+        // data for 8 elements of dim 2
+        let d: Vec<f64> = (0..16).map(|i| i as f64 * 10.0).collect();
+        let idx = IdxVec::<4>::from_array([7, 0, 3, 5]);
+        let v = F64x4::gather(&d, idx, 2, 1);
+        assert_eq!(v.to_array(), [150.0, 10.0, 70.0, 110.0]);
+    }
+
+    #[test]
+    fn scatter_distinct_lanes() {
+        let mut d = vec![0.0f64; 12];
+        let idx = IdxVec::<4>::from_array([5, 1, 3, 0]);
+        F64x4::from_array([50.0, 10.0, 30.0, 0.5]).scatter(&mut d, idx, 2, 0);
+        assert_eq!(d[10], 50.0);
+        assert_eq!(d[2], 10.0);
+        assert_eq!(d[6], 30.0);
+        assert_eq!(d[0], 0.5);
+    }
+
+    #[test]
+    fn serial_scatter_add_handles_collisions() {
+        let mut d = vec![0.0f64; 4];
+        // two lanes hit element 1: must accumulate, not race
+        let idx = IdxVec::<4>::from_array([1, 1, 0, 1]);
+        F64x4::from_array([1.0, 2.0, 5.0, 4.0]).scatter_add_serial(&mut d, idx, 1, 0);
+        assert_eq!(d[1], 7.0);
+        assert_eq!(d[0], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane independence")]
+    #[cfg(debug_assertions)]
+    fn vector_scatter_panics_on_collision_in_debug() {
+        let mut d = vec![0.0f64; 4];
+        let idx = IdxVec::<4>::from_array([1, 1, 0, 2]);
+        F64x4::splat(1.0).scatter_add(&mut d, idx, 1, 0);
+    }
+
+    #[test]
+    fn masked_gather_and_scatter() {
+        let d: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let idx = IdxVec::<4>::from_array([0, 2, 4, 6]);
+        let m = Mask::from_array([true, false, true, false]);
+        let v = F64x4::gather_masked(&d, idx, 1, 0, m, -1.0);
+        assert_eq!(v.to_array(), [0.0, -1.0, 4.0, -1.0]);
+
+        let mut out = vec![0.0f64; 8];
+        v.scatter_add_masked(&mut out, idx, 1, 0, m);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[4], 4.0);
+        assert_eq!(out[2], 0.0); // masked-off lane not applied
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_permutation() {
+        let d: Vec<f64> = (0..8).map(|i| (i * i) as f64).collect();
+        let idx = IdxVec::<4>::from_array([6, 4, 1, 3]);
+        let mut out = vec![0.0f64; 8];
+        F64x4::gather(&d, idx, 1, 0).scatter(&mut out, idx, 1, 0);
+        for &i in &[6usize, 4, 1, 3] {
+            assert_eq!(out[i], d[i]);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Sweep decomposition for vectorized loop generation.
+//!
+//! Paper §4.2: "the iteration range for any given thread where
+//! vectorization can take place must be divisible by the vector length …
+//! therefore there are actually three loops generated; a scalar pre-sweep
+//! to get directly accessed data aligned to the vector length, the main
+//! vectorized loop, and a scalar post-sweep to compute set elements left
+//! over."
+//!
+//! [`split_sweep`] performs exactly that decomposition for an arbitrary
+//! `[start, end)` range (which, in the MPI+threads hybrid, is rarely
+//! aligned), and [`Sweep::vector_chunks`] iterates the aligned body.
+
+use std::ops::Range;
+
+/// The three-loop decomposition of an iteration range (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sweep {
+    /// Scalar pre-sweep: `[start, body.start)`, fewer than `lanes` items,
+    /// brings the body to lane alignment relative to `align_base`.
+    pub pre: Range<usize>,
+    /// Vectorized body: length is a multiple of `lanes`, and
+    /// `(body.start - align_base) % lanes == 0`.
+    pub body: Range<usize>,
+    /// Scalar post-sweep: the leftover `< lanes` items.
+    pub post: Range<usize>,
+    /// Vector length used for the split.
+    pub lanes: usize,
+}
+
+impl Sweep {
+    /// Iterator over the starting indices of each `lanes`-wide chunk of the
+    /// vector body.
+    pub fn vector_chunks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.body.clone().step_by(self.lanes.max(1))
+    }
+
+    /// Iterator over all scalar leftover indices (pre- then post-sweep).
+    pub fn scalar_items(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pre.clone().chain(self.post.clone())
+    }
+
+    /// Total number of elements covered (must equal the input range length).
+    pub fn len(&self) -> usize {
+        self.pre.len() + self.body.len() + self.post.len()
+    }
+
+    /// `true` when the covered range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of elements executed in vector mode — a utilization metric
+    /// reported by the plan statistics (small blocks in the block-permute
+    /// scheme "may suffer from the underutilization of vector lanes").
+    pub fn vector_fraction(&self) -> f64 {
+        if self.len() == 0 {
+            return 0.0;
+        }
+        self.body.len() as f64 / self.len() as f64
+    }
+}
+
+/// Split `range` into pre/body/post sweeps for `lanes`-wide vectors, with
+/// the body aligned so `(body.start - align_base) % lanes == 0`.
+///
+/// `align_base` is the index at which the underlying direct data is known
+/// to be vector-aligned — 0 for whole-set loops, the block start for
+/// block-permuted execution.
+///
+/// Invariants (property-tested): the three parts tile `range` exactly, the
+/// body length is a multiple of `lanes`, the pre-sweep is shorter than
+/// `lanes`, and the post-sweep is shorter than `lanes`.
+pub fn split_sweep(range: Range<usize>, lanes: usize, align_base: usize) -> Sweep {
+    assert!(lanes >= 1, "lanes must be >= 1");
+    let (start, end) = (range.start, range.end);
+    assert!(start <= end, "inverted range");
+    assert!(
+        align_base <= start,
+        "align_base ({align_base}) must not exceed range start ({start})"
+    );
+
+    let misalign = (start - align_base) % lanes;
+    let pre_len = if misalign == 0 { 0 } else { lanes - misalign };
+    let body_start = (start + pre_len).min(end);
+    let body_len = ((end - body_start) / lanes) * lanes;
+    let body_end = body_start + body_len;
+
+    Sweep {
+        pre: start..body_start,
+        body: body_start..body_end,
+        post: body_end..end,
+        lanes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(sweep: &Sweep, range: Range<usize>, lanes: usize, align_base: usize) {
+        // exact tiling
+        assert_eq!(sweep.pre.start, range.start);
+        assert_eq!(sweep.pre.end, sweep.body.start);
+        assert_eq!(sweep.body.end, sweep.post.start);
+        assert_eq!(sweep.post.end, range.end);
+        assert_eq!(sweep.len(), range.len());
+        // alignment and divisibility
+        assert_eq!(sweep.body.len() % lanes, 0);
+        if !sweep.body.is_empty() {
+            assert_eq!((sweep.body.start - align_base) % lanes, 0);
+        }
+        assert!(sweep.pre.len() < lanes);
+        assert!(sweep.post.len() < lanes);
+        // every element visited exactly once
+        let mut seen: Vec<usize> = sweep.scalar_items().collect();
+        for c in sweep.vector_chunks() {
+            seen.extend(c..c + lanes);
+        }
+        seen.sort_unstable();
+        let expect: Vec<usize> = range.collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn aligned_range_has_no_presweep() {
+        let s = split_sweep(0..16, 4, 0);
+        assert!(s.pre.is_empty());
+        assert_eq!(s.body, 0..16);
+        assert!(s.post.is_empty());
+        check_invariants(&s, 0..16, 4, 0);
+        assert_eq!(s.vector_fraction(), 1.0);
+    }
+
+    #[test]
+    fn misaligned_start_generates_presweep() {
+        let s = split_sweep(3..21, 4, 0);
+        assert_eq!(s.pre, 3..4);
+        assert_eq!(s.body, 4..20);
+        assert_eq!(s.post, 20..21);
+        check_invariants(&s, 3..21, 4, 0);
+    }
+
+    #[test]
+    fn tiny_range_is_all_scalar() {
+        let s = split_sweep(5..7, 8, 0);
+        assert!(s.body.is_empty());
+        assert_eq!(s.len(), 2);
+        check_invariants(&s, 5..7, 8, 0);
+        assert_eq!(s.vector_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_range() {
+        let s = split_sweep(4..4, 4, 0);
+        assert!(s.is_empty());
+        check_invariants(&s, 4..4, 4, 0);
+    }
+
+    #[test]
+    fn align_base_shifts_alignment() {
+        // Block starting at 10, range 13..29, lanes 4 — alignment is
+        // relative to 10, so body starts at 14 (10 + 4).
+        let s = split_sweep(13..29, 4, 10);
+        assert_eq!(s.pre, 13..14);
+        assert_eq!(s.body, 14..26);
+        assert_eq!(s.post, 26..29);
+        check_invariants(&s, 13..29, 4, 10);
+    }
+
+    #[test]
+    fn lanes_one_degenerates_to_all_vector() {
+        let s = split_sweep(3..10, 1, 0);
+        assert!(s.pre.is_empty() && s.post.is_empty());
+        assert_eq!(s.body, 3..10);
+        check_invariants(&s, 3..10, 1, 0);
+    }
+
+    #[test]
+    fn exhaustive_small_cases() {
+        for lanes in [1usize, 2, 4, 8, 16] {
+            for start in 0..12 {
+                for len in 0..40 {
+                    let r = start..start + len;
+                    let s = split_sweep(r.clone(), lanes, 0);
+                    check_invariants(&s, r, lanes, 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the SIMD layer: vector ops must agree with the
+//! scalar reference lane-by-lane, gathers/scatters must round-trip, and the
+//! sweep split must tile any range exactly.
+
+use proptest::prelude::*;
+use ump_simd::{split_sweep, F32x8, F64x4, IdxVec, Mask, VecR};
+
+fn arr4() -> impl Strategy<Value = [f64; 4]> {
+    prop::array::uniform4(-1.0e6f64..1.0e6)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_scalar(a in arr4(), b in arr4()) {
+        let v = F64x4::from_array(a) + F64x4::from_array(b);
+        for k in 0..4 {
+            prop_assert_eq!(v.lane(k), a[k] + b[k]);
+        }
+    }
+
+    #[test]
+    fn mul_matches_scalar(a in arr4(), b in arr4()) {
+        let v = F64x4::from_array(a) * F64x4::from_array(b);
+        for k in 0..4 {
+            prop_assert_eq!(v.lane(k), a[k] * b[k]);
+        }
+    }
+
+    #[test]
+    fn select_matches_scalar_ternary(a in arr4(), b in arr4()) {
+        let va = F64x4::from_array(a);
+        let vb = F64x4::from_array(b);
+        let m = va.simd_lt(vb);
+        let sel = F64x4::select(m, va, vb);
+        for k in 0..4 {
+            let expect = if a[k] < b[k] { a[k] } else { b[k] };
+            prop_assert_eq!(sel.lane(k), expect);
+        }
+    }
+
+    #[test]
+    fn reduce_min_max_bound_all_lanes(a in arr4()) {
+        let v = F64x4::from_array(a);
+        let (mn, mx) = (v.reduce_min(), v.reduce_max());
+        for k in 0..4 {
+            prop_assert!(mn <= a[k] && a[k] <= mx);
+        }
+        prop_assert!(a.contains(&mn) && a.contains(&mx));
+    }
+
+    #[test]
+    fn reduce_sum_close_to_fold(a in arr4()) {
+        let v = F64x4::from_array(a);
+        let fold: f64 = a.iter().sum();
+        // pairwise vs sequential association differ only by rounding
+        prop_assert!((v.reduce_sum() - fold).abs() <= 1e-9 * (1.0 + fold.abs()));
+    }
+
+    #[test]
+    fn gather_matches_scalar_indexing(
+        data in prop::collection::vec(-100.0f64..100.0, 32..128),
+        raw in prop::array::uniform4(0usize..1000),
+        dim in 1usize..4,
+    ) {
+        let nelem = data.len() / dim;
+        prop_assume!(nelem > 0);
+        let idx = IdxVec::<4>::from_array(raw.map(|r| (r % nelem) as i32));
+        for comp in 0..dim {
+            let v = F64x4::gather(&data, idx, dim, comp);
+            for k in 0..4 {
+                prop_assert_eq!(v.lane(k), data[idx.lane(k) as usize * dim + comp]);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_scatter_add_equals_scalar_loop(
+        vals in arr4(),
+        raw in prop::array::uniform4(0usize..8),
+    ) {
+        let idx = IdxVec::<4>::from_array(raw.map(|r| r as i32));
+        let mut simd_out = vec![0.0f64; 8];
+        F64x4::from_array(vals).scatter_add_serial(&mut simd_out, idx, 1, 0);
+        let mut scalar_out = vec![0.0f64; 8];
+        for k in 0..4 {
+            scalar_out[raw[k]] += vals[k];
+        }
+        prop_assert_eq!(simd_out, scalar_out);
+    }
+
+    #[test]
+    fn masked_scatter_add_respects_mask(
+        vals in arr4(),
+        raw in prop::array::uniform4(0usize..8),
+        mask_bits in prop::array::uniform4(any::<bool>()),
+    ) {
+        let idx = IdxVec::<4>::from_array(raw.map(|r| r as i32));
+        let mask = Mask::from_array(mask_bits);
+        let mut got = vec![0.0f64; 8];
+        F64x4::from_array(vals).scatter_add_masked(&mut got, idx, 1, 0, mask);
+        let mut expect = vec![0.0f64; 8];
+        for k in 0..4 {
+            if mask_bits[k] {
+                expect[raw[k]] += vals[k];
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sweep_tiles_any_range(start in 0usize..1000, len in 0usize..5000, lanes_pow in 0u32..5, align_off in 0usize..64) {
+        let lanes = 1usize << lanes_pow;
+        let align_base = start.saturating_sub(align_off);
+        let s = split_sweep(start..start + len, lanes, align_base);
+        prop_assert_eq!(s.len(), len);
+        prop_assert_eq!(s.body.len() % lanes, 0);
+        prop_assert!(s.pre.len() < lanes);
+        prop_assert!(s.post.len() < lanes);
+        if !s.body.is_empty() {
+            prop_assert_eq!((s.body.start - align_base) % lanes, 0);
+        }
+        let count = s.scalar_items().count() + s.vector_chunks().count() * lanes;
+        prop_assert_eq!(count, len);
+    }
+
+    #[test]
+    fn f32_ops_match_scalar(a in prop::array::uniform8(-1.0e4f32..1.0e4), b in prop::array::uniform8(0.5f32..100.0)) {
+        let v = F32x8::from_array(a) / F32x8::from_array(b);
+        for k in 0..8 {
+            prop_assert_eq!(v.lane(k), a[k] / b[k]);
+        }
+        let s = F32x8::from_array(b).sqrt();
+        for k in 0..8 {
+            prop_assert_eq!(s.lane(k), b[k].sqrt());
+        }
+    }
+
+    #[test]
+    fn single_lane_vector_is_scalar(x in -1.0e6f64..1.0e6, y in -1.0e6f64..1.0e6) {
+        let a = VecR::<f64, 1>::splat(x);
+        let b = VecR::<f64, 1>::splat(y);
+        prop_assert_eq!((a * b + a).lane(0), x * y + x);
+        prop_assert_eq!((a.max(b)).lane(0), x.max(y));
+    }
+}

@@ -1,0 +1,94 @@
+//! The Airfoil benchmark end-to-end: run the solver through every
+//! backend, print per-kernel breakdowns and the vectorization speedup —
+//! a laptop-scale rendition of the paper's Fig. 6 measurement.
+//!
+//! ```text
+//! cargo run --release --example airfoil [nx ny iters]
+//! ```
+
+use ump::apps::airfoil::{drivers, mpi, Airfoil};
+use ump::core::{PlanCache, Recorder};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric args: nx ny iters"))
+        .collect();
+    let nx = args.first().copied().unwrap_or(300);
+    let ny = args.get(1).copied().unwrap_or(150);
+    let iters = args.get(2).copied().unwrap_or(20);
+    println!("Airfoil {nx}x{ny} cells, {iters} iterations per backend\n");
+
+    let mut results: Vec<(&str, f64, f64)> = Vec::new(); // (name, seconds, final rms)
+
+    // scalar sequential (the baseline of Fig. 5)
+    {
+        let rec = Recorder::new();
+        let mut sim = Airfoil::<f64>::new(nx, ny);
+        let mut rms = 0.0;
+        for _ in 0..iters {
+            rms = drivers::step_seq(&mut sim, Some(&rec));
+        }
+        print_breakdown("scalar sequential", &rec);
+        results.push(("scalar", rec.total_seconds(), rms));
+    }
+    // explicit SIMD (Fig. 3b)
+    {
+        let rec = Recorder::new();
+        let mut sim = Airfoil::<f64>::new(nx, ny);
+        let mut rms = 0.0;
+        for _ in 0..iters {
+            rms = drivers::step_simd::<f64, 4>(&mut sim, Some(&rec));
+        }
+        print_breakdown("explicit SIMD (4 lanes, DP)", &rec);
+        results.push(("simd", rec.total_seconds(), rms));
+    }
+    // threaded + SIMD hybrid
+    {
+        let rec = Recorder::new();
+        let cache = PlanCache::new();
+        let mut sim = Airfoil::<f64>::new(nx, ny);
+        let mut rms = 0.0;
+        for _ in 0..iters {
+            rms = drivers::step_simd_threaded::<f64, 4>(&mut sim, &cache, 0, 1024, Some(&rec));
+        }
+        print_breakdown("threads × SIMD hybrid", &rec);
+        results.push(("hybrid", rec.total_seconds(), rms));
+    }
+    // message-passing backend
+    {
+        let rec = Recorder::new();
+        let case = ump::mesh::generators::quad_channel(nx, ny);
+        let (_q, hist) = mpi::run_mpi::<f64>(&case, 2, iters, Some(&rec));
+        println!("message-passing (2 ranks): rms history tail = {:.3e}", hist.last().unwrap());
+        results.push(("mpi", rec.total_seconds(), *hist.last().unwrap()));
+    }
+
+    println!("\nsummary:");
+    let base = results[0].1;
+    for (name, secs, rms) in &results {
+        println!(
+            "  {name:<8} {secs:>8.3}s  speedup {:>5.2}x  final rms {rms:.6e}",
+            base / secs
+        );
+    }
+    let rms0 = results[0].2;
+    assert!(
+        results.iter().all(|(_, _, r)| (r - rms0).abs() < 1e-9 * rms0),
+        "backends disagree!"
+    );
+    println!("all backends converge to the same residual ✓");
+}
+
+fn print_breakdown(title: &str, rec: &Recorder) {
+    println!("{title}:");
+    for (name, s) in rec.report() {
+        println!(
+            "  {name:<12} {:>8.3}s  {:>7.2} GB/s  {:>7.2} GFLOP/s",
+            s.seconds,
+            s.gb_per_s(),
+            s.gflop_per_s()
+        );
+    }
+    println!("  total        {:>8.3}s\n", rec.total_seconds());
+}

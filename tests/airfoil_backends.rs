@@ -1,0 +1,166 @@
+//! Integration: every Airfoil backend must compute the same physics as
+//! the sequential reference, and the physics itself must be stable
+//! (finite, residual-decreasing after the initial transient) — the
+//! correctness bar behind every performance number in the paper.
+
+use ump_apps::airfoil::{drivers, mpi, Airfoil};
+use ump_core::{OpDat, PlanCache, Scheme};
+
+const NX: usize = 24;
+const NY: usize = 16;
+const ITERS: usize = 5;
+
+fn reference() -> (Airfoil<f64>, Vec<f64>) {
+    let mut sim = Airfoil::<f64>::new(NX, NY);
+    let hist: Vec<f64> = (0..ITERS).map(|_| drivers::step_seq(&mut sim, None)).collect();
+    (sim, hist)
+}
+
+fn assert_q_close(a: &OpDat<f64>, b: &OpDat<f64>, tol: f64, what: &str) {
+    let d = a.max_abs_diff(b);
+    assert!(d <= tol, "{what}: max |Δq| = {d:e} > {tol:e}");
+}
+
+#[test]
+fn sequential_physics_is_stable_and_convergent() {
+    let mut sim = Airfoil::<f64>::new(32, 20);
+    let mut hist = Vec::new();
+    for _ in 0..60 {
+        hist.push(drivers::step_seq(&mut sim, None));
+    }
+    assert!(sim.q.all_finite(), "NaN/Inf in flow state");
+    assert!(hist.iter().all(|r| r.is_finite() && *r >= 0.0));
+    // residual decays from the initial impulsive start
+    let early: f64 = hist[..10].iter().sum();
+    let late: f64 = hist[50..].iter().sum();
+    assert!(
+        late < early * 0.5,
+        "residual should decay: early {early:e}, late {late:e}"
+    );
+}
+
+#[test]
+fn threaded_matches_sequential() {
+    let (ref_sim, ref_hist) = reference();
+    let mut sim = Airfoil::<f64>::new(NX, NY);
+    let cache = PlanCache::new();
+    for (i, &r) in ref_hist.iter().enumerate() {
+        let rms = drivers::step_threaded(&mut sim, &cache, 4, 32, None);
+        assert!((rms - r).abs() < 1e-10 * (1.0 + r), "iter {i}");
+    }
+    assert_q_close(&sim.q, &ref_sim.q, 1e-11, "threaded");
+}
+
+#[test]
+fn simd_matches_sequential() {
+    let (ref_sim, ref_hist) = reference();
+    let mut sim = Airfoil::<f64>::new(NX, NY);
+    for (i, &r) in ref_hist.iter().enumerate() {
+        let rms = drivers::step_simd::<f64, 4>(&mut sim, None);
+        assert!((rms - r).abs() < 1e-10 * (1.0 + r), "iter {i}");
+    }
+    assert_q_close(&sim.q, &ref_sim.q, 1e-11, "simd L=4");
+}
+
+#[test]
+fn simd_lane_width_is_semantically_transparent() {
+    // AVX shape vs AVX-512 shape must agree (bar reassociation in rms)
+    let mut a = Airfoil::<f64>::new(NX, NY);
+    let mut b = Airfoil::<f64>::new(NX, NY);
+    for _ in 0..ITERS {
+        drivers::step_simd::<f64, 4>(&mut a, None);
+        drivers::step_simd::<f64, 8>(&mut b, None);
+    }
+    assert_q_close(&a.q, &b.q, 1e-11, "L=4 vs L=8");
+}
+
+#[test]
+fn simd_threaded_matches_sequential() {
+    let (ref_sim, _) = reference();
+    let mut sim = Airfoil::<f64>::new(NX, NY);
+    let cache = PlanCache::new();
+    for _ in 0..ITERS {
+        drivers::step_simd_threaded::<f64, 4>(&mut sim, &cache, 4, 32, None);
+    }
+    assert_q_close(&sim.q, &ref_sim.q, 1e-11, "simd+threads");
+}
+
+#[test]
+fn simt_emulation_matches_sequential() {
+    let (ref_sim, _) = reference();
+    let mut sim = Airfoil::<f64>::new(NX, NY);
+    let cache = PlanCache::new();
+    for _ in 0..ITERS {
+        drivers::step_simt(&mut sim, &cache, 2, 8, 0, 32, None);
+    }
+    assert_q_close(&sim.q, &ref_sim.q, 1e-11, "simt");
+}
+
+#[test]
+fn permute_schemes_match_sequential() {
+    let (ref_sim, _) = reference();
+    for scheme in [Scheme::TwoLevel, Scheme::FullPermute, Scheme::BlockPermute] {
+        let mut sim = Airfoil::<f64>::new(NX, NY);
+        let cache = PlanCache::new();
+        for _ in 0..ITERS {
+            drivers::step_simd_scheme::<f64, 4>(&mut sim, &cache, scheme, 64, None);
+        }
+        assert_q_close(&sim.q, &ref_sim.q, 1e-11, &format!("{scheme:?}"));
+    }
+}
+
+#[test]
+fn mpi_backend_matches_sequential() {
+    let (ref_sim, ref_hist) = reference();
+    let case = ref_sim.case.clone();
+    for ranks in [2usize, 3, 4] {
+        let (q, hist) = mpi::run_mpi::<f64>(&case, ranks, ITERS, None);
+        assert_q_close(&q, &ref_sim.q, 1e-11, &format!("mpi ranks={ranks}"));
+        for (i, (&a, &b)) in hist.iter().zip(&ref_hist).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10 * (1.0 + b),
+                "rms history diverges at iter {i}: {a} vs {b} (ranks {ranks})"
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_ranks_threads_simd_matches_sequential() {
+    // the paper's winning Phi configuration: MPI ranks × OpenMP threads
+    // × vector intrinsics, all at once
+    let (ref_sim, ref_hist) = reference();
+    let (q, hist) = mpi::run_mpi_hybrid::<f64, 4>(&ref_sim.case, 2, 2, 64, ITERS);
+    assert_q_close(&q, &ref_sim.q, 1e-11, "hybrid 2 ranks x 2 threads x 4 lanes");
+    for (i, (&a, &b)) in hist.iter().zip(&ref_hist).enumerate() {
+        assert!((a - b).abs() < 1e-10 * (1.0 + b), "iter {i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn single_precision_tracks_double_precision() {
+    let mut dp = Airfoil::<f64>::new(NX, NY);
+    let mut sp = Airfoil::<f32>::new(NX, NY);
+    let mut last = (0.0, 0.0);
+    for _ in 0..ITERS {
+        last = (
+            drivers::step_seq(&mut dp, None),
+            drivers::step_seq(&mut sp, None),
+        );
+    }
+    assert!(sp.q.all_finite());
+    let rel = (last.0 - last.1).abs() / last.0.max(1e-30);
+    assert!(rel < 1e-3, "SP rms {} vs DP rms {} (rel {rel})", last.1, last.0);
+}
+
+#[test]
+fn simd_single_precision_matches_scalar_single_precision() {
+    let mut a = Airfoil::<f32>::new(NX, NY);
+    let mut b = Airfoil::<f32>::new(NX, NY);
+    for _ in 0..ITERS {
+        drivers::step_seq(&mut a, None);
+        drivers::step_simd::<f32, 8>(&mut b, None);
+    }
+    let d = a.q.max_abs_diff(&b.q);
+    assert!(d < 1e-3, "f32 simd diverged from f32 scalar: {d}");
+}

@@ -1,0 +1,151 @@
+//! Cross-crate property tests: the structural invariants that make the
+//! backends sound, exercised on randomized meshes, block sizes and
+//! partitions rather than the fixed grids of the unit tests.
+
+use proptest::prelude::*;
+use ump::color::{
+    coloring::validate_coloring, BlockPermutePlan, FullPermutePlan, PlanInputs, TwoLevelPlan,
+};
+use ump::core::distribute;
+use ump::mesh::dual::cell_dual;
+use ump::mesh::generators::{perturbed_quads, tri_coastal};
+use ump::part::{greedy_bfs, rcb, PartitionQuality};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn two_level_plans_are_race_free_on_random_meshes(
+        nx in 4usize..20,
+        ny in 3usize..16,
+        amp in 0.0f64..0.4,
+        seed in 0u64..1000,
+        block in 4usize..200,
+    ) {
+        let mesh = perturbed_quads(nx, ny, amp, seed);
+        let inputs = PlanInputs::new(mesh.n_edges(), vec![&mesh.edge2cell], block);
+        let plan = TwoLevelPlan::build(&inputs);
+        prop_assert!(plan.validate(&inputs).is_ok());
+    }
+
+    #[test]
+    fn permute_plans_are_race_free_on_random_meshes(
+        nx in 4usize..16,
+        ny in 3usize..12,
+        seed in 0u64..1000,
+        block in 4usize..128,
+    ) {
+        let mesh = perturbed_quads(nx, ny, 0.3, seed);
+        let inputs = PlanInputs::new(mesh.n_edges(), vec![&mesh.edge2cell], block);
+        let fp = FullPermutePlan::build(&inputs);
+        prop_assert!(fp.validate(&inputs).is_ok());
+        prop_assert!(validate_coloring(&[&mesh.edge2cell], &fp.coloring).is_ok());
+        let bp = BlockPermutePlan::build(&inputs);
+        prop_assert!(bp.validate(&inputs).is_ok());
+    }
+
+    #[test]
+    fn rcb_balance_holds_on_random_point_clouds(
+        nx in 6usize..24,
+        ny in 4usize..20,
+        seed in 0u64..500,
+        parts in 2u32..9,
+    ) {
+        let mesh = perturbed_quads(nx, ny, 0.35, seed);
+        prop_assume!(mesh.n_cells() >= parts as usize);
+        let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+        let p = rcb(&pts, parts);
+        prop_assert!(p.validate().is_ok());
+        let sizes = p.sizes();
+        let (mn, mx) = (
+            *sizes.iter().min().unwrap(),
+            *sizes.iter().max().unwrap(),
+        );
+        prop_assert!(mx - mn <= 1, "rcb imbalance: {sizes:?}");
+    }
+
+    #[test]
+    fn distribution_covers_and_owns_uniquely(
+        nx in 5usize..16,
+        ny in 4usize..12,
+        parts in 2u32..6,
+        use_bfs in any::<bool>(),
+    ) {
+        let mesh = tri_coastal(nx, ny).mesh;
+        prop_assume!(mesh.n_cells() >= parts as usize);
+        let partition = if use_bfs {
+            greedy_bfs(&cell_dual(&mesh), parts)
+        } else {
+            let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+            rcb(&pts, parts)
+        };
+        prop_assume!(partition.validate().is_ok());
+        let locals = distribute(&mesh, &partition);
+
+        // every cell owned exactly once
+        let mut owned = vec![0usize; mesh.n_cells()];
+        for lm in &locals {
+            prop_assert!(lm.mesh.validate().is_ok());
+            for &g in lm.cell_global.iter().take(lm.n_owned_cells) {
+                owned[g as usize] += 1;
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1));
+
+        // every edge executed by 1 (interior to a part) or 2 ranks
+        let mut edge_count = vec![0usize; mesh.n_edges()];
+        for lm in &locals {
+            for &g in &lm.edge_global {
+                edge_count[g as usize] += 1;
+            }
+        }
+        for (e, &cnt) in edge_count.iter().enumerate() {
+            let r = mesh.edge2cell.row(e);
+            let cross = partition.part[r[0] as usize] != partition.part[r[1] as usize];
+            prop_assert_eq!(cnt, if cross { 2 } else { 1 });
+        }
+
+        // halo send/recv volumes pair up globally
+        let sends: usize = locals.iter().map(|lm| lm.cell_halo.send_volume()).sum();
+        let recvs: usize = locals.iter().map(|lm| lm.cell_halo.recv_volume()).sum();
+        prop_assert_eq!(sends, recvs);
+    }
+
+    #[test]
+    fn partition_quality_metrics_are_consistent(
+        nx in 6usize..20,
+        ny in 4usize..16,
+        parts in 2u32..7,
+    ) {
+        let mesh = perturbed_quads(nx, ny, 0.2, 42).clone();
+        prop_assume!(mesh.n_cells() >= parts as usize);
+        let dual = cell_dual(&mesh);
+        let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+        let p = rcb(&pts, parts);
+        let q = PartitionQuality::measure(&dual, &p);
+        // cut edges bound halo volume from below (each cut edge produces
+        // at least one foreign adjacency) and 2x cut bounds it above
+        prop_assert!(q.halo_volume <= 2 * q.edge_cut);
+        prop_assert!(q.imbalance >= 1.0 - 1e-12);
+        // single part sanity
+        let p1 = rcb(&pts, 1);
+        let q1 = PartitionQuality::measure(&dual, &p1);
+        prop_assert_eq!(q1.edge_cut, 0);
+    }
+
+    #[test]
+    fn airfoil_step_is_deterministic_across_runs(
+        nx in 6usize..14,
+        ny in 4usize..10,
+    ) {
+        use ump::apps::airfoil::{drivers, Airfoil};
+        let mut a = Airfoil::<f64>::new(nx, ny);
+        let mut b = Airfoil::<f64>::new(nx, ny);
+        for _ in 0..3 {
+            let ra = drivers::step_seq(&mut a, None);
+            let rb = drivers::step_seq(&mut b, None);
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert_eq!(a.q.max_abs_diff(&b.q), 0.0);
+    }
+}
