@@ -17,8 +17,7 @@
 
 use ump_color::PlanInputs;
 use ump_core::{
-    par_colored_blocks, seq_loop, simt_colored, OpDat, PlanCache, Recorder, Scheme, SharedDat,
-    SharedMut,
+    global_pool_cap, seq_loop, ExecPool, OpDat, PlanCache, Recorder, Scheme, SharedDat, SharedMut,
 };
 use ump_simd::{split_sweep, IdxVec, Real, VecR};
 
@@ -28,7 +27,12 @@ use super::{profile, Airfoil};
 
 /// Split two distinct rows out of a dat's storage for a two-sided update.
 #[inline(always)]
-pub(crate) fn two_rows_mut<R>(data: &mut [R], dim: usize, i: usize, j: usize) -> (&mut [R], &mut [R]) {
+pub(crate) fn two_rows_mut<R>(
+    data: &mut [R],
+    dim: usize,
+    i: usize,
+    j: usize,
+) -> (&mut [R], &mut [R]) {
     debug_assert_ne!(i, j, "edge connects a cell to itself");
     if i < j {
         let (a, b) = data.split_at_mut(j * dim);
@@ -148,8 +152,28 @@ pub fn step_seq<R: Real>(sim: &mut Airfoil<R>, rec: Option<&Recorder>) -> f64 {
 // threaded (OpenMP-analogue) backend
 // ---------------------------------------------------------------------------
 
-/// One iteration with colored-block threading.
+/// One iteration with colored-block threading on the process-wide
+/// [`ExecPool`], capped at `n_threads` team members (`0` = all).
 pub fn step_threaded<R: Real>(
+    sim: &mut Airfoil<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_threaded_on(
+        ExecPool::global(),
+        sim,
+        cache,
+        global_pool_cap(n_threads),
+        block_size,
+        rec,
+    )
+}
+
+/// One iteration with colored-block threading on an explicit pool.
+pub fn step_threaded_on<R: Real>(
+    pool: &ExecPool,
     sim: &mut Airfoil<R>,
     cache: &PlanCache,
     n_threads: usize,
@@ -183,7 +207,7 @@ pub fn step_threaded<R: Real>(
     maybe_time(rec, "save_soln", wb, nc, || {
         let qs = SharedDat::new(&mut q.data);
         let qolds = SharedDat::new(&mut qold.data);
-        par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+        pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
             for c in range.start as usize..range.end as usize {
                 unsafe { save_soln(&qs.as_slice()[c * 4..c * 4 + 4], qolds.slice_mut(c * 4, 4)) };
             }
@@ -194,7 +218,7 @@ pub fn step_threaded<R: Real>(
     for _phase in 0..2 {
         maybe_time(rec, "adt_calc", wb, nc, || {
             let adts = SharedDat::new(&mut adt.data);
-            par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
                 for c in range.start as usize..range.end as usize {
                     let n = mesh.cell2node.row(c);
                     let mut a = R::ZERO;
@@ -213,14 +237,15 @@ pub fn step_threaded<R: Real>(
         });
         maybe_time(rec, "res_calc", wb, ne, || {
             let ress = SharedDat::new(&mut res.data);
-            par_colored_blocks(edge_plan.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(edge_plan.two_level(), n_threads, |_b, range| {
                 for e in range.start as usize..range.end as usize {
                     let n = mesh.edge2node.row(e);
                     let c = mesh.edge2cell.row(e);
                     let (c0, c1) = (c[0] as usize, c[1] as usize);
                     // block coloring guarantees no other thread touches
                     // these two cells during this color round
-                    let (r1, r2) = unsafe { (ress.slice_mut(c0 * 4, 4), ress.slice_mut(c1 * 4, 4)) };
+                    let (r1, r2) =
+                        unsafe { (ress.slice_mut(c0 * 4, 4), ress.slice_mut(c1 * 4, 4)) };
                     res_calc(
                         x.row(n[0] as usize),
                         x.row(n[1] as usize),
@@ -258,7 +283,7 @@ pub fn step_threaded<R: Real>(
                 let qs = SharedDat::new(&mut q.data);
                 let ress = SharedDat::new(&mut res.data);
                 let rmss = SharedDat::new(&mut rms_blocks);
-                par_colored_blocks(plan, n_threads, |b, range| {
+                pool.colored_blocks(plan, n_threads, |b, range| {
                     let mut local = R::ZERO;
                     for c in range.start as usize..range.end as usize {
                         unsafe {
@@ -397,7 +422,8 @@ pub(crate) fn simd_adt_sweep<R: Real, const L: usize>(
     }
     let c2n = &mesh.cell2node.data;
     for cs in sweep.vector_chunks() {
-        let nodes: [IdxVec<L>; 4] = std::array::from_fn(|j| IdxVec::load_strided(c2n, cs * 4 + j, 4));
+        let nodes: [IdxVec<L>; 4] =
+            std::array::from_fn(|j| IdxVec::load_strided(c2n, cs * 4 + j, 4));
         let xp: [[VecR<R, L>; 2]; 4] = std::array::from_fn(|j| {
             [
                 VecR::gather(&x.data, nodes[j], 2, 0),
@@ -449,8 +475,14 @@ pub(crate) fn simd_res_sweep<R: Real, const L: usize>(
         let n1 = IdxVec::<L>::load_strided(e2n, es * 2 + 1, 2);
         let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
         let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
-        let x1 = [VecR::gather(&x.data, n0, 2, 0), VecR::gather(&x.data, n0, 2, 1)];
-        let x2 = [VecR::gather(&x.data, n1, 2, 0), VecR::gather(&x.data, n1, 2, 1)];
+        let x1 = [
+            VecR::gather(&x.data, n0, 2, 0),
+            VecR::gather(&x.data, n0, 2, 1),
+        ];
+        let x2 = [
+            VecR::gather(&x.data, n1, 2, 0),
+            VecR::gather(&x.data, n1, 2, 1),
+        ];
         let q1: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(&q.data, c0, 4, d));
         let q2: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(&q.data, c1, 4, d));
         let a1 = VecR::gather(&adt.data, c0, 1, 0);
@@ -470,8 +502,28 @@ pub(crate) fn simd_res_sweep<R: Real, const L: usize>(
 // ---------------------------------------------------------------------------
 
 /// One iteration with colored-block threading *and* explicit SIMD inside
-/// each block (the paper's "vectorized MPI+OpenMP" shape).
+/// each block (the paper's "vectorized MPI+OpenMP" shape), on the
+/// process-wide [`ExecPool`] capped at `n_threads` members (`0` = all).
 pub fn step_simd_threaded<R: Real, const L: usize>(
+    sim: &mut Airfoil<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_simd_threaded_on::<R, L>(
+        ExecPool::global(),
+        sim,
+        cache,
+        global_pool_cap(n_threads),
+        block_size,
+        rec,
+    )
+}
+
+/// As [`step_simd_threaded`] on an explicit pool.
+pub fn step_simd_threaded_on<R: Real, const L: usize>(
+    pool: &ExecPool,
     sim: &mut Airfoil<R>,
     cache: &PlanCache,
     n_threads: usize,
@@ -504,7 +556,7 @@ pub fn step_simd_threaded<R: Real, const L: usize>(
 
     maybe_time(rec, "save_soln", wb, nc, || {
         let qs = SharedDat::new(&mut qold.data);
-        par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+        pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
             let (s, e) = (range.start as usize * 4, range.end as usize * 4);
             let sweep = split_sweep(s..e, L, 0);
             unsafe {
@@ -523,7 +575,7 @@ pub fn step_simd_threaded<R: Real, const L: usize>(
     for _phase in 0..2 {
         maybe_time(rec, "adt_calc", wb, nc, || {
             let adts = SharedMut::new(adt);
-            par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
                 let adt_ref: &mut OpDat<R> = unsafe { adts.get_mut() };
                 simd_adt_sweep::<R, L>(
                     range.start as usize..range.end as usize,
@@ -537,7 +589,7 @@ pub fn step_simd_threaded<R: Real, const L: usize>(
         });
         maybe_time(rec, "res_calc", wb, ne, || {
             let ress = SharedMut::new(res);
-            par_colored_blocks(edge_plan.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(edge_plan.two_level(), n_threads, |_b, range| {
                 let res_ref: &mut OpDat<R> = unsafe { ress.get_mut() };
                 simd_res_sweep::<R, L>(
                     range.start as usize..range.end as usize,
@@ -572,7 +624,7 @@ pub fn step_simd_threaded<R: Real, const L: usize>(
                 let qs = SharedDat::new(&mut q.data);
                 let ress = SharedDat::new(&mut res.data);
                 let rmss = SharedDat::new(&mut rms_blocks);
-                par_colored_blocks(plan, n_threads, |b, range| {
+                pool.colored_blocks(plan, n_threads, |b, range| {
                     let mut local_v = VecR::<R, L>::zero();
                     let mut local_s = R::ZERO;
                     let sweep = split_sweep(range.start as usize..range.end as usize, L, 0);
@@ -589,8 +641,9 @@ pub fn step_simd_threaded<R: Real, const L: usize>(
                         for cs in sweep.vector_chunks() {
                             let qd = qs.slice_mut(0, qs.len());
                             let rd = ress.slice_mut(0, ress.len());
-                            let qold_p: [VecR<R, L>; 4] =
-                                std::array::from_fn(|d| VecR::load_strided(&qold.data, cs * 4 + d, 4));
+                            let qold_p: [VecR<R, L>; 4] = std::array::from_fn(|d| {
+                                VecR::load_strided(&qold.data, cs * 4 + d, 4)
+                            });
                             let mut q_p = [VecR::<R, L>::zero(); 4];
                             let mut res_p: [VecR<R, L>; 4] =
                                 std::array::from_fn(|d| VecR::load_strided(rd, cs * 4 + d, 4));
@@ -666,10 +719,14 @@ pub fn step_simd_scheme<R: Real, const L: usize>(
                     let n1 = IdxVec::<L>::from_array(ids.map(|e| mesh.edge2node.data[e * 2 + 1]));
                     let c0 = IdxVec::<L>::from_array(ids.map(|e| mesh.edge2cell.data[e * 2]));
                     let c1 = IdxVec::<L>::from_array(ids.map(|e| mesh.edge2cell.data[e * 2 + 1]));
-                    let x1 =
-                        [VecR::gather(&x.data, n0, 2, 0), VecR::gather(&x.data, n0, 2, 1)];
-                    let x2 =
-                        [VecR::gather(&x.data, n1, 2, 0), VecR::gather(&x.data, n1, 2, 1)];
+                    let x1 = [
+                        VecR::gather(&x.data, n0, 2, 0),
+                        VecR::gather(&x.data, n0, 2, 1),
+                    ];
+                    let x2 = [
+                        VecR::gather(&x.data, n1, 2, 0),
+                        VecR::gather(&x.data, n1, 2, 1),
+                    ];
                     let q1: [VecR<R, L>; 4] =
                         std::array::from_fn(|d| VecR::gather(&q.data, c0, 4, d));
                     let q2: [VecR<R, L>; 4] =
@@ -779,8 +836,33 @@ pub fn step_simd_scheme<R: Real, const L: usize>(
 /// One iteration through the SIMT emulation: work-groups = colored
 /// blocks, lock-step work-items, private increments applied in element
 /// color order. `sched_overhead_ns` models the OpenCL work-group
-/// scheduling cost (0 = ideal runtime).
+/// scheduling cost (0 = ideal runtime). Runs on the process-wide
+/// [`ExecPool`] capped at `n_threads` members (`0` = all).
 pub fn step_simt<R: Real>(
+    sim: &mut Airfoil<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    simt_width: usize,
+    sched_overhead_ns: u64,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_simt_on(
+        ExecPool::global(),
+        sim,
+        cache,
+        global_pool_cap(n_threads),
+        simt_width,
+        sched_overhead_ns,
+        block_size,
+        rec,
+    )
+}
+
+/// As [`step_simt`] on an explicit pool.
+#[allow(clippy::too_many_arguments)]
+pub fn step_simt_on<R: Real>(
+    pool: &ExecPool,
     sim: &mut Airfoil<R>,
     cache: &PlanCache,
     n_threads: usize,
@@ -815,7 +897,7 @@ pub fn step_simt<R: Real>(
 
     maybe_time(rec, "save_soln", wb, nc, || {
         let qolds = SharedDat::new(&mut qold.data);
-        simt_colored(
+        pool.simt_colored(
             cell_plan.two_level(),
             n_threads,
             simt_width,
@@ -831,7 +913,7 @@ pub fn step_simt<R: Real>(
     for _phase in 0..2 {
         maybe_time(rec, "adt_calc", wb, nc, || {
             let adts = SharedDat::new(&mut adt.data);
-            simt_colored(
+            pool.simt_colored(
                 cell_plan.two_level(),
                 n_threads,
                 simt_width,
@@ -857,7 +939,7 @@ pub fn step_simt<R: Real>(
         });
         maybe_time(rec, "res_calc", wb, ne, || {
             let ress = SharedDat::new(&mut res.data);
-            simt_colored(
+            pool.simt_colored(
                 edge_plan.two_level(),
                 n_threads,
                 simt_width,
@@ -917,7 +999,7 @@ pub fn step_simt<R: Real>(
                 let qs = SharedDat::new(&mut q.data);
                 let ress = SharedDat::new(&mut res.data);
                 let rmss = SharedDat::new(&mut rms_blocks);
-                par_colored_blocks(plan, n_threads, |b, range| {
+                pool.colored_blocks(plan, n_threads, |b, range| {
                     let mut local = R::ZERO;
                     for c in range.start as usize..range.end as usize {
                         unsafe {

@@ -114,8 +114,8 @@ pub fn bres_calc<R: Real>(
         let vol1 = ri * (q1[1] * dy - q1[2] * dx);
 
         let ri2 = R::ONE / c.qinf[0];
-        let p2 = c.gm1
-            * (c.qinf[3] - R::HALF * ri2 * (c.qinf[1] * c.qinf[1] + c.qinf[2] * c.qinf[2]));
+        let p2 =
+            c.gm1 * (c.qinf[3] - R::HALF * ri2 * (c.qinf[1] * c.qinf[1] + c.qinf[2] * c.qinf[2]));
         let vol2 = ri2 * (c.qinf[1] * dy - c.qinf[2] * dx);
 
         let mu = adt1 * c.eps;
@@ -185,7 +185,9 @@ mod tests {
         let x2 = [0.3, 1.0];
         let mut res1 = [0.0; 4];
         let mut res2 = [0.0; 4];
-        res_calc(&x1, &x2, &c.qinf, &c.qinf, 1.0, 1.0, &mut res1, &mut res2, &c);
+        res_calc(
+            &x1, &x2, &c.qinf, &c.qinf, 1.0, 1.0, &mut res1, &mut res2, &c,
+        );
         for n in 0..4 {
             assert!(
                 (res1[n] + res2[n]).abs() < 1e-14,

@@ -187,7 +187,14 @@ mod tests {
             let mut ref2 = [[0.0f64; 4]; 4];
             for l in 0..4 {
                 kernels::res_calc(
-                    &x1s[l], &x2s[l], &q1s[l], &q2s[l], a1[l], a2[l], &mut ref1[l], &mut ref2[l],
+                    &x1s[l],
+                    &x2s[l],
+                    &q1s[l],
+                    &q2s[l],
+                    a1[l],
+                    a2[l],
+                    &mut ref1[l],
+                    &mut ref2[l],
                     &c,
                 );
             }
@@ -236,14 +243,27 @@ mod tests {
         let mut rng = SplitMix64::new(7);
         let mut r = move || 0.25 + rng.next_f64();
         let xs: Vec<[[f64; 2]; 4]> = (0..4)
-            .map(|_| [[r(), r()], [r() + 1.0, r()], [r() + 1.0, r() + 1.0], [r(), r() + 1.0]])
+            .map(|_| {
+                [
+                    [r(), r()],
+                    [r() + 1.0, r()],
+                    [r() + 1.0, r() + 1.0],
+                    [r(), r() + 1.0],
+                ]
+            })
             .collect();
         let qs: Vec<[f64; 4]> = (0..4).map(|_| [1.0 + r(), r(), r(), 3.0 + r()]).collect();
 
         let mut reference = [0.0f64; 4];
         for l in 0..4 {
             kernels::adt_calc(
-                &xs[l][0], &xs[l][1], &xs[l][2], &xs[l][3], &qs[l], &mut reference[l], &c,
+                &xs[l][0],
+                &xs[l][1],
+                &xs[l][2],
+                &xs[l][3],
+                &qs[l],
+                &mut reference[l],
+                &c,
             );
         }
         let pack_node = |i: usize| {
@@ -272,13 +292,7 @@ mod tests {
         let mut qv = [VecR::<f64, 4>::zero(); 4];
         let mut resv = std::array::from_fn::<_, 4, _>(|d| VecR::<f64, 4>::splat(0.1 * d as f64));
         let mut rms_acc = VecR::<f64, 4>::zero();
-        update_vec(
-            &qold,
-            &mut qv,
-            &mut resv,
-            VecR::splat(2.0),
-            &mut rms_acc,
-        );
+        update_vec(&qold, &mut qv, &mut resv, VecR::splat(2.0), &mut rms_acc);
 
         let qold_s = [1.0, 2.0, 3.0, 4.0];
         let mut q_s = [0.0; 4];
@@ -296,7 +310,10 @@ mod tests {
     #[test]
     fn bres_vec_select_matches_scalar_branches() {
         let c = Consts::<f64>::default();
-        let x1 = [VecR::<f64, 4>::splat(0.0), VecR::from_fn(|l| l as f64 + 1.0)];
+        let x1 = [
+            VecR::<f64, 4>::splat(0.0),
+            VecR::from_fn(|l| l as f64 + 1.0),
+        ];
         let x2 = [VecR::<f64, 4>::splat(0.0), VecR::from_fn(|l| l as f64)];
         let q1 = std::array::from_fn::<_, 4, _>(|d| VecR::<f64, 4>::splat(c.qinf[d] * 1.05));
         let adt = VecR::<f64, 4>::splat(1.2);

@@ -250,7 +250,12 @@ mod tests {
             let p = profile(name);
             let t = p.transfers();
             assert_eq!(
-                (t.direct_read, t.direct_write, t.indirect_read, t.indirect_write),
+                (
+                    t.direct_read,
+                    t.direct_write,
+                    t.indirect_read,
+                    t.indirect_write
+                ),
                 words,
                 "{name}"
             );

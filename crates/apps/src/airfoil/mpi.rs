@@ -111,7 +111,9 @@ impl<R: Real> RankState<R> {
             });
             // halo exchanges: ghosts of q and adt are stale (update /
             // adt_calc ran on owned only)
-            self.local.cell_halo.execute(comm, &mut self.q.data, 4, phase * 2);
+            self.local
+                .cell_halo
+                .execute(comm, &mut self.q.data, 4, phase * 2);
             self.local
                 .cell_halo
                 .execute(comm, &mut self.adt.data, 1, phase * 2 + 1);
@@ -206,7 +208,12 @@ pub fn run_mpi_with_partition<R: Real>(
         for _ in 0..iters {
             history.push(state.step(comm, total_cells, rec));
         }
-        (state.q.data, state.local.cell_global.clone(), state.local.n_owned_cells, history)
+        (
+            state.q.data,
+            state.local.cell_global.clone(),
+            state.local.n_owned_cells,
+            history,
+        )
     });
 
     let history = results[0].3.clone();
@@ -228,17 +235,20 @@ impl<R: Real> RankState<R> {
     /// MPI+OpenMP vectorized configuration that wins on the Phi
     /// (paper §6.5, Fig. 8b's tuning subject). Same communication
     /// pattern as [`RankState::step`]; compute loops run through the
-    /// colored-block executor with `L`-lane sweeps per block.
+    /// rank's persistent [`ExecPool`](ump_core::ExecPool) with `L`-lane
+    /// sweeps per block (one pool per rank, so ranks never contend on a
+    /// shared dispatcher).
     pub fn step_hybrid<const L: usize>(
         &mut self,
         comm: &Comm,
         cache: &ump_core::PlanCache,
-        n_threads: usize,
+        pool: &ump_core::ExecPool,
         block_size: usize,
         total_cells: usize,
     ) -> f64 {
         use ump_color::PlanInputs;
-        use ump_core::{par_colored_blocks, Scheme, SharedMut};
+        use ump_core::{Scheme, SharedMut};
+        let n_threads = 0; // the whole per-rank team
 
         let n_owned = self.local.n_owned_cells;
         let n_edges = self.local.mesh.n_edges();
@@ -256,7 +266,7 @@ impl<R: Real> RankState<R> {
         // save_soln over owned cells (vector copy per block)
         {
             let (q, qold) = (&self.q, SharedMut::new(&mut self.qold));
-            par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
                 let (s, e) = (range.start as usize * 4, range.end as usize * 4);
                 unsafe { qold.get_mut().data[s..e].copy_from_slice(&q.data[s..e]) };
             });
@@ -268,20 +278,20 @@ impl<R: Real> RankState<R> {
                 let mesh = &self.local.mesh;
                 let (x, q, consts) = (&self.x, &self.q, &self.consts);
                 let adt = SharedMut::new(&mut self.adt);
-                par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
-                    unsafe {
-                        drivers::simd_adt_sweep::<R, L>(
-                            range.start as usize..range.end as usize,
-                            mesh,
-                            x,
-                            q,
-                            adt.get_mut(),
-                            consts,
-                        );
-                    }
+                pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| unsafe {
+                    drivers::simd_adt_sweep::<R, L>(
+                        range.start as usize..range.end as usize,
+                        mesh,
+                        x,
+                        q,
+                        adt.get_mut(),
+                        consts,
+                    );
                 });
             }
-            self.local.cell_halo.execute(comm, &mut self.q.data, 4, phase * 2);
+            self.local
+                .cell_halo
+                .execute(comm, &mut self.q.data, 4, phase * 2);
             self.local
                 .cell_halo
                 .execute(comm, &mut self.adt.data, 1, phase * 2 + 1);
@@ -289,18 +299,16 @@ impl<R: Real> RankState<R> {
                 let mesh = &self.local.mesh;
                 let (x, q, adt, consts) = (&self.x, &self.q, &self.adt, &self.consts);
                 let res = SharedMut::new(&mut self.res);
-                par_colored_blocks(edge_plan.two_level(), n_threads, |_b, range| {
-                    unsafe {
-                        drivers::simd_res_sweep::<R, L>(
-                            range.start as usize..range.end as usize,
-                            mesh,
-                            x,
-                            q,
-                            adt,
-                            res.get_mut(),
-                            consts,
-                        );
-                    }
+                pool.colored_blocks(edge_plan.two_level(), n_threads, |_b, range| unsafe {
+                    drivers::simd_res_sweep::<R, L>(
+                        range.start as usize..range.end as usize,
+                        mesh,
+                        x,
+                        q,
+                        adt,
+                        res.get_mut(),
+                        consts,
+                    );
                 });
             }
             for be in 0..self.local.mesh.n_bedges() {
@@ -325,7 +333,7 @@ impl<R: Real> RankState<R> {
                     let q = SharedMut::new(&mut self.q);
                     let res = SharedMut::new(&mut self.res);
                     let rmss = SharedMut::new(&mut rms_blocks);
-                    par_colored_blocks(plan, n_threads, |b, range| {
+                    pool.colored_blocks(plan, n_threads, |b, range| {
                         let mut local = R::ZERO;
                         for c in range.start as usize..range.end as usize {
                             unsafe {
@@ -370,18 +378,20 @@ pub fn run_mpi_hybrid<R: Real, const L: usize>(
 
     let results = Universe::new(n_ranks).run(|comm| {
         let cache = ump_core::PlanCache::new();
+        // one persistent team per rank, created once and reused for
+        // every color round of every iteration
+        let pool = ump_core::ExecPool::new(threads_per_rank);
         let mut state = RankState::<R>::new(case, locals[comm.rank()].clone());
         let mut history = Vec::with_capacity(iters);
         for _ in 0..iters {
-            history.push(state.step_hybrid::<L>(
-                comm,
-                &cache,
-                threads_per_rank,
-                block_size,
-                total_cells,
-            ));
+            history.push(state.step_hybrid::<L>(comm, &cache, &pool, block_size, total_cells));
         }
-        (state.q.data, state.local.cell_global.clone(), state.local.n_owned_cells, history)
+        (
+            state.q.data,
+            state.local.cell_global.clone(),
+            state.local.n_owned_cells,
+            history,
+        )
     });
 
     let history = results[0].3.clone();

@@ -5,7 +5,7 @@
 
 use ump_color::PlanInputs;
 use ump_core::{
-    par_colored_blocks, seq_loop, simt_colored, PlanCache, Recorder, Scheme, SharedDat, SharedMut,
+    global_pool_cap, seq_loop, ExecPool, PlanCache, Recorder, Scheme, SharedDat, SharedMut,
 };
 use ump_simd::{split_sweep, IdxVec, Real, VecR};
 
@@ -111,7 +111,13 @@ pub fn step_seq<R: Real>(sim: &mut Volna<R>, rec: Option<&Recorder>) -> f64 {
             maybe_time(rec, "RK_1", wb, nc, || {
                 let (w_old, res, w1, area) = (&sim.w_old, &mut sim.res, &mut sim.w1, &sim.area);
                 seq_loop(0..nc, |c| {
-                    rk_1(w_old.row(c), res.row_mut(c), w1.row_mut(c), area.row(c)[0], dt);
+                    rk_1(
+                        w_old.row(c),
+                        res.row_mut(c),
+                        w1.row_mut(c),
+                        area.row(c)[0],
+                        dt,
+                    );
                 });
             });
         } else {
@@ -138,8 +144,28 @@ pub fn step_seq<R: Real>(sim: &mut Volna<R>, rec: Option<&Recorder>) -> f64 {
 // threaded (OpenMP-analogue)
 // ---------------------------------------------------------------------------
 
-/// One RK2 step with colored-block threading.
+/// One RK2 step with colored-block threading on the process-wide
+/// [`ExecPool`], capped at `n_threads` team members (`0` = all).
 pub fn step_threaded<R: Real>(
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_threaded_on(
+        ExecPool::global(),
+        sim,
+        cache,
+        global_pool_cap(n_threads),
+        block_size,
+        rec,
+    )
+}
+
+/// One RK2 step with colored-block threading on an explicit pool.
+pub fn step_threaded_on<R: Real>(
+    pool: &ExecPool,
     sim: &mut Volna<R>,
     cache: &PlanCache,
     n_threads: usize,
@@ -153,8 +179,16 @@ pub fn step_threaded<R: Real>(
     let mesh = &sim.case.mesh;
     let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
 
-    let cell_plan = cache.get(Scheme::TwoLevel, &[], &PlanInputs::new(nc, vec![], block_size));
-    let edge_direct = cache.get(Scheme::TwoLevel, &[], &PlanInputs::new(ne, vec![], block_size));
+    let cell_plan = cache.get(
+        Scheme::TwoLevel,
+        &[],
+        &PlanInputs::new(nc, vec![], block_size),
+    );
+    let edge_direct = cache.get(
+        Scheme::TwoLevel,
+        &[],
+        &PlanInputs::new(ne, vec![], block_size),
+    );
     let edge_colored = cache.get(
         Scheme::TwoLevel,
         &["edge2cell"],
@@ -164,7 +198,7 @@ pub fn step_threaded<R: Real>(
     maybe_time(rec, "sim_1", wb, nc, || {
         let (w, w_old) = (&sim.w, &mut sim.w_old);
         let wo = SharedDat::new(&mut w_old.data);
-        par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+        pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
             for c in range.start as usize..range.end as usize {
                 unsafe { sim_1(w.row(c), wo.slice_mut(c * 4, 4)) };
             }
@@ -176,7 +210,7 @@ pub fn step_threaded<R: Real>(
         let state = if phase == 0 { &sim.w } else { &sim.w1 };
         maybe_time(rec, "compute_flux", wb, ne, || {
             let ef = SharedDat::new(&mut sim.eflux.data);
-            par_colored_blocks(edge_direct.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(edge_direct.two_level(), n_threads, |_b, range| {
                 for e in range.start as usize..range.end as usize {
                     let c = mesh.edge2cell.row(e);
                     unsafe {
@@ -198,7 +232,7 @@ pub fn step_threaded<R: Real>(
                 let mut dt_blocks = vec![R::INFINITY; plan.blocks.len()];
                 {
                     let dts = SharedDat::new(&mut dt_blocks);
-                    par_colored_blocks(plan, n_threads, |b, range| {
+                    pool.colored_blocks(plan, n_threads, |b, range| {
                         let mut local = R::INFINITY;
                         for e in range.start as usize..range.end as usize {
                             let c = mesh.edge2cell.row(e);
@@ -221,11 +255,12 @@ pub fn step_threaded<R: Real>(
         }
         maybe_time(rec, "space_disc", wb, ne, || {
             let ress = SharedDat::new(&mut sim.res.data);
-            par_colored_blocks(edge_colored.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(edge_colored.two_level(), n_threads, |_b, range| {
                 for e in range.start as usize..range.end as usize {
                     let c = mesh.edge2cell.row(e);
                     let (c0, c1) = (c[0] as usize, c[1] as usize);
-                    let (rl, rr) = unsafe { (ress.slice_mut(c0 * 4, 4), ress.slice_mut(c1 * 4, 4)) };
+                    let (rl, rr) =
+                        unsafe { (ress.slice_mut(c0 * 4, 4), ress.slice_mut(c1 * 4, 4)) };
                     space_disc(
                         sim.egeom.row(e),
                         sim.eflux.row(e),
@@ -254,7 +289,7 @@ pub fn step_threaded<R: Real>(
                 SharedMut::new(&mut sim.w),
                 &sim.area,
             );
-            par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
                 for c in range.start as usize..range.end as usize {
                     unsafe {
                         if phase == 0 {
@@ -411,9 +446,14 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Volna<R>, rec: Option<&Recor
             let sweep = split_sweep(0..nc, L, 0);
             for c in sweep.scalar_items() {
                 if phase == 0 {
-                    let (w_old, res, w1, area) =
-                        (&sim.w_old, &mut sim.res, &mut sim.w1, &sim.area);
-                    rk_1(w_old.row(c), res.row_mut(c), w1.row_mut(c), area.row(c)[0], dt);
+                    let (w_old, res, w1, area) = (&sim.w_old, &mut sim.res, &mut sim.w1, &sim.area);
+                    rk_1(
+                        w_old.row(c),
+                        res.row_mut(c),
+                        w1.row_mut(c),
+                        area.row(c)[0],
+                        dt,
+                    );
                 } else {
                     let (w_old, w1, res, w, area) =
                         (&sim.w_old, &sim.w1, &mut sim.res, &mut sim.w, &sim.area);
@@ -462,8 +502,33 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Volna<R>, rec: Option<&Recor
 
 /// One RK2 step through the SIMT emulation (space_disc uses the colored
 /// increment; other loops run as threaded blocks, since direct loops have
-/// no increment phase to color).
+/// no increment phase to color). Runs on the process-wide [`ExecPool`]
+/// capped at `n_threads` team members (`0` = all).
 pub fn step_simt<R: Real>(
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    simt_width: usize,
+    sched_overhead_ns: u64,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_simt_on(
+        ExecPool::global(),
+        sim,
+        cache,
+        global_pool_cap(n_threads),
+        simt_width,
+        sched_overhead_ns,
+        block_size,
+        rec,
+    )
+}
+
+/// As [`step_simt`] on an explicit pool.
+#[allow(clippy::too_many_arguments)]
+pub fn step_simt_on<R: Real>(
+    pool: &ExecPool,
     sim: &mut Volna<R>,
     cache: &PlanCache,
     n_threads: usize,
@@ -483,51 +548,61 @@ pub fn step_simt<R: Real>(
     // everything except space_disc is identical to the threaded backend
     // (whole-kernel vectorization of direct loops is the compiler's job
     // in OpenCL; the emulation models the colored-increment path)
-    let dt = step_simt_inner(sim, cache, n_threads, block_size, rec, |sim, state_is_w1, rec| {
-        let mesh = &sim.case.mesh;
-        let state = if state_is_w1 { &sim.w1 } else { &sim.w };
-        maybe_time(rec, "space_disc", R::BYTES, mesh.n_edges(), || {
-            let ress = SharedDat::new(&mut sim.res.data);
-            simt_colored(
-                edge_colored.two_level(),
-                n_threads,
-                simt_width,
-                sched_overhead_ns,
-                |e| {
-                    let c = mesh.edge2cell.row(e);
-                    let (c0, c1) = (c[0] as usize, c[1] as usize);
-                    let mut rl = [R::ZERO; 4];
-                    let mut rr = [R::ZERO; 4];
-                    space_disc(
-                        sim.egeom.row(e),
-                        sim.eflux.row(e),
-                        state.row(c0),
-                        state.row(c1),
-                        &mut rl,
-                        &mut rr,
-                        g,
-                    );
-                    (c0, rl, c1, rr)
-                },
-                |_e, (c0, rl, c1, rr)| unsafe {
-                    let d0 = ress.slice_mut(c0 * 4, 4);
-                    for d in 0..4 {
-                        d0[d] += rl[d];
-                    }
-                    let d1 = ress.slice_mut(c1 * 4, 4);
-                    for d in 0..4 {
-                        d1[d] += rr[d];
-                    }
-                },
-            );
-        });
-    });
+    let dt = step_simt_inner(
+        pool,
+        sim,
+        cache,
+        n_threads,
+        block_size,
+        rec,
+        |sim, state_is_w1, rec| {
+            let mesh = &sim.case.mesh;
+            let state = if state_is_w1 { &sim.w1 } else { &sim.w };
+            maybe_time(rec, "space_disc", R::BYTES, mesh.n_edges(), || {
+                let ress = SharedDat::new(&mut sim.res.data);
+                pool.simt_colored(
+                    edge_colored.two_level(),
+                    n_threads,
+                    simt_width,
+                    sched_overhead_ns,
+                    |e| {
+                        let c = mesh.edge2cell.row(e);
+                        let (c0, c1) = (c[0] as usize, c[1] as usize);
+                        let mut rl = [R::ZERO; 4];
+                        let mut rr = [R::ZERO; 4];
+                        space_disc(
+                            sim.egeom.row(e),
+                            sim.eflux.row(e),
+                            state.row(c0),
+                            state.row(c1),
+                            &mut rl,
+                            &mut rr,
+                            g,
+                        );
+                        (c0, rl, c1, rr)
+                    },
+                    |_e, (c0, rl, c1, rr)| unsafe {
+                        let d0 = ress.slice_mut(c0 * 4, 4);
+                        for d in 0..4 {
+                            d0[d] += rl[d];
+                        }
+                        let d1 = ress.slice_mut(c1 * 4, 4);
+                        for d in 0..4 {
+                            d1[d] += rr[d];
+                        }
+                    },
+                );
+            });
+        },
+    );
     dt
 }
 
 /// Shared skeleton: the threaded step with `space_disc` supplied by the
 /// caller (lets the SIMT backend swap in its colored-increment version).
+#[allow(clippy::too_many_arguments)]
 fn step_simt_inner<R: Real>(
+    pool: &ExecPool,
     sim: &mut Volna<R>,
     cache: &PlanCache,
     n_threads: usize,
@@ -541,13 +616,21 @@ fn step_simt_inner<R: Real>(
     let cfl = R::from_f64(CFL);
     let (nc, ne) = (sim.case.mesh.n_cells(), sim.case.mesh.n_edges());
 
-    let cell_plan = cache.get(Scheme::TwoLevel, &[], &PlanInputs::new(nc, vec![], block_size));
-    let edge_direct = cache.get(Scheme::TwoLevel, &[], &PlanInputs::new(ne, vec![], block_size));
+    let cell_plan = cache.get(
+        Scheme::TwoLevel,
+        &[],
+        &PlanInputs::new(nc, vec![], block_size),
+    );
+    let edge_direct = cache.get(
+        Scheme::TwoLevel,
+        &[],
+        &PlanInputs::new(ne, vec![], block_size),
+    );
 
     maybe_time(rec, "sim_1", wb, nc, || {
         let (w, w_old) = (&sim.w, &mut sim.w_old);
         let wo = SharedDat::new(&mut w_old.data);
-        par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+        pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
             for c in range.start as usize..range.end as usize {
                 unsafe { sim_1(w.row(c), wo.slice_mut(c * 4, 4)) };
             }
@@ -560,7 +643,7 @@ fn step_simt_inner<R: Real>(
             let mesh = &sim.case.mesh;
             let state = if phase == 0 { &sim.w } else { &sim.w1 };
             let ef = SharedDat::new(&mut sim.eflux.data);
-            par_colored_blocks(edge_direct.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(edge_direct.two_level(), n_threads, |_b, range| {
                 for e in range.start as usize..range.end as usize {
                     let c = mesh.edge2cell.row(e);
                     unsafe {
@@ -583,7 +666,7 @@ fn step_simt_inner<R: Real>(
                 let mut dt_blocks = vec![R::INFINITY; plan.blocks.len()];
                 {
                     let dts = SharedDat::new(&mut dt_blocks);
-                    par_colored_blocks(plan, n_threads, |b, range| {
+                    pool.colored_blocks(plan, n_threads, |b, range| {
                         let mut local = R::INFINITY;
                         for e in range.start as usize..range.end as usize {
                             let c = mesh.edge2cell.row(e);
@@ -611,7 +694,11 @@ fn step_simt_inner<R: Real>(
             for be in 0..nb {
                 let c0 = sim.case.mesh.bedge2cell.at(be, 0);
                 let wrow: [R; 4] = std::array::from_fn(|d| {
-                    if state_is_w1 { sim.w1.row(c0)[d] } else { sim.w.row(c0)[d] }
+                    if state_is_w1 {
+                        sim.w1.row(c0)[d]
+                    } else {
+                        sim.w.row(c0)[d]
+                    }
                 });
                 bc_flux(sim.bgeom.row(be), &wrow, sim.res.row_mut(c0), g);
             }
@@ -625,7 +712,7 @@ fn step_simt_inner<R: Real>(
                 SharedMut::new(&mut sim.w),
                 &sim.area,
             );
-            par_colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+            pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
                 for c in range.start as usize..range.end as usize {
                     unsafe {
                         if phase == 0 {

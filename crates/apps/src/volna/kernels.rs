@@ -57,7 +57,14 @@ pub fn compute_flux<R: Real>(geom: &[R], wl: &[R], wr: &[R], eflux: &mut [R], g:
 /// `numerical_flux`: CFL timestep candidate of one edge, min-reduced into
 /// `dt_min` (gather the two cell areas, read the wave speed).
 #[inline(always)]
-pub fn numerical_flux<R: Real>(geom: &[R], eflux: &[R], area_l: R, area_r: R, dt_min: &mut R, cfl: R) {
+pub fn numerical_flux<R: Real>(
+    geom: &[R],
+    eflux: &[R],
+    area_l: R,
+    area_r: R,
+    dt_min: &mut R,
+    cfl: R,
+) {
     let lam_len = eflux[3].max(R::from_f64(1e-12));
     let _ = geom[2]; // len already folded into λ·len
     let dt = cfl * area_l.min(area_r) / lam_len;

@@ -82,12 +82,7 @@ pub fn space_disc_vec<R: Real, const L: usize>(
     let sr = gv * wr[0] * b_face * len;
     let zero = VecR::<R, L>::zero();
     (
-        [
-            eflux[0],
-            eflux[1] + sl * nx,
-            eflux[2] + sl * ny,
-            zero,
-        ],
+        [eflux[0], eflux[1] + sl * nx, eflux[2] + sl * ny, zero],
         [
             -eflux[0],
             -(eflux[1]) - sr * nx,
@@ -150,10 +145,12 @@ mod tests {
                     [a.cos(), a.sin(), 0.5 + r(), 0.0]
                 })
                 .collect();
-            let wls: Vec<[f64; 4]> =
-                (0..4).map(|_| [0.5 + r(), r() - 0.5, r() - 0.5, -1.0 - r()]).collect();
-            let wrs: Vec<[f64; 4]> =
-                (0..4).map(|_| [0.5 + r(), r() - 0.5, r() - 0.5, -1.0 - r()]).collect();
+            let wls: Vec<[f64; 4]> = (0..4)
+                .map(|_| [0.5 + r(), r() - 0.5, r() - 0.5, -1.0 - r()])
+                .collect();
+            let wrs: Vec<[f64; 4]> = (0..4)
+                .map(|_| [0.5 + r(), r() - 0.5, r() - 0.5, -1.0 - r()])
+                .collect();
 
             let pack = |s: &Vec<[f64; 4]>| {
                 std::array::from_fn::<_, 4, _>(|d| VecR::<f64, 4>::from_fn(|l| s[l][d]))
@@ -176,7 +173,12 @@ mod tests {
 
     #[test]
     fn space_disc_vec_matches_scalar_lanewise() {
-        let geom = [[0.8, 0.6, 1.2, 0.0], [0.0, 1.0, 0.7, 0.0], [1.0, 0.0, 1.0, 0.0], [-0.6, 0.8, 0.9, 0.0]];
+        let geom = [
+            [0.8, 0.6, 1.2, 0.0],
+            [0.0, 1.0, 0.7, 0.0],
+            [1.0, 0.0, 1.0, 0.0],
+            [-0.6, 0.8, 0.9, 0.0],
+        ];
         let wl = [[2.0, 0.1, 0.0, -2.0]; 4];
         let wr = [[1.5, 0.0, 0.2, -1.4]; 4];
         let ef = [[1.0, -0.5, 0.25, 2.0]; 4];
@@ -189,8 +191,14 @@ mod tests {
             let mut rr = [0.0f64; 4];
             kernels::space_disc(&geom[l], &ef[l], &wl[l], &wr[l], &mut rl, &mut rr, G);
             for d in 0..4 {
-                assert!((vl[d].lane(l) - rl[d]).abs() < 1e-12, "left lane {l} dim {d}");
-                assert!((vr[d].lane(l) - rr[d]).abs() < 1e-12, "right lane {l} dim {d}");
+                assert!(
+                    (vl[d].lane(l) - rl[d]).abs() < 1e-12,
+                    "left lane {l} dim {d}"
+                );
+                assert!(
+                    (vr[d].lane(l) - rr[d]).abs() < 1e-12,
+                    "right lane {l} dim {d}"
+                );
             }
         }
     }
@@ -232,7 +240,14 @@ mod tests {
 
         let mut res2v = pack(&res_in);
         let mut wv = [VecR::<f64, 4>::zero(); 4];
-        rk_2_vec(&pack(&w_old), &w1v, &mut res2v, &mut wv, VecR::splat(2.0), 0.3);
+        rk_2_vec(
+            &pack(&w_old),
+            &w1v,
+            &mut res2v,
+            &mut wv,
+            VecR::splat(2.0),
+            0.3,
+        );
         let mut res2_s = res_in[0];
         let mut w_s = [0.0; 4];
         kernels::rk_2(&w_old[0], &w1_s, &mut res2_s, &mut w_s, 2.0, 0.3);

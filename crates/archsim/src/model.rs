@@ -135,9 +135,7 @@ pub fn predict(m: &Machine, backend: Backend, w: &KernelWork) -> Prediction {
     let trans = n * w.profile.transcendentals_per_elem;
     if trans > 0.0 {
         let per_core_rate = m.freq_ghz * 1e9 / m.sqrt_cycles;
-        let rate = per_core_rate
-            * m.cores as f64
-            * if vectorized { lanes * 1.5 } else { 1.0 };
+        let rate = per_core_rate * m.cores as f64 * if vectorized { lanes * 1.5 } else { 1.0 };
         t_comp += trans / rate;
     }
 
@@ -310,9 +308,15 @@ mod tests {
         let c2 = total(&cpu2(), Backend::VecMpi);
         let p = total(&phi(), Backend::VecThreaded);
         let g = total(&k40(), Backend::Cuda);
-        assert!(p < c1 * 1.4 && p > c2 * 0.8, "phi {p} vs cpu1 {c1} / cpu2 {c2}");
+        assert!(
+            p < c1 * 1.4 && p > c2 * 0.8,
+            "phi {p} vs cpu1 {c1} / cpu2 {c2}"
+        );
         let k40_speedup = c1 / g;
-        assert!((2.0..4.0).contains(&k40_speedup), "k40 speedup {k40_speedup}");
+        assert!(
+            (2.0..4.0).contains(&k40_speedup),
+            "k40 speedup {k40_speedup}"
+        );
     }
 
     #[test]

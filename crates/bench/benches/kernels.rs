@@ -4,12 +4,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ump_apps::airfoil::{drivers, Airfoil};
 use ump_apps::volna::{self, Volna};
-use ump_core::PlanCache;
+use ump_core::{ExecPool, PlanCache};
 
 fn airfoil_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("airfoil_step");
     group.sample_size(10);
     let (nx, ny) = (300, 150);
+    // one persistent team shared by every threaded benchmark below
+    let pool = ExecPool::new(0);
 
     group.bench_function("scalar_dp", |b| {
         let mut sim = Airfoil::<f64>::new(nx, ny);
@@ -34,17 +36,17 @@ fn airfoil_steps(c: &mut Criterion) {
     group.bench_function("threaded_dp", |b| {
         let mut sim = Airfoil::<f64>::new(nx, ny);
         let cache = PlanCache::new();
-        b.iter(|| drivers::step_threaded(&mut sim, &cache, 0, 1024, None));
+        b.iter(|| drivers::step_threaded_on(&pool, &mut sim, &cache, 0, 1024, None));
     });
     group.bench_function("simd_threaded_dp_l4", |b| {
         let mut sim = Airfoil::<f64>::new(nx, ny);
         let cache = PlanCache::new();
-        b.iter(|| drivers::step_simd_threaded::<f64, 4>(&mut sim, &cache, 0, 1024, None));
+        b.iter(|| drivers::step_simd_threaded_on::<f64, 4>(&pool, &mut sim, &cache, 0, 1024, None));
     });
     group.bench_function("simt_dp", |b| {
         let mut sim = Airfoil::<f64>::new(nx, ny);
         let cache = PlanCache::new();
-        b.iter(|| drivers::step_simt(&mut sim, &cache, 0, 8, 0, 256, None));
+        b.iter(|| drivers::step_simt_on(&pool, &mut sim, &cache, 0, 8, 0, 256, None));
     });
     group.finish();
 }

@@ -47,7 +47,9 @@ fn partitioning(c: &mut Criterion) {
 fn mesh_derivation(c: &mut Criterion) {
     let mut group = c.benchmark_group("mesh");
     group.sample_size(10);
-    group.bench_function("quad_channel_200x100", |b| b.iter(|| quad_channel(200, 100)));
+    group.bench_function("quad_channel_200x100", |b| {
+        b.iter(|| quad_channel(200, 100))
+    });
     group.finish();
 }
 

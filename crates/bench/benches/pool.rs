@@ -1,0 +1,215 @@
+//! Persistent-pool vs spawn-per-round dispatch cost (the motivation for
+//! `ump_core::ExecPool`): the paper's OpenMP backend amortizes its thread
+//! team across all color rounds, while a scoped spawn-per-round executor
+//! pays thread create/join on every color of every loop.
+//!
+//! Two bodies are measured over the 300×150 Airfoil mesh's edge plan at
+//! block sizes {256, 1024, 4096}:
+//!
+//! * `dispatch` — a near-empty body: isolates per-round dispatch latency
+//!   (the quantity the spawn-per-round executor loses on),
+//! * `increment` — the real two-sided edge→cell increment: shows how
+//!   much of a light kernel's wall time dispatch used to eat.
+//!
+//! Results are also written to `BENCH_pool.json` at the repo root, with
+//! per-color-round latencies and the pool-vs-spawn speedup at block 1024.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{black_box, Criterion};
+use ump_color::{PlanInputs, TwoLevelPlan};
+use ump_core::{exec::SharedDat, ExecPool};
+use ump_mesh::generators::quad_channel;
+
+/// Team size for both executors. Explicit (not `default_threads`) so the
+/// comparison exercises real cross-thread dispatch even on single-core
+/// CI containers.
+const TEAM: usize = 4;
+
+/// The pre-`ExecPool` executor, reproduced verbatim as the baseline:
+/// `std::thread::scope` + `spawn` per color round, one block per
+/// cursor fetch.
+fn spawn_colored_blocks(
+    plan: &TwoLevelPlan,
+    n_threads: usize,
+    body: impl Fn(usize, Range<u32>) + Sync,
+) {
+    for blocks in &plan.blocks_by_color {
+        if blocks.is_empty() {
+            continue;
+        }
+        if n_threads == 1 || blocks.len() == 1 {
+            for &b in blocks {
+                body(b as usize, plan.blocks[b as usize].clone());
+            }
+            continue;
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = n_threads.min(blocks.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= blocks.len() {
+                        break;
+                    }
+                    let b = blocks[i] as usize;
+                    body(b, plan.blocks[b].clone());
+                });
+            }
+        });
+    }
+}
+
+struct Case {
+    block_size: usize,
+    plan: TwoLevelPlan,
+    color_rounds: usize,
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    let mesh = quad_channel(300, 150).mesh;
+    let (ne, nc) = (mesh.n_edges(), mesh.n_cells());
+    println!("# 300x150 Airfoil mesh: {ne} edges, {nc} cells, team = {TEAM}");
+
+    let cases: Vec<Case> = [256usize, 1024, 4096]
+        .into_iter()
+        .map(|block_size| {
+            let inputs = PlanInputs::new(ne, vec![&mesh.edge2cell], block_size);
+            let plan = TwoLevelPlan::build(&inputs);
+            let color_rounds = plan
+                .blocks_by_color
+                .iter()
+                .filter(|blocks| !blocks.is_empty())
+                .count();
+            println!(
+                "# block {block_size}: {} blocks in {color_rounds} color rounds",
+                plan.blocks.len()
+            );
+            Case {
+                block_size,
+                plan,
+                color_rounds,
+            }
+        })
+        .collect();
+
+    let pool = ExecPool::new(TEAM);
+
+    {
+        let mut group = criterion.benchmark_group("dispatch");
+        group.sample_size(20);
+        for case in &cases {
+            let plan = &case.plan;
+            group.bench_function(&format!("spawn/block{}", case.block_size), |b| {
+                b.iter(|| {
+                    spawn_colored_blocks(plan, TEAM, |b, range| {
+                        black_box((b, range.start, range.end));
+                    })
+                });
+            });
+            group.bench_function(&format!("pool/block{}", case.block_size), |b| {
+                b.iter(|| {
+                    pool.colored_blocks(plan, 0, |b, range| {
+                        black_box((b, range.start, range.end));
+                    })
+                });
+            });
+        }
+        group.finish();
+    }
+
+    {
+        let mut group = criterion.benchmark_group("increment");
+        group.sample_size(20);
+        for case in &cases {
+            let plan = &case.plan;
+            let mut out = vec![0.0f64; nc];
+            group.bench_function(&format!("spawn/block{}", case.block_size), |b| {
+                let shared = SharedDat::new(&mut out);
+                b.iter(|| {
+                    spawn_colored_blocks(plan, TEAM, |_b, range| {
+                        for e in range.start as usize..range.end as usize {
+                            let c = mesh.edge2cell.row(e);
+                            unsafe {
+                                shared.slice_mut(c[0] as usize, 1)[0] += 1.0;
+                                shared.slice_mut(c[1] as usize, 1)[0] -= 1.0;
+                            }
+                        }
+                    })
+                });
+            });
+            let mut out2 = vec![0.0f64; nc];
+            group.bench_function(&format!("pool/block{}", case.block_size), |b| {
+                let shared = SharedDat::new(&mut out2);
+                b.iter(|| {
+                    pool.colored_blocks(plan, 0, |_b, range| {
+                        for e in range.start as usize..range.end as usize {
+                            let c = mesh.edge2cell.row(e);
+                            unsafe {
+                                shared.slice_mut(c[0] as usize, 1)[0] += 1.0;
+                                shared.slice_mut(c[1] as usize, 1)[0] -= 1.0;
+                            }
+                        }
+                    })
+                });
+            });
+        }
+        group.finish();
+    }
+
+    write_json(&criterion, &cases, ne, nc);
+}
+
+/// Serialize the collected stats to `BENCH_pool.json` at the repo root.
+fn write_json(criterion: &Criterion, cases: &[Case], ne: usize, nc: usize) {
+    let rounds_of = |id: &str| {
+        cases
+            .iter()
+            .find(|c| id.ends_with(&format!("block{}", c.block_size)))
+            .map(|c| c.color_rounds)
+            .unwrap_or(1)
+    };
+    let median = |id: &str| {
+        criterion
+            .collected
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.median_ns)
+    };
+
+    let mut entries = Vec::new();
+    for stats in &criterion.collected {
+        let rounds = rounds_of(&stats.id);
+        entries.push(format!(
+            "    {{\"id\": \"{}\", \"median_ns_per_pass\": {:.1}, \"min_ns_per_pass\": {:.1}, \
+             \"color_rounds\": {}, \"ns_per_round\": {:.1}}}",
+            stats.id,
+            stats.median_ns,
+            stats.min_ns,
+            rounds,
+            stats.median_ns / rounds as f64
+        ));
+    }
+    let speedup_1024 = match (
+        median("dispatch/spawn/block1024"),
+        median("dispatch/pool/block1024"),
+    ) {
+        (Some(spawn), Some(pool)) if pool > 0.0 => spawn / pool,
+        _ => f64::NAN,
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"pool_dispatch_vs_spawn\",\n  \"mesh\": {{\"nx\": 300, \"ny\": 150, \
+         \"edges\": {ne}, \"cells\": {nc}}},\n  \"team\": {TEAM},\n  \"host_cpus\": {},\n  \
+         \"results\": [\n{}\n  ],\n  \
+         \"pool_vs_spawn_speedup_per_round_at_block1024\": {speedup_1024:.2}\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json");
+    std::fs::write(path, &json).expect("writing BENCH_pool.json");
+    println!("# wrote {path}");
+    println!("# pool vs spawn per-round speedup at block 1024: {speedup_1024:.2}x");
+}

@@ -15,7 +15,7 @@
 use ump_apps::{airfoil, volna};
 use ump_archsim::{machines, predict, Backend, Machine};
 use ump_bench::{fmt_s, measure_indirect, work_for, MeasuredLoop, Scale};
-use ump_core::{PlanCache, Recorder};
+use ump_core::{ExecPool, PlanCache, Recorder};
 use ump_mesh::MeshStats;
 
 fn main() {
@@ -194,11 +194,15 @@ fn table1() {
     println!("paper FLOP/byte row: 3.42(6.48)  5.43(9.34)  4.87(10.1)  6.35(16.3)");
 }
 
-fn kernel_property_table(title: &str, profiles: Vec<ump_core::LoopProfile>, paper: &[(&str, &str)]) {
+fn kernel_property_table(
+    title: &str,
+    profiles: Vec<ump_core::LoopProfile>,
+    paper: &[(&str, &str)],
+) {
     header(title);
     println!(
-        "{:<16} {:>7} {:>7} {:>7} {:>7} {:>6} {:>14}  {}",
-        "kernel", "dirR", "dirW", "indR", "indW", "FLOP", "FLOP/B DP(SP)", "description"
+        "{:<16} {:>7} {:>7} {:>7} {:>7} {:>6} {:>14}  description",
+        "kernel", "dirR", "dirW", "indR", "indW", "FLOP", "FLOP/B DP(SP)"
     );
     for p in &profiles {
         let t = p.transfers();
@@ -328,7 +332,9 @@ fn table5(scale: Scale) {
         }
         println!("{row}");
     }
-    println!("paper CPU1 column (s, DP Airfoil): save 4, adt 24.6, res 25.2, bres 0.09, update 14.05");
+    println!(
+        "paper CPU1 column (s, DP Airfoil): save 4, adt 24.6, res 25.2, bres 0.09, update 14.05"
+    );
 }
 
 fn table6(scale: Scale) {
@@ -342,7 +348,11 @@ fn table6(scale: Scale) {
     let rows: Vec<(&str, &str, usize, f64, &AppShape)> = AIRFOIL_KERNELS
         .iter()
         .map(|(k, s, c)| (*k, *s, 8usize, *c, &shape))
-        .chain(VOLNA_KERNELS.iter().map(|(k, s, c)| (*k, *s, 4usize, *c, &vshape)))
+        .chain(
+            VOLNA_KERNELS
+                .iter()
+                .map(|(k, s, c)| (*k, *s, 4usize, *c, &vshape)),
+        )
         .collect();
     for (kernel, set, wb, calls, sh) in rows {
         let profile = if wb == 8 {
@@ -404,14 +414,20 @@ fn table7(scale: Scale) {
     per_kernel_backend_table(
         "Table VII — vectorized pure-MPI per-kernel (model, CPU1, DP, 1000 iters)",
         &machines::cpu1(),
-        &[("scalar MPI", Backend::ScalarMpi), ("vec MPI", Backend::VecMpi)],
+        &[
+            ("scalar MPI", Backend::ScalarMpi),
+            ("vec MPI", Backend::VecMpi),
+        ],
         8,
         scale,
     );
     per_kernel_backend_table(
         "Table VII (cont.) — CPU2",
         &machines::cpu2(),
-        &[("scalar MPI", Backend::ScalarMpi), ("vec MPI", Backend::VecMpi)],
+        &[
+            ("scalar MPI", Backend::ScalarMpi),
+            ("vec MPI", Backend::VecMpi),
+        ],
         8,
         scale,
     );
@@ -431,7 +447,9 @@ fn table8(scale: Scale) {
         scale,
     );
     println!("paper (s): adt 27.7/14.35/6.86, res 48.8/84.03/27.22, update 11.8/8.33/8.77");
-    println!("shape: auto-vec loses on res_calc (permute locality loss), intrinsics win everywhere");
+    println!(
+        "shape: auto-vec loses on res_calc (permute locality loss), intrinsics win everywhere"
+    );
 }
 
 fn table9(scale: Scale) {
@@ -470,7 +488,10 @@ fn fig5(scale: Scale) {
     header("Fig. 5 — baseline runtimes (model, 1000 iters) + host-measured reference");
     let shape = airfoil_shape(Scale::Paper);
     let vshape = volna_shape(Scale::Paper);
-    println!("{:<26} {:>12} {:>12} {:>12}", "config", "Airfoil SP", "Airfoil DP", "Volna SP");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "config", "Airfoil SP", "Airfoil DP", "Volna SP"
+    );
     for (name, m, b) in [
         ("CPU1 MPI", machines::cpu1(), Backend::ScalarMpi),
         ("CPU1 OpenMP", machines::cpu1(), Backend::ScalarThreaded),
@@ -518,6 +539,15 @@ fn fig6(scale: Scale) {
     ) -> f64 {
         let rec = Recorder::new();
         let cache = PlanCache::new();
+        // one persistent team for the whole measurement — every color
+        // round of every iteration reuses the same parked workers; the
+        // single-threaded backends skip the team entirely
+        let needs_pool = !matches!(which, "MPI(scalar)" | "MPI vectorized");
+        let pool = if needs_pool {
+            ExecPool::new(threads)
+        } else {
+            ExecPool::new(1)
+        };
         let mut sim = ump_apps::airfoil::Airfoil::<R>::new(nx, ny);
         for _ in 0..iters {
             match which {
@@ -528,23 +558,53 @@ fn fig6(scale: Scale) {
                     ump_apps::airfoil::drivers::step_simd::<R, L>(&mut sim, Some(&rec));
                 }
                 "OpenMP" => {
-                    ump_apps::airfoil::drivers::step_threaded(&mut sim, &cache, threads, 1024, Some(&rec));
+                    ump_apps::airfoil::drivers::step_threaded_on(
+                        &pool,
+                        &mut sim,
+                        &cache,
+                        0,
+                        1024,
+                        Some(&rec),
+                    );
                 }
                 "OpenMP vectorized" => {
-                    ump_apps::airfoil::drivers::step_simd_threaded::<R, L>(
-                        &mut sim, &cache, threads, 1024, Some(&rec),
+                    ump_apps::airfoil::drivers::step_simd_threaded_on::<R, L>(
+                        &pool,
+                        &mut sim,
+                        &cache,
+                        0,
+                        1024,
+                        Some(&rec),
                     );
                 }
                 _ => {
-                    ump_apps::airfoil::drivers::step_simt(&mut sim, &cache, threads, L, 200, 256, Some(&rec));
+                    ump_apps::airfoil::drivers::step_simt_on(
+                        &pool,
+                        &mut sim,
+                        &cache,
+                        0,
+                        L,
+                        200,
+                        256,
+                        Some(&rec),
+                    );
                 }
             }
         }
         rec.total_seconds()
     }
 
-    println!("{:<20} {:>12} {:>12}", "backend", "Airfoil SP", "Airfoil DP");
-    for which in ["MPI(scalar)", "MPI vectorized", "OpenMP", "OpenMP vectorized", "OpenCL(SIMT emu)"] {
+    println!(
+        "{:<20} {:>12} {:>12}",
+        "backend", "Airfoil SP", "Airfoil DP"
+    );
+    for which in [
+        "MPI(scalar)",
+        "MPI vectorized",
+        "OpenMP",
+        "OpenMP vectorized",
+        "OpenCL(SIMT emu)",
+    ] {
         let sp = run::<f32, 8>(nx, ny, iters, threads, which);
         let dp = run::<f64, 4>(nx, ny, iters, threads, which);
         println!("{which:<20} {sp:>12.2} {dp:>12.2}");
@@ -572,9 +632,17 @@ fn fig6(scale: Scale) {
     };
     let thr_t = {
         let rec = Recorder::new();
+        let pool = ExecPool::new(threads);
         let mut sim = ump_apps::volna::Volna::<f32>::new(vx, vy);
         for _ in 0..iters {
-            ump_apps::volna::drivers::step_threaded(&mut sim, &cache, threads, 1024, Some(&rec));
+            ump_apps::volna::drivers::step_threaded_on(
+                &pool,
+                &mut sim,
+                &cache,
+                0,
+                1024,
+                Some(&rec),
+            );
         }
         rec.total_seconds()
     };
@@ -587,7 +655,10 @@ fn fig7(scale: Scale) {
     let vshape = volna_shape(Scale::Paper);
     let _ = scale;
     let m = machines::phi();
-    println!("{:<26} {:>12} {:>12} {:>12}", "config", "Airfoil SP", "Airfoil DP", "Volna SP");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "config", "Airfoil SP", "Airfoil DP", "Volna SP"
+    );
     for (name, b) in [
         ("Scalar MPI", Backend::ScalarMpi),
         ("Scalar MPI+OpenMP", Backend::ScalarThreaded),
@@ -623,7 +694,11 @@ fn fig8a(scale: Scale) {
             let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
             for _ in 0..iters {
                 ump_apps::airfoil::drivers::step_simd_scheme::<f64, 4>(
-                    &mut sim, &cache, scheme, 1024, Some(&rec),
+                    &mut sim,
+                    &cache,
+                    scheme,
+                    1024,
+                    Some(&rec),
                 );
             }
             rec.total_seconds()
@@ -634,7 +709,11 @@ fn fig8a(scale: Scale) {
             let mut sim = ump_apps::airfoil::Airfoil::<f32>::new(nx, ny);
             for _ in 0..iters {
                 ump_apps::airfoil::drivers::step_simd_scheme::<f32, 8>(
-                    &mut sim, &cache, scheme, 1024, Some(&rec),
+                    &mut sim,
+                    &cache,
+                    scheme,
+                    1024,
+                    Some(&rec),
                 );
             }
             rec.total_seconds()
@@ -658,15 +737,22 @@ fn fig8b(scale: Scale) {
         print!(" {:>10}", t);
     }
     println!();
+    // one persistent pool per team size, shared across all block sizes
+    let pools: Vec<ExecPool> = thread_opts.iter().map(|&t| ExecPool::new(t)).collect();
     for block in [256usize, 512, 1024, 2048] {
         print!("{block:<10}");
-        for &t in &thread_opts {
+        for pool in &pools {
             let cache = PlanCache::new();
             let rec = Recorder::new();
             let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
             for _ in 0..iters {
-                ump_apps::airfoil::drivers::step_simd_threaded::<f64, 4>(
-                    &mut sim, &cache, t, block, Some(&rec),
+                ump_apps::airfoil::drivers::step_simd_threaded_on::<f64, 4>(
+                    pool,
+                    &mut sim,
+                    &cache,
+                    0,
+                    block,
+                    Some(&rec),
                 );
             }
             print!(" {:>10.2}", rec.total_seconds());
@@ -681,7 +767,10 @@ fn fig9(scale: Scale) {
     let shape = airfoil_shape(Scale::Paper);
     let vshape = volna_shape(Scale::Paper);
     let _ = scale;
-    println!("{:<26} {:>12} {:>12} {:>12}", "machine", "Airfoil SP", "Airfoil DP", "Volna SP");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "machine", "Airfoil SP", "Airfoil DP", "Volna SP"
+    );
     for (m, b) in [
         (machines::cpu1(), Backend::VecMpi),
         (machines::cpu2(), Backend::VecMpi),

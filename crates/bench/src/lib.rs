@@ -108,7 +108,11 @@ pub fn work_for(
         n_elems,
         word_bytes,
         reuse,
-        serialization: if t.indirect_write > 0 { serialization } else { 1 },
+        serialization: if t.indirect_write > 0 {
+            serialization
+        } else {
+            1
+        },
         map_words,
         vectorizable,
     }

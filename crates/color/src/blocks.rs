@@ -50,10 +50,8 @@ pub fn color_blocks(blocks: &[Range<u32>], written_maps: &[&MapTable]) -> Colori
     let mut colors = vec![u32::MAX; n_blocks];
     let mut n_colors = 0u32;
     // per (map, target): bitmask of colors already adjacent
-    let mut target_masks: Vec<Vec<u64>> = written_maps
-        .iter()
-        .map(|m| vec![0u64; m.to_size])
-        .collect();
+    let mut target_masks: Vec<Vec<u64>> =
+        written_maps.iter().map(|m| vec![0u64; m.to_size]).collect();
     for (b, r) in blocks.iter().enumerate() {
         let mut forbidden = 0u64;
         for (m, masks) in written_maps.iter().zip(&target_masks) {
@@ -64,7 +62,10 @@ pub fn color_blocks(blocks: &[Range<u32>], written_maps: &[&MapTable]) -> Colori
             }
         }
         let c = forbidden.trailing_ones();
-        assert!(c < 64, "block coloring exceeded 64 colors — block size too small");
+        assert!(
+            c < 64,
+            "block coloring exceeded 64 colors — block size too small"
+        );
         colors[b] = c;
         n_colors = n_colors.max(c + 1);
         for (m, masks) in written_maps.iter().zip(&mut target_masks) {

@@ -89,8 +89,12 @@ impl TwoLevelPlan {
         if covered != inputs.n_elems {
             return Err("blocks do not tile the set".into());
         }
-        crate::blocks::validate_block_coloring(&self.blocks, &inputs.written_maps, &self.block_colors)
-            .map_err(|(a, b)| format!("blocks {a} and {b} conflict with equal color"))?;
+        crate::blocks::validate_block_coloring(
+            &self.blocks,
+            &inputs.written_maps,
+            &self.block_colors,
+        )
+        .map_err(|(a, b)| format!("blocks {a} and {b} conflict with equal color"))?;
         // same-colored elements within a block must not share targets
         for (bi, r) in self.blocks.iter().enumerate() {
             for m in &inputs.written_maps {
@@ -298,8 +302,12 @@ impl BlockPermutePlan {
         if sorted != (0..inputs.n_elems as u32).collect::<Vec<_>>() {
             return Err("perm is not a permutation".into());
         }
-        crate::blocks::validate_block_coloring(&self.blocks, &inputs.written_maps, &self.block_colors)
-            .map_err(|(a, b)| format!("blocks {a},{b} conflict with equal color"))?;
+        crate::blocks::validate_block_coloring(
+            &self.blocks,
+            &inputs.written_maps,
+            &self.block_colors,
+        )
+        .map_err(|(a, b)| format!("blocks {a},{b} conflict with equal color"))?;
         for b in 0..self.blocks.len() {
             for group in self.block_groups(b) {
                 for m in &inputs.written_maps {

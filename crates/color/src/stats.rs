@@ -32,10 +32,7 @@ pub struct PlanStats {
     pub lane_utilization: f64,
 }
 
-fn reuse_of_groups<'a>(
-    groups: impl Iterator<Item = Vec<u32>>,
-    maps: &[&'a MapTable],
-) -> f64 {
+fn reuse_of_groups(groups: impl Iterator<Item = Vec<u32>>, maps: &[&MapTable]) -> f64 {
     let mut total_refs = 0usize;
     let mut total_unique = 0usize;
     let mut seen = std::collections::HashSet::new();
@@ -81,10 +78,7 @@ impl PlanStats {
             n_blocks: plan.blocks.len(),
             n_block_colors: plan.block_colors.n_colors,
             max_elem_colors: plan.max_elem_colors(),
-            reuse_factor: reuse_of_groups(
-                plan.blocks.iter().map(|r| r.clone().collect()),
-                maps,
-            ),
+            reuse_factor: reuse_of_groups(plan.blocks.iter().map(|r| r.clone().collect()), maps),
             lane_utilization: utilization(plan.blocks.iter().map(|b| b.len()), lanes),
         }
     }
@@ -104,7 +98,11 @@ impl PlanStats {
     /// Statistics of a block-permute plan. Reuse over blocks (the cache
     /// unit), lane utilization over (block, color) groups (the vector
     /// unit).
-    pub fn of_block_permute(plan: &BlockPermutePlan, maps: &[&MapTable], lanes: usize) -> PlanStats {
+    pub fn of_block_permute(
+        plan: &BlockPermutePlan,
+        maps: &[&MapTable],
+        lanes: usize,
+    ) -> PlanStats {
         let max_elem_colors = plan
             .color_offsets
             .iter()
@@ -117,10 +115,7 @@ impl PlanStats {
             n_blocks: plan.blocks.len(),
             n_block_colors: plan.block_colors.n_colors,
             max_elem_colors,
-            reuse_factor: reuse_of_groups(
-                plan.blocks.iter().map(|r| r.clone().collect()),
-                maps,
-            ),
+            reuse_factor: reuse_of_groups(plan.blocks.iter().map(|r| r.clone().collect()), maps),
             lane_utilization: utilization(group_sizes, lanes),
         }
     }
@@ -189,16 +184,9 @@ mod tests {
         let (m, _) = setup(0);
         let inp8 = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 8);
         let inp256 = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 256);
-        let bp8 = PlanStats::of_block_permute(
-            &BlockPermutePlan::build(&inp8),
-            &[&m.edge2cell],
-            8,
-        );
-        let bp256 = PlanStats::of_block_permute(
-            &BlockPermutePlan::build(&inp256),
-            &[&m.edge2cell],
-            8,
-        );
+        let bp8 = PlanStats::of_block_permute(&BlockPermutePlan::build(&inp8), &[&m.edge2cell], 8);
+        let bp256 =
+            PlanStats::of_block_permute(&BlockPermutePlan::build(&inp256), &[&m.edge2cell], 8);
         assert!(
             bp8.lane_utilization < bp256.lane_utilization,
             "8: {}, 256: {}",

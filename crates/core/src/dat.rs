@@ -49,7 +49,12 @@ impl<R: Real> OpDat<R> {
     }
 
     /// Wrap existing storage.
-    pub fn from_vec(name: impl Into<String>, set_size: usize, dim: usize, data: Vec<R>) -> OpDat<R> {
+    pub fn from_vec(
+        name: impl Into<String>,
+        set_size: usize,
+        dim: usize,
+        data: Vec<R>,
+    ) -> OpDat<R> {
         assert_eq!(data.len(), set_size * dim, "dat storage size mismatch");
         OpDat {
             name: name.into(),

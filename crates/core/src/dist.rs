@@ -64,7 +64,11 @@ impl LocalMesh {
 /// (deterministic), computed globally — the simulated analogue of OP2's
 /// parallel import phase.
 pub fn distribute(mesh: &Mesh2d, partition: &Partition) -> Vec<LocalMesh> {
-    assert_eq!(partition.part.len(), mesh.n_cells(), "cell partition expected");
+    assert_eq!(
+        partition.part.len(),
+        mesh.n_cells(),
+        "cell partition expected"
+    );
     let n_ranks = partition.n_parts as usize;
     let part = &partition.part;
 
@@ -164,28 +168,55 @@ pub fn distribute(mesh: &Mesh2d, partition: &Partition) -> Vec<LocalMesh> {
             .iter()
             .map(|&g| mesh.node_xy[g as usize])
             .collect();
-        let localize = |name: &str,
-                        rows: &[u32],
-                        src: &MapTable,
-                        g2l: &HashMap<u32, u32>,
-                        to_size: usize| {
-            let mut data = Vec::with_capacity(rows.len() * src.dim);
-            for &r in rows {
-                for &t in src.row(r as usize) {
-                    data.push(g2l[&(t as u32)] as i32);
+        let localize =
+            |name: &str, rows: &[u32], src: &MapTable, g2l: &HashMap<u32, u32>, to_size: usize| {
+                let mut data = Vec::with_capacity(rows.len() * src.dim);
+                for &r in rows {
+                    for &t in src.row(r as usize) {
+                        data.push(g2l[&(t as u32)] as i32);
+                    }
                 }
-            }
-            MapTable::new(name, rows.len(), to_size, src.dim, data)
-        };
+                MapTable::new(name, rows.len(), to_size, src.dim, data)
+            };
         let n_local_cells = l2g_cells.len();
         let n_local_nodes = node_global.len();
         let local = Mesh2d {
             node_xy,
-            cell2node: localize("cell2node", l2g_cells, &mesh.cell2node, &g2l_nodes, n_local_nodes),
-            edge2node: localize("edge2node", &edges, &mesh.edge2node, &g2l_nodes, n_local_nodes),
-            edge2cell: localize("edge2cell", &edges, &mesh.edge2cell, g2l_cells, n_local_cells),
-            bedge2node: localize("bedge2node", bedges, &mesh.bedge2node, &g2l_nodes, n_local_nodes),
-            bedge2cell: localize("bedge2cell", bedges, &mesh.bedge2cell, g2l_cells, n_local_cells),
+            cell2node: localize(
+                "cell2node",
+                l2g_cells,
+                &mesh.cell2node,
+                &g2l_nodes,
+                n_local_nodes,
+            ),
+            edge2node: localize(
+                "edge2node",
+                &edges,
+                &mesh.edge2node,
+                &g2l_nodes,
+                n_local_nodes,
+            ),
+            edge2cell: localize(
+                "edge2cell",
+                &edges,
+                &mesh.edge2cell,
+                g2l_cells,
+                n_local_cells,
+            ),
+            bedge2node: localize(
+                "bedge2node",
+                bedges,
+                &mesh.bedge2node,
+                &g2l_nodes,
+                n_local_nodes,
+            ),
+            bedge2cell: localize(
+                "bedge2cell",
+                bedges,
+                &mesh.bedge2cell,
+                g2l_cells,
+                n_local_cells,
+            ),
         };
         locals.push(LocalMesh {
             mesh: local,

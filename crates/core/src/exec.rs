@@ -5,14 +5,21 @@
 //! * [`seq_loop`] — the scalar reference (also the per-rank inner loop of
 //!   the message-passing backend),
 //! * [`par_colored_blocks`] — the OpenMP analogue: blocks of one color
-//!   dispatched to a thread pool, no synchronization needed inside a
-//!   color round (paper §3),
+//!   dispatched to a *persistent* thread pool, no synchronization needed
+//!   inside a color round (paper §3),
 //! * [`simt_colored`] — the OpenCL-on-CPU analogue: each block is a
 //!   work-group executed by one thread; work-items advance in lock-step
 //!   chunks of the SIMT width, buffering their indirect increments in
 //!   private storage and applying them serialized by element color
 //!   (paper Fig. 3a, with the work-group barrier removed exactly as §4.1
 //!   describes for sequential work-group execution).
+//!
+//! Both parallel engines are thin wrappers over the lazily-created
+//! process-wide [`ExecPool`](crate::pool::ExecPool) — the persistent
+//! worker team the paper's OpenMP `parallel` region corresponds to.
+//! Drivers that want an explicitly owned team (per-rank pools in the
+//! hybrid backends, benchmarks comparing team sizes) call the
+//! [`ExecPool`](crate::pool::ExecPool) methods directly.
 //!
 //! Mutation from multiple threads is funnelled through [`SharedDat`], a
 //! raw-pointer wrapper whose safety contract is the coloring invariant:
@@ -21,9 +28,10 @@
 
 use std::marker::PhantomData;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ump_color::TwoLevelPlan;
+
+use crate::pool::ExecPool;
 
 /// A shared mutable view of a dat's storage for colored concurrency.
 ///
@@ -66,6 +74,7 @@ impl<'a, R> SharedDat<'a, R> {
     /// The range must be disjoint from every range other threads access
     /// during the current color round (the coloring invariant).
     #[inline(always)]
+    #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [R] {
         debug_assert!(start + len <= self.len, "SharedDat range out of bounds");
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
@@ -128,51 +137,44 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Resolve a legacy `n_threads: usize` argument for dispatch on the
+/// [global pool](ExecPool::global): `0` means [`default_threads`]
+/// (the pre-pool behaviour), anything else is the explicit count. At
+/// the pool API level `0` means "whole team", which for the global
+/// pool includes small-host headroom — hence this translation.
+pub fn global_pool_cap(n_threads: usize) -> usize {
+    if n_threads == 0 {
+        default_threads()
+    } else {
+        n_threads
+    }
+}
+
 /// Colored-block parallel execution (the OpenMP backend's shape):
 /// for each block color, the blocks of that color are distributed over
-/// `n_threads` workers through an atomic work queue; `body(block_id,
-/// range)` runs with exclusive access to everything its block writes.
+/// at most `n_threads` members (`0` = all) of the lazily-created
+/// process-wide [`ExecPool`]; `body(block_id, range)` runs with
+/// exclusive access to everything its block writes.
+///
+/// This entry point never spawns threads — the global pool's team is
+/// created once per process, and `n_threads` beyond that team size is
+/// clamped to it. Drivers that need an isolated team or an exact
+/// oversubscribed thread count (e.g. one pool per message-passing
+/// rank, or the paper's threads-per-core sweeps) should hold their own
+/// [`ExecPool`] and call [`ExecPool::colored_blocks`] on it.
 pub fn par_colored_blocks(
     plan: &TwoLevelPlan,
     n_threads: usize,
     body: impl Fn(usize, Range<u32>) + Sync,
 ) {
-    let n_threads = if n_threads == 0 {
-        default_threads()
-    } else {
-        n_threads
-    };
-    for blocks in &plan.blocks_by_color {
-        if blocks.is_empty() {
-            continue;
-        }
-        if n_threads == 1 || blocks.len() == 1 {
-            for &b in blocks {
-                body(b as usize, plan.blocks[b as usize].clone());
-            }
-            continue;
-        }
-        let cursor = AtomicUsize::new(0);
-        let workers = n_threads.min(blocks.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= blocks.len() {
-                        break;
-                    }
-                    let b = blocks[i] as usize;
-                    body(b, plan.blocks[b].clone());
-                });
-            }
-        });
-    }
+    ExecPool::global().colored_blocks(plan, global_pool_cap(n_threads), body);
 }
 
-/// SIMT (OpenCL-on-CPU) emulation: work-groups = plan blocks, executed by
-/// a pool of `n_threads`; inside a group, work-items run in lock-step
-/// chunks of `simt_width`. `compute(e)` produces the element's private
-/// increment record; `apply(e, inc)` commits it, called serialized in
+/// SIMT (OpenCL-on-CPU) emulation: work-groups = plan blocks, executed
+/// over at most `n_threads` members (`0` = all) of the process-wide
+/// [`ExecPool`]; inside a group, work-items run in lock-step chunks of
+/// `simt_width`. `compute(e)` produces the element's private increment
+/// record; `apply(e, inc)` commits it, called serialized in
 /// element-color order within each chunk — the "colored increment" of
 /// paper Fig. 3a.
 ///
@@ -187,37 +189,14 @@ pub fn simt_colored<I: Send>(
     compute: impl Fn(usize) -> I + Sync,
     apply: impl Fn(usize, &I) + Sync,
 ) {
-    assert!(simt_width >= 1);
-    let body = |block_id: usize, range: Range<u32>| {
-        if sched_overhead_ns > 0 {
-            let t0 = std::time::Instant::now();
-            while (t0.elapsed().as_nanos() as u64) < sched_overhead_ns {
-                std::hint::spin_loop();
-            }
-        }
-        let n_colors = plan.n_elem_colors[block_id];
-        let mut incs: Vec<(usize, I)> = Vec::with_capacity(simt_width);
-        let mut chunk_start = range.start as usize;
-        let end = range.end as usize;
-        while chunk_start < end {
-            let chunk_end = (chunk_start + simt_width).min(end);
-            // lock-step compute phase: all work-items of the chunk
-            incs.clear();
-            for e in chunk_start..chunk_end {
-                incs.push((e, compute(e)));
-            }
-            // colored increment phase
-            for col in 0..n_colors {
-                for (e, inc) in &incs {
-                    if plan.elem_colors[*e] == col {
-                        apply(*e, inc);
-                    }
-                }
-            }
-            chunk_start = chunk_end;
-        }
-    };
-    par_colored_blocks(plan, n_threads, body);
+    ExecPool::global().simt_colored(
+        plan,
+        global_pool_cap(n_threads),
+        simt_width,
+        sched_overhead_ns,
+        compute,
+        apply,
+    );
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@
 //!   driver: sequential, colored-blocks threaded (the OpenMP analogue),
 //!   lock-step SIMT emulation (the OpenCL analogue), plus the raw-pointer
 //!   wrappers that let colored concurrency mutate dats race-free,
+//! * [`pool`] — the persistent worker-pool runtime ([`pool::ExecPool`])
+//!   behind both parallel engines: a fixed team of parked threads
+//!   dispatched per color round, mirroring the persistent OpenMP
+//!   `parallel` region the paper's threading measurements assume,
 //! * [`dist`] — mesh distribution for the message-passing backend:
 //!   owner-compute cells, redundantly executed boundary edges (OP2's
 //!   import-exec halo), ghost-cell exchange plans,
@@ -33,12 +37,14 @@ pub mod dist;
 pub mod exec;
 pub mod instrument;
 pub mod plan;
+pub mod pool;
 pub mod profile;
 
 pub use arg::{Access, ArgInfo, Indirection};
 pub use dat::OpDat;
 pub use dist::{assemble_owned, distribute, extract_rows, LocalMesh};
-pub use exec::{par_colored_blocks, seq_loop, simt_colored, SharedDat, SharedMut};
+pub use exec::{global_pool_cap, par_colored_blocks, seq_loop, simt_colored, SharedDat, SharedMut};
 pub use instrument::{LoopStats, Recorder};
 pub use plan::{PlanCache, Scheme};
+pub use pool::ExecPool;
 pub use profile::LoopProfile;

@@ -108,12 +108,7 @@ impl PlanCache {
             Scheme::BlockPermute => AnyPlan::Block(BlockPermutePlan::build(inputs)),
         });
         *self.builds.lock() += 1;
-        Arc::clone(
-            self.plans
-                .lock()
-                .entry(key)
-                .or_insert(plan),
-        )
+        Arc::clone(self.plans.lock().entry(key).or_insert(plan))
     }
 
     /// Number of plans actually built (cache-effectiveness metric).

@@ -188,7 +188,12 @@ mod tests {
         };
         let t = p.transfers();
         assert_eq!(
-            (t.direct_read, t.direct_write, t.indirect_read, t.indirect_write),
+            (
+                t.direct_read,
+                t.direct_write,
+                t.indirect_read,
+                t.indirect_write
+            ),
             (4, 1, 8, 0)
         );
         // paper: 0.57 DP, 1.14 SP (printed rounded to 2 digits)

@@ -114,7 +114,10 @@ impl Csr {
 
     /// Maximum row degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.rows()).map(|i| self.row(i).len()).max().unwrap_or(0)
+        (0..self.rows())
+            .map(|i| self.row(i).len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -129,7 +129,12 @@ pub fn tri_coastal(nx: usize, ny: usize) -> CoastalCase {
     for j in 0..ny {
         for i in 0..nx {
             // split the square along alternating diagonals for isotropy
-            let (a, b, c, d) = (node(i, j), node(i + 1, j), node(i + 1, j + 1), node(i, j + 1));
+            let (a, b, c, d) = (
+                node(i, j),
+                node(i + 1, j),
+                node(i + 1, j + 1),
+                node(i, j + 1),
+            );
             if (i + j) % 2 == 0 {
                 c2n.extend_from_slice(&[a, b, c, a, c, d]);
             } else {
@@ -186,7 +191,10 @@ pub fn unit_square_quads(n: usize) -> Mesh2d {
 /// genuinely irregular geometry over the same topology, used by property
 /// tests (coloring and partitioning must not depend on mesh regularity).
 pub fn perturbed_quads(nx: usize, ny: usize, amplitude: f64, seed: u64) -> Mesh2d {
-    assert!((0.0..0.5).contains(&amplitude), "amplitude must stay below 0.5");
+    assert!(
+        (0.0..0.5).contains(&amplitude),
+        "amplitude must stay below 0.5"
+    );
     let mut case = quad_channel(nx, ny);
     let mut rng = SplitMix64::new(seed);
     let pitch = 5.0 / nx as f64;

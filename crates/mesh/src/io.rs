@@ -72,8 +72,8 @@ pub fn decode(mut buf: impl Buf) -> io::Result<Mesh2d> {
     if arity != 3 && arity != 4 {
         return Err(bad("bad cell arity"));
     }
-    let need = n_nodes * 16
-        + 4 * (n_cells * arity + n_edges * 2 + n_edges * 2 + n_bedges * 2 + n_bedges);
+    let need =
+        n_nodes * 16 + 4 * (n_cells * arity + n_edges * 2 + n_edges * 2 + n_bedges * 2 + n_bedges);
     if buf.remaining() < need {
         return Err(bad("truncated body"));
     }

@@ -218,7 +218,8 @@ mod tests {
     #[test]
     fn renumber_cells_relabels_edge_targets_consistently() {
         let mut m = quad_channel(4, 2).mesh;
-        let centroids_before: Vec<[f64; 2]> = (0..m.n_cells()).map(|c| m.cell_centroid(c)).collect();
+        let centroids_before: Vec<[f64; 2]> =
+            (0..m.n_cells()).map(|c| m.cell_centroid(c)).collect();
         // reverse cell order
         let n = m.n_cells() as u32;
         let perm: Vec<u32> = (0..n).map(|c| n - 1 - c).collect();

@@ -44,7 +44,8 @@ impl MapTable {
             dim,
             data,
         };
-        m.validate().unwrap_or_else(|e| panic!("MapTable {}: {e}", m.name));
+        m.validate()
+            .unwrap_or_else(|e| panic!("MapTable {}: {e}", m.name));
         m
     }
 
@@ -134,13 +135,7 @@ mod tests {
 
     fn edge2node_square() -> MapTable {
         // 4 nodes in a square, 4 edges around it
-        MapTable::new(
-            "edge2node",
-            4,
-            4,
-            2,
-            vec![0, 1, 1, 2, 2, 3, 3, 0],
-        )
+        MapTable::new("edge2node", 4, 4, 2, vec![0, 1, 1, 2, 2, 3, 3, 0])
     }
 
     #[test]

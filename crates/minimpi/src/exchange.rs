@@ -81,13 +81,7 @@ impl ExchangePlan {
     /// halo rows back to their owners and `+=`s them into the owned rows.
     /// (Used by tests and by the ghost-accumulate ablation; the production
     /// backend uses OP2's redundant-execution scheme instead.)
-    pub fn execute_reverse_add(
-        &self,
-        comm: &Comm,
-        data: &mut [f64],
-        dim: usize,
-        tag: u64,
-    ) {
+    pub fn execute_reverse_add(&self, comm: &Comm, data: &mut [f64], dim: usize, tag: u64) {
         let me = comm.rank();
         for (r, idxs) in self.recvs.iter().enumerate() {
             if r == me || idxs.is_empty() {
@@ -149,8 +143,7 @@ mod tests {
         let out = Universe::new(3).run(|c| {
             let me = c.rank() as u32;
             // rank r asks rank q for [r*10 + q]
-            let requests: Vec<Vec<u32>> =
-                (0..3).map(|q| vec![me * 10 + q as u32]).collect();
+            let requests: Vec<Vec<u32>> = (0..3).map(|q| vec![me * 10 + q as u32]).collect();
             let got = all_to_all_indices(c, &requests, 5);
             // rank r receives from q the list [q*10 + r]
             for q in 0..3u32 {

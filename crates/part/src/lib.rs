@@ -53,7 +53,10 @@ impl Partition {
     pub fn validate(&self) -> Result<(), String> {
         for (i, &p) in self.part.iter().enumerate() {
             if p >= self.n_parts {
-                return Err(format!("element {i} assigned to rank {p} >= {}", self.n_parts));
+                return Err(format!(
+                    "element {i} assigned to rank {p} >= {}",
+                    self.n_parts
+                ));
             }
         }
         let sizes = self.sizes();
@@ -82,7 +85,13 @@ pub fn rcb(points: &[[f64; 2]], n_parts: u32) -> Partition {
     Partition { part, n_parts }
 }
 
-fn rcb_recurse(points: &[[f64; 2]], ids: &mut [u32], first_part: u32, n_parts: u32, out: &mut [u32]) {
+fn rcb_recurse(
+    points: &[[f64; 2]],
+    ids: &mut [u32],
+    first_part: u32,
+    n_parts: u32,
+    out: &mut [u32],
+) {
     if n_parts == 1 {
         for &i in ids.iter() {
             out[i as usize] = first_part;
@@ -109,7 +118,13 @@ fn rcb_recurse(points: &[[f64; 2]], ids: &mut [u32], first_part: u32, n_parts: u
     });
     let (left, right) = ids.split_at_mut(split);
     rcb_recurse(points, left, first_part, left_parts, out);
-    rcb_recurse(points, right, first_part + left_parts, n_parts - left_parts, out);
+    rcb_recurse(
+        points,
+        right,
+        first_part + left_parts,
+        n_parts - left_parts,
+        out,
+    );
 }
 
 /// Greedy BFS partitioning of a graph: parts are grown one at a time from
@@ -176,9 +191,9 @@ pub fn greedy_bfs(graph: &Csr, n_parts: u32) -> Partition {
         assigned += count;
     }
     // sweep up any stragglers (disconnected graphs)
-    for v in 0..n {
-        if part[v] == u32::MAX {
-            part[v] = n_parts - 1;
+    for p in part.iter_mut() {
+        if *p == u32::MAX {
+            *p = n_parts - 1;
         }
     }
     Partition { part, n_parts }
@@ -294,10 +309,7 @@ mod tests {
             let p = rcb(&centroids(&m), k);
             p.validate().unwrap();
             let sizes = p.sizes();
-            let (mn, mx) = (
-                *sizes.iter().min().unwrap(),
-                *sizes.iter().max().unwrap(),
-            );
+            let (mn, mx) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
             assert!(mx - mn <= 1, "k={k} sizes={sizes:?}");
         }
     }

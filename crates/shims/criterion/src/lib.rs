@@ -1,0 +1,213 @@
+//! Offline shim for the subset of Criterion this workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`
+//! and `black_box`.
+//!
+//! Measurement model: each benchmark is warmed up once, the per-call cost
+//! is probed, and then `sample_size` samples are taken, each batching
+//! enough iterations to dominate timer overhead. The *median* sample is
+//! reported (robust to scheduler noise). Results are printed one line per
+//! benchmark in a stable, machine-parseable form:
+//!
+//! ```text
+//! bench: <group>/<name> median_ns_per_iter=<f64> min=<f64> max=<f64> samples=<n> iters=<m>
+//! ```
+//!
+//! A benchmark filter may be passed as the first non-flag CLI argument
+//! (substring match on `group/name`), mirroring `cargo bench -- <filter>`.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Statistics for one completed benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchStats {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median over samples of mean ns per iteration.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+/// The benchmark driver; collects every run's stats.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Stats of all benchmarks run so far (inspectable by custom mains).
+    pub collected: Vec<BenchStats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench passes `--bench` (and possibly harness flags);
+        // treat the first non-flag argument as a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            collected: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing a prefix and a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark (min 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one benchmark under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filt) = &self.criterion.filter {
+            if !full.contains(filt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut b);
+        if let Some(mut stats) = b.stats.take() {
+            stats.id = full;
+            println!(
+                "bench: {} median_ns_per_iter={:.1} min={:.1} max={:.1} samples={} iters={}",
+                stats.id, stats.median_ns, stats.min_ns, stats.max_ns, stats.samples, stats.iters
+            );
+            self.criterion.collected.push(stats);
+        }
+        self
+    }
+
+    /// End the group (printing happens per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Handed to the benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    sample_size: usize,
+    stats: Option<BenchStats>,
+}
+
+impl Bencher {
+    /// Measure `body`, batching iterations per sample so each sample runs
+    /// at least ~2 ms (or one call for slow bodies).
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        // warmup + per-call probe
+        let t0 = Instant::now();
+        black_box(body());
+        let probe = t0.elapsed().as_nanos().max(1);
+        const TARGET_SAMPLE_NS: u128 = 2_000_000;
+        let iters = ((TARGET_SAMPLE_NS / probe).clamp(1, 1_000_000)) as u64;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        self.stats = Some(BenchStats {
+            id: String::new(),
+            median_ns: median,
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().unwrap(),
+            samples: per_iter.len(),
+            iters,
+        });
+    }
+}
+
+/// Define a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_stats() {
+        let mut c = Criterion {
+            filter: None,
+            collected: Vec::new(),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.collected.len(), 1);
+        assert!(c.collected[0].median_ns > 0.0);
+        assert_eq!(c.collected[0].id, "g/noop");
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            collected: Vec::new(),
+        };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("other", |b| b.iter(|| ()));
+        g.bench_function("wanted", |b| b.iter(|| ()));
+        g.finish();
+        assert_eq!(c.collected.len(), 1);
+    }
+}

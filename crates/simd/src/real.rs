@@ -133,7 +133,7 @@ mod tests {
         assert!(R::INFINITY.min(x) == x);
         assert!((-x).abs() == x);
         assert!(x.is_finite());
-        assert!(!(R::INFINITY).is_finite() || false);
+        assert!(!R::INFINITY.is_finite());
     }
 
     #[test]

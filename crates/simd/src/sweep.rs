@@ -54,7 +54,7 @@ impl Sweep {
     /// reported by the plan statistics (small blocks in the block-permute
     /// scheme "may suffer from the underutilization of vector lanes").
     pub fn vector_fraction(&self) -> f64 {
-        if self.len() == 0 {
+        if self.is_empty() {
             return 0.0;
         }
         self.body.len() as f64 / self.len() as f64

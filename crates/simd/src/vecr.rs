@@ -175,7 +175,11 @@ impl<R: Real, const L: usize> VecR<R, L> {
     pub fn select(mask: Mask<L>, if_true: Self, if_false: Self) -> Self {
         let mut out = [R::ZERO; L];
         for k in 0..L {
-            out[k] = if mask.lane(k) { if_true.0[k] } else { if_false.0[k] };
+            out[k] = if mask.lane(k) {
+                if_true.0[k]
+            } else {
+                if_false.0[k]
+            };
         }
         VecR(out)
     }
@@ -186,6 +190,7 @@ impl<R: Real, const L: usize> VecR<R, L> {
     /// reductions ("first the reduction is carried out on vectors and at
     /// the end values of the accumulator vector are added up", §4.1).
     #[inline(always)]
+    #[allow(clippy::assign_op_pattern)] // Real requires Add, not AddAssign
     pub fn reduce_sum(self) -> R {
         // Pairwise tree reduction: deterministic and matches how a
         // hardware horizontal add associates, independent of L.

@@ -7,7 +7,7 @@
 //! ```
 
 use ump::apps::airfoil::{drivers, mpi, Airfoil};
-use ump::core::{PlanCache, Recorder};
+use ump::core::{ExecPool, PlanCache, Recorder};
 
 fn main() {
     let args: Vec<usize> = std::env::args()
@@ -43,14 +43,22 @@ fn main() {
         print_breakdown("explicit SIMD (4 lanes, DP)", &rec);
         results.push(("simd", rec.total_seconds(), rms));
     }
-    // threaded + SIMD hybrid
+    // threaded + SIMD hybrid, on a persistent worker team created once
     {
         let rec = Recorder::new();
         let cache = PlanCache::new();
+        let pool = ExecPool::new(0);
         let mut sim = Airfoil::<f64>::new(nx, ny);
         let mut rms = 0.0;
         for _ in 0..iters {
-            rms = drivers::step_simd_threaded::<f64, 4>(&mut sim, &cache, 0, 1024, Some(&rec));
+            rms = drivers::step_simd_threaded_on::<f64, 4>(
+                &pool,
+                &mut sim,
+                &cache,
+                0,
+                1024,
+                Some(&rec),
+            );
         }
         print_breakdown("threads × SIMD hybrid", &rec);
         results.push(("hybrid", rec.total_seconds(), rms));
@@ -60,7 +68,10 @@ fn main() {
         let rec = Recorder::new();
         let case = ump::mesh::generators::quad_channel(nx, ny);
         let (_q, hist) = mpi::run_mpi::<f64>(&case, 2, iters, Some(&rec));
-        println!("message-passing (2 ranks): rms history tail = {:.3e}", hist.last().unwrap());
+        println!(
+            "message-passing (2 ranks): rms history tail = {:.3e}",
+            hist.last().unwrap()
+        );
         results.push(("mpi", rec.total_seconds(), *hist.last().unwrap()));
     }
 
@@ -74,7 +85,9 @@ fn main() {
     }
     let rms0 = results[0].2;
     assert!(
-        results.iter().all(|(_, _, r)| (r - rms0).abs() < 1e-9 * rms0),
+        results
+            .iter()
+            .all(|(_, _, r)| (r - rms0).abs() < 1e-9 * rms0),
         "backends disagree!"
     );
     println!("all backends converge to the same residual ✓");

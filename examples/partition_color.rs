@@ -41,12 +41,18 @@ fn main() {
     );
     println!(
         "  greedy BFS  cut {:>5}  imbalance {:.3}  halo {:>5}  (refined: {} moves, cut {} -> {})",
-        q_bfs.edge_cut, q_bfs.imbalance, q_bfs.halo_volume, moves, q_bfs_before.edge_cut, q_bfs.edge_cut
+        q_bfs.edge_cut,
+        q_bfs.imbalance,
+        q_bfs.halo_volume,
+        moves,
+        q_bfs_before.edge_cut,
+        q_bfs.edge_cut
     );
 
     // --- distribution (owner-compute + exec halo) --------------------------
     let locals = distribute(&mesh, &p_rcb);
-    let redundant: usize = locals.iter().map(|lm| lm.mesh.n_edges()).sum::<usize>() - mesh.n_edges();
+    let redundant: usize =
+        locals.iter().map(|lm| lm.mesh.n_edges()).sum::<usize>() - mesh.n_edges();
     println!(
         "\ndistribution: redundantly executed edges {redundant} ({:.2}% of {})",
         100.0 * redundant as f64 / mesh.n_edges() as f64,
@@ -73,7 +79,10 @@ fn main() {
     for (name, stats) in [
         ("two-level", PlanStats::of_two_level(&two, &maps, 4)),
         ("full permute", PlanStats::of_full_permute(&full, &maps, 4)),
-        ("block permute", PlanStats::of_block_permute(&block, &maps, 4)),
+        (
+            "block permute",
+            PlanStats::of_block_permute(&block, &maps, 4),
+        ),
     ] {
         println!(
             "  {name:<14} blocks {:>4}  block-colors {:>2}  serialization {:>2}  reuse {:.2}  lane-util {:.2}",

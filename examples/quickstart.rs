@@ -7,7 +7,7 @@
 //! ```
 
 use ump::color::{PlanInputs, TwoLevelPlan};
-use ump::core::{par_colored_blocks, SharedDat};
+use ump::core::{ExecPool, SharedDat};
 use ump::mesh::generators::quad_channel;
 use ump::simd::{split_sweep, F64x4, IdxVec, VecR};
 
@@ -43,10 +43,13 @@ fn main() {
         plan.block_colors.n_colors,
         plan.max_elem_colors()
     );
+    // the persistent worker team: spawned once, reused by every color
+    // round (use ExecPool::global() to share one team process-wide)
+    let pool = ExecPool::new(0);
     let mut threaded = vec![0.0f64; mesh.n_cells()];
     {
         let shared = SharedDat::new(&mut threaded);
-        par_colored_blocks(&plan, 0, |_b, range| {
+        pool.colored_blocks(&plan, 0, |_b, range| {
             for e in range.start as usize..range.end as usize {
                 let c = mesh.edge2cell.row(e);
                 unsafe {
@@ -76,10 +79,19 @@ fn main() {
 
     // 5. all three agree
     let max_diff = |a: &[f64], b: &[f64]| {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     };
-    println!("threaded vs sequential: max |Δ| = {:e}", max_diff(&threaded, &reference));
-    println!("simd     vs sequential: max |Δ| = {:e}", max_diff(&simd, &reference));
+    println!(
+        "threaded vs sequential: max |Δ| = {:e}",
+        max_diff(&threaded, &reference)
+    );
+    println!(
+        "simd     vs sequential: max |Δ| = {:e}",
+        max_diff(&simd, &reference)
+    );
     assert!(max_diff(&threaded, &reference) == 0.0);
     assert!(max_diff(&simd, &reference) == 0.0);
     println!("all backends agree ✓");

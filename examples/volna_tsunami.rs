@@ -43,7 +43,10 @@ fn main() {
                     format!("{:+.3}", r[0] + r[3])
                 })
                 .collect();
-            println!("t = {time:7.2}  η at gauges (x=30,50,70,85,95): {}", etas.join("  "));
+            println!(
+                "t = {time:7.2}  η at gauges (x=30,50,70,85,95): {}",
+                etas.join("  ")
+            );
         }
     }
     let v1 = sim.total_volume();

@@ -12,7 +12,9 @@ const ITERS: usize = 5;
 
 fn reference() -> (Airfoil<f64>, Vec<f64>) {
     let mut sim = Airfoil::<f64>::new(NX, NY);
-    let hist: Vec<f64> = (0..ITERS).map(|_| drivers::step_seq(&mut sim, None)).collect();
+    let hist: Vec<f64> = (0..ITERS)
+        .map(|_| drivers::step_seq(&mut sim, None))
+        .collect();
     (sim, hist)
 }
 
@@ -131,7 +133,12 @@ fn hybrid_ranks_threads_simd_matches_sequential() {
     // × vector intrinsics, all at once
     let (ref_sim, ref_hist) = reference();
     let (q, hist) = mpi::run_mpi_hybrid::<f64, 4>(&ref_sim.case, 2, 2, 64, ITERS);
-    assert_q_close(&q, &ref_sim.q, 1e-11, "hybrid 2 ranks x 2 threads x 4 lanes");
+    assert_q_close(
+        &q,
+        &ref_sim.q,
+        1e-11,
+        "hybrid 2 ranks x 2 threads x 4 lanes",
+    );
     for (i, (&a, &b)) in hist.iter().zip(&ref_hist).enumerate() {
         assert!((a - b).abs() < 1e-10 * (1.0 + b), "iter {i}: {a} vs {b}");
     }
@@ -150,7 +157,12 @@ fn single_precision_tracks_double_precision() {
     }
     assert!(sp.q.all_finite());
     let rel = (last.0 - last.1).abs() / last.0.max(1e-30);
-    assert!(rel < 1e-3, "SP rms {} vs DP rms {} (rel {rel})", last.1, last.0);
+    assert!(
+        rel < 1e-3,
+        "SP rms {} vs DP rms {} (rel {rel})",
+        last.1,
+        last.0
+    );
 }
 
 #[test]

@@ -16,10 +16,7 @@ fn mass_is_conserved_exactly_by_construction() {
         assert!(dt.is_finite() && dt > 0.0);
     }
     let v1 = sim.total_volume();
-    assert!(
-        (v1 - v0).abs() < 1e-9 * v0,
-        "volume drifted: {v0} -> {v1}"
-    );
+    assert!((v1 - v0).abs() < 1e-9 * v0, "volume drifted: {v0} -> {v1}");
     assert!(sim.w.all_finite());
 }
 
@@ -99,7 +96,10 @@ fn simd_matches_sequential() {
     for i in 0..STEPS {
         let da = drivers::step_seq(&mut a, None);
         let db = drivers::step_simd::<f64, 4>(&mut b, None);
-        assert!((da - db).abs() < 1e-12 * da.max(1e-30), "dt diverged at step {i}");
+        assert!(
+            (da - db).abs() < 1e-12 * da.max(1e-30),
+            "dt diverged at step {i}"
+        );
     }
     let d = a.w.max_abs_diff(&b.w);
     assert!(d < 1e-11, "simd diverged: {d}");
