@@ -17,8 +17,10 @@
 
 use ump_color::PlanInputs;
 use ump_core::{
-    global_pool_cap, seq_loop, ExecPool, OpDat, PlanCache, Recorder, Scheme, SharedDat, SharedMut,
+    apply_edge_inc, global_pool_cap, seq_loop, ExecPool, OpDat, PlanCache, Recorder, Scheme,
+    SharedDat, SharedMut,
 };
+use ump_lazy::{Chain, LoopDesc, Shape};
 use ump_simd::{split_sweep, IdxVec, Real, VecR};
 
 use super::kernels::{adt_calc, bres_calc, res_calc, save_soln, update};
@@ -830,6 +832,179 @@ pub fn step_simd_scheme<R: Real, const L: usize>(
 }
 
 // ---------------------------------------------------------------------------
+// fused loop chains — the ump_lazy deferred-execution backend
+// ---------------------------------------------------------------------------
+
+/// One iteration recorded as an `ump_lazy` loop chain and executed with
+/// cross-loop fusion on the process-wide [`ExecPool`] (threaded shape,
+/// `n_threads` team members, `0` = all).
+///
+/// The nine-loop timestep fuses into seven groups — `save_soln+adt_calc`
+/// and `update+adt_calc` share one colored dispatch each (all direct
+/// dependencies), `res_calc` stays alone (indirect increment), and the
+/// tiny `bres_calc` runs serially — so every step issues two dispatch
+/// rounds fewer than [`step_threaded`] while computing identical physics.
+pub fn step_fused<R: Real>(
+    sim: &mut Airfoil<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_fused_on(
+        ExecPool::global(),
+        sim,
+        cache,
+        Shape::Threaded,
+        global_pool_cap(n_threads),
+        block_size,
+        rec,
+    )
+}
+
+/// As [`step_fused`] on an explicit pool and execution shape
+/// ([`Shape::Threaded`] or the SIMT emulation [`Shape::Simt`]).
+pub fn step_fused_on<R: Real>(
+    pool: &ExecPool,
+    sim: &mut Airfoil<R>,
+    cache: &PlanCache,
+    shape: Shape,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let Airfoil {
+        case,
+        consts,
+        x,
+        q,
+        qold,
+        adt,
+        res,
+    } = sim;
+    let mesh = &case.mesh;
+    // shared immutable reborrows: many recorded bodies capture these
+    let (x, consts) = (&*x, &*consts);
+    let (nc, ne, nb) = (mesh.n_cells(), mesh.n_edges(), mesh.n_bedges());
+    let n_cell_blocks = nc.div_ceil(block_size);
+    // rms partials: one slot per (phase, cell block), merged in block
+    // order after the chain runs — the same deterministic reduction as
+    // step_threaded's
+    let mut rms_blocks = vec![R::ZERO; 2 * n_cell_blocks];
+    {
+        let qs = SharedDat::new(&mut q.data);
+        let qolds = SharedDat::new(&mut qold.data);
+        let adts = SharedDat::new(&mut adt.data);
+        let ress = SharedDat::new(&mut res.data);
+        let rmss = SharedDat::new(&mut rms_blocks);
+        let desc = |name: &str, n: usize| LoopDesc::new(profile(name), n);
+
+        let mut chain = Chain::new("airfoil_step");
+        {
+            let (qs, qolds) = (&qs, &qolds);
+            chain.record(desc("save_soln", nc), vec![], move |c| unsafe {
+                save_soln(qs.slice(c * 4, 4), qolds.slice_mut(c * 4, 4));
+            });
+        }
+        for phase in 0..2 {
+            {
+                let (qs, adts) = (&qs, &adts);
+                chain.record(desc("adt_calc", nc), vec![], move |c| {
+                    let n = mesh.cell2node.row(c);
+                    let mut a = R::ZERO;
+                    unsafe {
+                        adt_calc(
+                            x.row(n[0] as usize),
+                            x.row(n[1] as usize),
+                            x.row(n[2] as usize),
+                            x.row(n[3] as usize),
+                            qs.slice(c * 4, 4),
+                            &mut a,
+                            consts,
+                        );
+                        adts.slice_mut(c, 1)[0] = a;
+                    }
+                });
+            }
+            {
+                let (qs, adts, ress) = (&qs, &adts, &ress);
+                chain.record_two_phase(
+                    desc("res_calc", ne),
+                    vec![&mesh.edge2cell],
+                    move |e| {
+                        let n = mesh.edge2node.row(e);
+                        let c = mesh.edge2cell.row(e);
+                        let (c0, c1) = (c[0] as usize, c[1] as usize);
+                        let mut r1 = [R::ZERO; 4];
+                        let mut r2 = [R::ZERO; 4];
+                        unsafe {
+                            res_calc(
+                                x.row(n[0] as usize),
+                                x.row(n[1] as usize),
+                                qs.slice(c0 * 4, 4),
+                                qs.slice(c1 * 4, 4),
+                                adts.slice(c0, 1)[0],
+                                adts.slice(c1, 1)[0],
+                                &mut r1,
+                                &mut r2,
+                                consts,
+                            );
+                        }
+                        (c0, r1, c1, r2)
+                    },
+                    move |_e, inc| unsafe { apply_edge_inc(ress, inc) },
+                );
+            }
+            {
+                let (qs, adts, ress) = (&qs, &adts, &ress);
+                let bound = &case.bound;
+                chain.record_seq(desc("bres_calc", nb), move || {
+                    for be in 0..nb {
+                        let n = mesh.bedge2node.row(be);
+                        let c0 = mesh.bedge2cell.at(be, 0);
+                        unsafe {
+                            bres_calc(
+                                x.row(n[0] as usize),
+                                x.row(n[1] as usize),
+                                qs.slice(c0 * 4, 4),
+                                adts.slice(c0, 1)[0],
+                                ress.slice_mut(c0 * 4, 4),
+                                bound[be],
+                                consts,
+                            );
+                        }
+                    }
+                });
+            }
+            {
+                let (qs, qolds, adts, ress, rmss) = (&qs, &qolds, &adts, &ress, &rmss);
+                chain.record_blocks(desc("update", nc), vec![], move |b, range| {
+                    let mut local = R::ZERO;
+                    for c in range.start as usize..range.end as usize {
+                        unsafe {
+                            update(
+                                qolds.slice(c * 4, 4),
+                                qs.slice_mut(c * 4, 4),
+                                ress.slice_mut(c * 4, 4),
+                                adts.slice(c, 1)[0],
+                                &mut local,
+                            );
+                        }
+                    }
+                    unsafe { rmss.slice_mut(phase * n_cell_blocks + b, 1)[0] = local };
+                });
+            }
+        }
+        chain.execute(pool, cache, shape, n_threads, block_size, R::BYTES, rec);
+    }
+    let mut rms = R::ZERO;
+    for v in rms_blocks {
+        rms += v;
+    }
+    sim.normalize_rms(rms.to_f64())
+}
+
+// ---------------------------------------------------------------------------
 // SIMT (OpenCL-on-CPU) emulation — paper Fig. 3a
 // ---------------------------------------------------------------------------
 
@@ -964,17 +1139,8 @@ pub fn step_simt_on<R: Real>(
                     );
                     (c0, r1, c1, r2)
                 },
-                |_e, (c0, r1, c1, r2)| unsafe {
-                    // colored increment phase
-                    let d0 = ress.slice_mut(c0 * 4, 4);
-                    for d in 0..4 {
-                        d0[d] += r1[d];
-                    }
-                    let d1 = ress.slice_mut(c1 * 4, 4);
-                    for d in 0..4 {
-                        d1[d] += r2[d];
-                    }
-                },
+                // colored increment phase
+                |_e, inc| unsafe { apply_edge_inc(&ress, inc) },
             );
         });
         maybe_time(rec, "bres_calc", wb, nb, || {

@@ -5,8 +5,10 @@
 
 use ump_color::PlanInputs;
 use ump_core::{
-    global_pool_cap, seq_loop, ExecPool, PlanCache, Recorder, Scheme, SharedDat, SharedMut,
+    apply_edge_inc, global_pool_cap, seq_loop, ExecPool, PlanCache, Recorder, Scheme, SharedDat,
+    SharedMut,
 };
+use ump_lazy::{Chain, LoopDesc, Shape};
 use ump_simd::{split_sweep, IdxVec, Real, VecR};
 
 use super::kernels::{bc_flux, compute_flux, numerical_flux, rk_1, rk_2, sim_1, space_disc};
@@ -497,6 +499,233 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Volna<R>, rec: Option<&Recor
 }
 
 // ---------------------------------------------------------------------------
+// fused loop chains — the ump_lazy deferred-execution backend
+// ---------------------------------------------------------------------------
+
+/// One RK2 step recorded as an `ump_lazy` loop chain and executed with
+/// cross-loop fusion on the process-wide [`ExecPool`] (threaded shape,
+/// `n_threads` team members, `0` = all). Returns Δt.
+///
+/// The three edge loops of phase 0 (`compute_flux`, `numerical_flux`,
+/// `space_disc`) fuse into a single colored dispatch — their
+/// dependencies are direct (the per-edge flux pack) — and phase 1 fuses
+/// `compute_flux+space_disc`; the Δt reduction is merged by an epilogue
+/// before `RK_1` consumes it. Three dispatch rounds fewer per step than
+/// [`step_threaded`], with the edge working set streamed once per group.
+pub fn step_fused<R: Real>(
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_fused_on(
+        ExecPool::global(),
+        sim,
+        cache,
+        Shape::Threaded,
+        global_pool_cap(n_threads),
+        block_size,
+        rec,
+    )
+}
+
+/// As [`step_fused`] on an explicit pool and execution shape.
+pub fn step_fused_on<R: Real>(
+    pool: &ExecPool,
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    shape: Shape,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let g = R::from_f64(GRAVITY);
+    let h_min = R::from_f64(H_MIN);
+    let cfl = R::from_f64(CFL);
+    let Volna {
+        case,
+        w,
+        w_old,
+        w1,
+        res,
+        area,
+        egeom,
+        eflux,
+        bgeom,
+    } = sim;
+    let mesh = &case.mesh;
+    let (area, egeom, bgeom) = (&*area, &*egeom, &*bgeom);
+    let (nc, ne, nb) = (mesh.n_cells(), mesh.n_edges(), mesh.n_bedges());
+    let n_edge_blocks = ne.div_ceil(block_size);
+    // Δt partials: one slot per edge block, folded by an epilogue into
+    // `dt_slot` before RK_1 (a later loop of the same chain) reads it
+    let mut dt_blocks = vec![R::INFINITY; n_edge_blocks];
+    let mut dt_slot = vec![R::INFINITY; 1];
+    {
+        let ws = SharedDat::new(&mut w.data);
+        let wolds = SharedDat::new(&mut w_old.data);
+        let w1s = SharedDat::new(&mut w1.data);
+        let ress = SharedDat::new(&mut res.data);
+        let efs = SharedDat::new(&mut eflux.data);
+        let dts = SharedDat::new(&mut dt_blocks);
+        let dtf = SharedDat::new(&mut dt_slot);
+        let desc = |name: &str, n: usize| LoopDesc::new(profile(name), n);
+        // descriptor for the state-gathering loops, whose gathered dat
+        // switches from `w` to `w1` in the second RK phase — the
+        // dependency analyzer must see what the body actually reads
+        let state_desc = |name: &str, n: usize, phase: usize| {
+            let mut p = profile(name);
+            if phase == 1 {
+                for a in &mut p.args {
+                    if a.dat == "w" {
+                        a.dat = "w1".into();
+                    }
+                }
+            }
+            LoopDesc::new(p, n)
+        };
+
+        let mut chain = Chain::new("volna_step");
+        {
+            let (ws, wolds) = (&ws, &wolds);
+            chain.record(desc("sim_1", nc), vec![], move |c| unsafe {
+                sim_1(ws.slice(c * 4, 4), wolds.slice_mut(c * 4, 4));
+            });
+        }
+        for phase in 0..2 {
+            let state = if phase == 0 { &ws } else { &w1s };
+            {
+                let efs = &efs;
+                chain.record(state_desc("compute_flux", ne, phase), vec![], move |e| {
+                    let c = mesh.edge2cell.row(e);
+                    unsafe {
+                        compute_flux(
+                            egeom.row(e),
+                            state.slice(c[0] as usize * 4, 4),
+                            state.slice(c[1] as usize * 4, 4),
+                            efs.slice_mut(e * 4, 4),
+                            g,
+                            h_min,
+                        );
+                    }
+                });
+            }
+            if phase == 0 {
+                {
+                    let (efs, dts) = (&efs, &dts);
+                    chain.record_blocks(desc("numerical_flux", ne), vec![], move |b, range| {
+                        let mut local = R::INFINITY;
+                        for e in range.start as usize..range.end as usize {
+                            let c = mesh.edge2cell.row(e);
+                            unsafe {
+                                numerical_flux(
+                                    egeom.row(e),
+                                    efs.slice(e * 4, 4),
+                                    area.row(c[0] as usize)[0],
+                                    area.row(c[1] as usize)[0],
+                                    &mut local,
+                                    cfl,
+                                );
+                            }
+                        }
+                        unsafe { dts.slice_mut(b, 1)[0] = local };
+                    });
+                }
+                {
+                    let (dts, dtf) = (&dts, &dtf);
+                    chain.epilogue(move || unsafe {
+                        let mut merged = R::INFINITY;
+                        for &v in dts.slice(0, dts.len()) {
+                            merged = if v < merged { v } else { merged };
+                        }
+                        dtf.slice_mut(0, 1)[0] = merged;
+                    });
+                }
+            }
+            {
+                let (efs, ress) = (&efs, &ress);
+                chain.record_two_phase(
+                    state_desc("space_disc", ne, phase),
+                    vec![&mesh.edge2cell],
+                    move |e| {
+                        let c = mesh.edge2cell.row(e);
+                        let (c0, c1) = (c[0] as usize, c[1] as usize);
+                        let mut rl = [R::ZERO; 4];
+                        let mut rr = [R::ZERO; 4];
+                        unsafe {
+                            space_disc(
+                                egeom.row(e),
+                                efs.slice(e * 4, 4),
+                                state.slice(c0 * 4, 4),
+                                state.slice(c1 * 4, 4),
+                                &mut rl,
+                                &mut rr,
+                                g,
+                            );
+                        }
+                        (c0, rl, c1, rr)
+                    },
+                    move |_e, inc| unsafe { apply_edge_inc(ress, inc) },
+                );
+            }
+            {
+                let ress = &ress;
+                chain.record_seq(state_desc("bc_flux", nb, phase), move || {
+                    for be in 0..nb {
+                        let c0 = mesh.bedge2cell.at(be, 0);
+                        unsafe {
+                            bc_flux(
+                                bgeom.row(be),
+                                state.slice(c0 * 4, 4),
+                                ress.slice_mut(c0 * 4, 4),
+                                g,
+                            );
+                        }
+                    }
+                });
+            }
+            if phase == 0 {
+                let (wolds, w1s, ress, dtf) = (&wolds, &w1s, &ress, &dtf);
+                chain.record_blocks(desc("RK_1", nc), vec![], move |_b, range| {
+                    let dt = unsafe { dtf.slice(0, 1)[0] };
+                    for c in range.start as usize..range.end as usize {
+                        unsafe {
+                            rk_1(
+                                wolds.slice(c * 4, 4),
+                                ress.slice_mut(c * 4, 4),
+                                w1s.slice_mut(c * 4, 4),
+                                area.row(c)[0],
+                                dt,
+                            );
+                        }
+                    }
+                });
+            } else {
+                let (wolds, w1s, ress, ws, dtf) = (&wolds, &w1s, &ress, &ws, &dtf);
+                chain.record_blocks(desc("RK_2", nc), vec![], move |_b, range| {
+                    let dt = unsafe { dtf.slice(0, 1)[0] };
+                    for c in range.start as usize..range.end as usize {
+                        unsafe {
+                            rk_2(
+                                wolds.slice(c * 4, 4),
+                                w1s.slice(c * 4, 4),
+                                ress.slice_mut(c * 4, 4),
+                                ws.slice_mut(c * 4, 4),
+                                area.row(c)[0],
+                                dt,
+                            );
+                        }
+                    }
+                });
+            }
+        }
+        chain.execute(pool, cache, shape, n_threads, block_size, R::BYTES, rec);
+    }
+    dt_slot[0].to_f64()
+}
+
+// ---------------------------------------------------------------------------
 // SIMT (OpenCL) emulation
 // ---------------------------------------------------------------------------
 
@@ -581,16 +810,8 @@ pub fn step_simt_on<R: Real>(
                         );
                         (c0, rl, c1, rr)
                     },
-                    |_e, (c0, rl, c1, rr)| unsafe {
-                        let d0 = ress.slice_mut(c0 * 4, 4);
-                        for d in 0..4 {
-                            d0[d] += rl[d];
-                        }
-                        let d1 = ress.slice_mut(c1 * 4, 4);
-                        for d in 0..4 {
-                            d1[d] += rr[d];
-                        }
-                    },
+                    // colored increment phase
+                    |_e, inc| unsafe { apply_edge_inc(&ress, inc) },
                 );
             });
         },

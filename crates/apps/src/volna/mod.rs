@@ -253,12 +253,17 @@ pub fn profiles() -> Vec<LoopProfile> {
     ]
 }
 
-/// Look up one profile by kernel name.
+/// Look up one profile by kernel name. Served from a process-wide cache:
+/// instrumented and fused drivers resolve profiles every loop of every
+/// step, which must not rebuild the whole signature vocabulary.
 pub fn profile(name: &str) -> LoopProfile {
-    profiles()
-        .into_iter()
+    static CACHE: std::sync::OnceLock<Vec<LoopProfile>> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(profiles)
+        .iter()
         .find(|p| p.name == name)
         .unwrap_or_else(|| panic!("unknown volna kernel {name}"))
+        .clone()
 }
 
 #[cfg(test)]

@@ -3,7 +3,10 @@
 //! ```text
 //! repro <experiment> [--scale small|paper]
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
-//!              table9 fig5 fig6 fig7 fig8a fig8b fig9 all
+//!              table9 fig5 fig6 fig7 fig8a fig8b fig9 fusion all
+//! repro --smoke   # tiny-mesh end-to-end run of every host backend,
+//!                 # including the fused (ump-lazy) path; asserts
+//!                 # consistency and exits non-zero on divergence
 //! ```
 //!
 //! Cross-hardware numbers come from `ump-archsim` (we do not own the
@@ -29,12 +32,16 @@ fn main() {
                 let v = it.next().expect("--scale needs a value");
                 scale = Scale::parse(v).expect("scale is small|paper");
             }
+            "--smoke" => {
+                smoke();
+                return;
+            }
             other => cmd = other.to_string(),
         }
     }
     let all = [
         "table1", "table2", "table3", "table4", "fig5", "table5", "fig6", "table6", "fig7",
-        "table7", "fig8a", "fig8b", "table8", "table9", "fig9",
+        "table7", "fig8a", "fig8b", "table8", "table9", "fig9", "fusion",
     ];
     let run = |c: &str| match c {
         "table1" => table1(),
@@ -52,6 +59,7 @@ fn main() {
         "fig8a" => fig8a(scale),
         "fig8b" => fig8b(scale),
         "fig9" => fig9(scale),
+        "fusion" => fusion(scale),
         other => eprintln!("unknown experiment {other}"),
     };
     if cmd == "all" {
@@ -760,6 +768,246 @@ fn fig8b(scale: Scale) {
         println!();
     }
     println!("paper shape: more ranks/threads prefer larger blocks until load imbalance bites");
+}
+
+// ---------------------------------------------------------------------------
+// fusion (ump-lazy) and the smoke run
+// ---------------------------------------------------------------------------
+
+fn fusion(scale: Scale) {
+    header("Fusion — host-MEASURED fused (ump-lazy) vs unfused timestep at --scale");
+    let (nx, ny) = scale.airfoil_dims();
+    let iters = scale.iters();
+    let threads = ump_core::exec::default_threads();
+    let pool = ExecPool::new(threads);
+
+    let run = |fused: bool| -> (f64, u64, Option<ump_core::FusionStats>) {
+        let cache = PlanCache::new();
+        let rec = Recorder::new();
+        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        // warm plans, then measure
+        if fused {
+            ump_apps::airfoil::drivers::step_fused_on(
+                &pool,
+                &mut sim,
+                &cache,
+                ump_lazy::Shape::Threaded,
+                0,
+                1024,
+                None,
+            );
+        } else {
+            ump_apps::airfoil::drivers::step_threaded_on(&pool, &mut sim, &cache, 0, 1024, None);
+        }
+        let r0 = pool.dispatch_rounds();
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            if fused {
+                ump_apps::airfoil::drivers::step_fused_on(
+                    &pool,
+                    &mut sim,
+                    &cache,
+                    ump_lazy::Shape::Threaded,
+                    0,
+                    1024,
+                    Some(&rec),
+                );
+            } else {
+                ump_apps::airfoil::drivers::step_threaded_on(
+                    &pool,
+                    &mut sim,
+                    &cache,
+                    0,
+                    1024,
+                    Some(&rec),
+                );
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let rounds = (pool.dispatch_rounds() - r0) / iters as u64;
+        (dt, rounds, rec.fusion("airfoil_step"))
+    };
+
+    let (unfused_s, unfused_rounds, _) = run(false);
+    let (fused_s, fused_rounds, stats) = run(true);
+    println!("{:<28} {:>10} {:>16}", "config", "total s", "rounds/step");
+    println!(
+        "{:<28} {unfused_s:>10.2} {unfused_rounds:>16}",
+        "unfused (step_threaded)"
+    );
+    println!(
+        "{:<28} {fused_s:>10.2} {fused_rounds:>16}",
+        "fused (step_fused)"
+    );
+    if let Some(s) = stats {
+        println!(
+            "per step: {} loops -> {} groups, {} rounds saved, {:.1} MB not re-streamed",
+            s.loops / s.executions,
+            s.groups / s.executions,
+            s.rounds_saved() / s.executions,
+            s.bytes_saved / s.executions as f64 / 1e6
+        );
+    }
+    println!(
+        "speedup: {:.2}x (BENCH_fusion.json holds the criterion-measured numbers)",
+        unfused_s / fused_s
+    );
+}
+
+/// Tiny-mesh end-to-end exercise of every host execution path —
+/// sequential, threaded, SIMD, SIMT and the fused chain runtime on both
+/// apps — asserting cross-backend consistency. Fast enough for CI; any
+/// divergence or NaN panics (non-zero exit).
+fn smoke() {
+    header("smoke — tiny meshes through every host backend (incl. fused)");
+    let pool = ExecPool::new(4);
+
+    // Airfoil 48x24, 3 iters
+    {
+        let (nx, ny, iters) = (48usize, 24usize, 3usize);
+        let mut reference = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        let mut rms = 0.0;
+        for _ in 0..iters {
+            rms = ump_apps::airfoil::drivers::step_seq(&mut reference, None);
+        }
+        assert!(reference.q.all_finite() && rms.is_finite());
+
+        let check = |name: &str, q: &ump_core::OpDat<f64>, tol: f64| {
+            let d = q.max_abs_diff(&reference.q);
+            assert!(d <= tol, "{name} diverged: {d:e} > {tol:e}");
+            println!("airfoil {nx}x{ny} {name:<18} max|Δq| = {d:.2e}  ok");
+        };
+
+        let cache = PlanCache::new();
+        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::airfoil::drivers::step_threaded_on(&pool, &mut sim, &cache, 0, 64, None);
+        }
+        check("threaded", &sim.q, 1e-11);
+
+        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::airfoil::drivers::step_simd::<f64, 4>(&mut sim, None);
+        }
+        check("simd", &sim.q, 1e-11);
+
+        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::airfoil::drivers::step_simd_threaded_on::<f64, 4>(
+                &pool, &mut sim, &cache, 0, 64, None,
+            );
+        }
+        check("simd+threads", &sim.q, 1e-11);
+
+        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::airfoil::drivers::step_simt_on(&pool, &mut sim, &cache, 0, 8, 0, 64, None);
+        }
+        check("simt", &sim.q, 1e-11);
+
+        let rec = Recorder::new();
+        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::airfoil::drivers::step_fused_on(
+                &pool,
+                &mut sim,
+                &cache,
+                ump_lazy::Shape::Threaded,
+                0,
+                64,
+                Some(&rec),
+            );
+        }
+        check("fused/threaded", &sim.q, 1e-12);
+        let s = rec.fusion("airfoil_step").expect("fusion stats");
+        assert!(s.rounds_saved() >= 2, "fusion must save rounds");
+        println!(
+            "airfoil fused chain: {} loops -> {} groups, {} rounds saved/step",
+            s.loops / s.executions,
+            s.groups / s.executions,
+            s.rounds_saved() / s.executions
+        );
+
+        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::airfoil::drivers::step_fused_on(
+                &pool,
+                &mut sim,
+                &cache,
+                ump_lazy::Shape::Simt {
+                    width: 8,
+                    sched_overhead_ns: 0,
+                },
+                0,
+                64,
+                None,
+            );
+        }
+        check("fused/simt", &sim.q, 1e-12);
+    }
+
+    // Volna 20x14, 3 steps
+    {
+        let (nx, ny, iters) = (20usize, 14usize, 3usize);
+        let mut reference = ump_apps::volna::Volna::<f64>::new(nx, ny);
+        let v0 = reference.total_volume();
+        let mut dts = Vec::new();
+        for _ in 0..iters {
+            dts.push(ump_apps::volna::drivers::step_seq(&mut reference, None));
+        }
+        assert!(reference.w.all_finite());
+        assert!(
+            (reference.total_volume() - v0).abs() < 1e-9 * v0,
+            "mass drift"
+        );
+
+        let cache = PlanCache::new();
+        let vcheck = |name: &str, w: &ump_core::OpDat<f64>, tol: f64| {
+            let d = w.max_abs_diff(&reference.w);
+            assert!(d <= tol, "volna {name} diverged: {d:e} > {tol:e}");
+            println!("volna {nx}x{ny} {name:<18} max|Δw| = {d:.2e}  ok");
+        };
+
+        let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::volna::drivers::step_threaded_on(&pool, &mut sim, &cache, 0, 64, None);
+        }
+        vcheck("threaded", &sim.w, 1e-11);
+
+        let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::volna::drivers::step_simd::<f64, 4>(&mut sim, None);
+        }
+        vcheck("simd", &sim.w, 1e-11);
+
+        let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::volna::drivers::step_simt_on(&pool, &mut sim, &cache, 0, 8, 0, 64, None);
+        }
+        vcheck("simt", &sim.w, 1e-11);
+
+        let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
+        for (i, &r) in dts.iter().enumerate() {
+            let dt = ump_apps::volna::drivers::step_fused_on(
+                &pool,
+                &mut sim,
+                &cache,
+                ump_lazy::Shape::Threaded,
+                0,
+                64,
+                None,
+            );
+            assert!(
+                (dt - r).abs() <= 1e-12 * r,
+                "volna fused Δt diverged at step {i}: {dt} vs {r}"
+            );
+        }
+        let d = sim.w.max_abs_diff(&reference.w);
+        assert!(d <= 1e-12, "volna fused diverged: {d:e}");
+        println!("volna {nx}x{ny} fused/threaded    max|Δw| = {d:.2e}  ok");
+    }
+
+    println!("smoke ok");
 }
 
 fn fig9(scale: Scale) {

@@ -35,6 +35,23 @@ impl<'a> PlanInputs<'a> {
             block_size,
         }
     }
+
+    /// Plan inputs for a *fused group* of loops over one iteration set:
+    /// the union of the group members' written maps, deduplicated by map
+    /// name and sorted by name so the result is canonical — the same
+    /// group composition always yields the same plan-cache key. A plan
+    /// colored by the union respects every member's write conflicts, so
+    /// one colored dispatch can execute the whole group.
+    pub fn merged(
+        n_elems: usize,
+        written: impl IntoIterator<Item = &'a MapTable>,
+        block_size: usize,
+    ) -> PlanInputs<'a> {
+        let mut maps: Vec<&'a MapTable> = written.into_iter().collect();
+        maps.sort_by(|a, b| a.name.cmp(&b.name));
+        maps.dedup_by(|a, b| a.name == b.name);
+        PlanInputs::new(n_elems, maps, block_size)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -435,6 +452,23 @@ mod tests {
                 assert!(span(group) < 128, "block-permute group leaves its block");
             }
         }
+    }
+
+    #[test]
+    fn merged_inputs_dedup_and_sort_by_name() {
+        let m = quad_channel(6, 6).mesh;
+        // duplicates collapse, order is canonical regardless of input order
+        let inp = PlanInputs::merged(m.n_edges(), [&m.edge2node, &m.edge2cell, &m.edge2node], 32);
+        let names: Vec<&str> = inp.written_maps.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["edge2cell", "edge2node"]);
+        // a union plan is valid for either member's writes alone
+        let plan = TwoLevelPlan::build(&inp);
+        plan.validate(&inp).unwrap();
+        let single = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 32);
+        plan.validate(&single).unwrap();
+        // empty union degrades to a direct plan
+        let direct = PlanInputs::merged(m.n_edges(), [], 32);
+        assert!(direct.written_maps.is_empty());
     }
 
     #[test]

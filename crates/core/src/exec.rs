@@ -88,6 +88,51 @@ impl<'a, R> SharedDat<'a, R> {
     pub unsafe fn as_slice(&self) -> &[R] {
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
+
+    /// Shared subslice `[start, start+len)` — the read-side counterpart of
+    /// [`slice_mut`](SharedDat::slice_mut), for loops that *read* a dat
+    /// other loops of the same colored round write.
+    ///
+    /// # Safety
+    /// No concurrent writer may overlap the range during the current
+    /// color round (the coloring invariant again: for per-element data
+    /// this holds whenever the range stays within the caller's own
+    /// block).
+    #[inline(always)]
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &[R] {
+        debug_assert!(start + len <= self.len, "SharedDat range out of bounds");
+        unsafe { std::slice::from_raw_parts(self.ptr.add(start), len) }
+    }
+}
+
+/// The private increment record of a two-sided edge kernel: the two
+/// target rows and their per-component increments — the `arg_l` buffers
+/// of paper Fig. 3a for kernels like Airfoil's `res_calc` and Volna's
+/// `space_disc` that increment both cells of an edge.
+pub type EdgeInc<R, const D: usize> = (usize, [R; D], usize, [R; D]);
+
+/// Apply a two-sided increment to `dat` (rows of width `D`). The shared
+/// colored-increment applier both applications' SIMT drivers and the
+/// fused executors use instead of open-coding the two-row add.
+///
+/// # Safety
+/// The caller must hold the coloring invariant for both target rows: no
+/// other thread may touch rows `c0`/`c1` during the current color round
+/// (two-level plans guarantee it for the increment phase).
+#[inline(always)]
+pub unsafe fn apply_edge_inc<R, const D: usize>(dat: &SharedDat<'_, R>, inc: &EdgeInc<R, D>)
+where
+    R: Copy + std::ops::AddAssign,
+{
+    let (c0, r0, c1, r1) = inc;
+    let d0 = unsafe { dat.slice_mut(c0 * D, D) };
+    for d in 0..D {
+        d0[d] += r0[d];
+    }
+    let d1 = unsafe { dat.slice_mut(c1 * D, D) };
+    for d in 0..D {
+        d1[d] += r1[d];
+    }
 }
 
 /// A shared mutable handle to an arbitrary value for colored concurrency,
@@ -322,5 +367,19 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn edge_inc_applies_both_rows() {
+        let mut data = vec![0.0f64; 12];
+        let shared = SharedDat::new(&mut data);
+        let inc: EdgeInc<f64, 4> = (0, [1.0, 2.0, 3.0, 4.0], 2, [-1.0, -2.0, -3.0, -4.0]);
+        unsafe {
+            apply_edge_inc(&shared, &inc);
+            apply_edge_inc(&shared, &inc);
+        }
+        assert_eq!(&data[0..4], &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(&data[4..8], &[0.0; 4]);
+        assert_eq!(&data[8..12], &[-2.0, -4.0, -6.0, -8.0]);
     }
 }

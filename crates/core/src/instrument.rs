@@ -43,10 +43,41 @@ impl LoopStats {
     }
 }
 
+/// Accumulated cross-loop fusion statistics of one recorded chain (the
+/// `ump-lazy` runtime reports these): how many pool dispatch rounds and
+/// how much re-streamed memory traffic fusion saved versus running the
+/// same chain loop-by-loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FusionStats {
+    /// Chain executions recorded.
+    pub executions: usize,
+    /// Loops recorded, summed over executions.
+    pub loops: usize,
+    /// Groups dispatched (fused and sequential), summed over executions.
+    pub groups: usize,
+    /// Pool dispatch rounds the fused execution issued.
+    pub fused_rounds: usize,
+    /// Rounds the same chain issues when every loop runs alone (the
+    /// unfused drivers' dispatch count).
+    pub unfused_rounds: usize,
+    /// Read bytes *not* re-streamed from memory because a fused group
+    /// revisits a dat while its block is still cache-resident (paper
+    /// counting: useful words × word size, no cache modelling).
+    pub bytes_saved: f64,
+}
+
+impl FusionStats {
+    /// Dispatch rounds (≈ team-wide barriers) fusion removed.
+    pub fn rounds_saved(&self) -> usize {
+        self.unfused_rounds.saturating_sub(self.fused_rounds)
+    }
+}
+
 /// A per-run recorder of loop statistics.
 #[derive(Default)]
 pub struct Recorder {
     stats: Mutex<HashMap<String, LoopStats>>,
+    fusion: Mutex<HashMap<String, FusionStats>>,
 }
 
 impl Recorder {
@@ -104,18 +135,60 @@ impl Recorder {
         self.stats.lock().values().map(|s| s.seconds).sum()
     }
 
+    /// Accumulate one chain execution's fusion statistics under the
+    /// chain's name.
+    pub fn record_fusion(&self, chain: &str, delta: FusionStats) {
+        let mut fusion = self.fusion.lock();
+        let e = fusion.entry(chain.to_string()).or_default();
+        e.executions += delta.executions.max(1);
+        e.loops += delta.loops;
+        e.groups += delta.groups;
+        e.fused_rounds += delta.fused_rounds;
+        e.unfused_rounds += delta.unfused_rounds;
+        e.bytes_saved += delta.bytes_saved;
+    }
+
+    /// Fusion statistics of one chain, if recorded.
+    pub fn fusion(&self, chain: &str) -> Option<FusionStats> {
+        self.fusion.lock().get(chain).copied()
+    }
+
+    /// All fusion statistics sorted by chain name.
+    pub fn fusion_report(&self) -> Vec<(String, FusionStats)> {
+        let fusion = self.fusion.lock();
+        let mut rows: Vec<_> = fusion.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
     /// Merge another recorder into this one (used to combine per-rank
     /// recorders of the message-passing backend; times are maxed, volumes
-    /// summed, matching how MPI runtimes are reported).
+    /// summed, matching how MPI runtimes are reported). Fusion statistics
+    /// follow the same convention: counts of the per-rank chain (loops,
+    /// groups, rounds) are maxed — every rank runs the same chain — and
+    /// the volume-like `bytes_saved` sums across ranks.
     pub fn merge_rank(&self, other: &Recorder) {
-        let other_stats = other.stats.lock();
-        let mut stats = self.stats.lock();
-        for (name, s) in other_stats.iter() {
-            let e = stats.entry(name.clone()).or_default();
-            e.calls = e.calls.max(s.calls);
-            e.seconds = e.seconds.max(s.seconds);
-            e.bytes += s.bytes;
-            e.flops += s.flops;
+        {
+            let other_stats = other.stats.lock();
+            let mut stats = self.stats.lock();
+            for (name, s) in other_stats.iter() {
+                let e = stats.entry(name.clone()).or_default();
+                e.calls = e.calls.max(s.calls);
+                e.seconds = e.seconds.max(s.seconds);
+                e.bytes += s.bytes;
+                e.flops += s.flops;
+            }
+        }
+        let other_fusion = other.fusion.lock();
+        let mut fusion = self.fusion.lock();
+        for (name, s) in other_fusion.iter() {
+            let e = fusion.entry(name.clone()).or_default();
+            e.executions = e.executions.max(s.executions);
+            e.loops = e.loops.max(s.loops);
+            e.groups = e.groups.max(s.groups);
+            e.fused_rounds = e.fused_rounds.max(s.fused_rounds);
+            e.unfused_rounds = e.unfused_rounds.max(s.unfused_rounds);
+            e.bytes_saved += s.bytes_saved;
         }
     }
 }
@@ -176,6 +249,29 @@ mod tests {
     }
 
     #[test]
+    fn fusion_stats_accumulate_per_chain() {
+        let rec = Recorder::new();
+        assert!(rec.fusion("airfoil_step").is_none());
+        let delta = FusionStats {
+            executions: 1,
+            loops: 9,
+            groups: 7,
+            fused_rounds: 9,
+            unfused_rounds: 11,
+            bytes_saved: 1000.0,
+        };
+        rec.record_fusion("airfoil_step", delta);
+        rec.record_fusion("airfoil_step", delta);
+        let s = rec.fusion("airfoil_step").unwrap();
+        assert_eq!(s.executions, 2);
+        assert_eq!(s.loops, 18);
+        assert_eq!(s.fused_rounds, 18);
+        assert_eq!(s.rounds_saved(), 4);
+        assert_eq!(s.bytes_saved, 2000.0);
+        assert_eq!(rec.fusion_report().len(), 1);
+    }
+
+    #[test]
     fn rank_merge_maxes_time_sums_volume() {
         let a = Recorder::new();
         a.record("k", 1.0, 100.0, 10.0);
@@ -185,5 +281,28 @@ mod tests {
         let s = a.get("k").unwrap();
         assert_eq!(s.seconds, 2.0);
         assert_eq!(s.bytes, 200.0);
+    }
+
+    #[test]
+    fn rank_merge_carries_fusion_stats() {
+        let delta = FusionStats {
+            executions: 2,
+            loops: 18,
+            groups: 14,
+            fused_rounds: 14,
+            unfused_rounds: 18,
+            bytes_saved: 500.0,
+        };
+        let a = Recorder::new();
+        a.record_fusion("chain", delta);
+        let b = Recorder::new();
+        b.record_fusion("chain", delta);
+        a.merge_rank(&b);
+        let s = a.fusion("chain").unwrap();
+        // per-rank counts max (same chain on every rank), volumes sum
+        assert_eq!(s.executions, 2);
+        assert_eq!(s.fused_rounds, 14);
+        assert_eq!(s.rounds_saved(), 4);
+        assert_eq!(s.bytes_saved, 1000.0);
     }
 }

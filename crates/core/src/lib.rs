@@ -43,8 +43,11 @@ pub mod profile;
 pub use arg::{Access, ArgInfo, Indirection};
 pub use dat::OpDat;
 pub use dist::{assemble_owned, distribute, extract_rows, LocalMesh};
-pub use exec::{global_pool_cap, par_colored_blocks, seq_loop, simt_colored, SharedDat, SharedMut};
-pub use instrument::{LoopStats, Recorder};
+pub use exec::{
+    apply_edge_inc, global_pool_cap, par_colored_blocks, seq_loop, simt_colored, EdgeInc,
+    SharedDat, SharedMut,
+};
+pub use instrument::{FusionStats, LoopStats, Recorder};
 pub use plan::{PlanCache, Scheme};
-pub use pool::ExecPool;
+pub use pool::{simt_block_sweep, ExecPool};
 pub use profile::LoopProfile;

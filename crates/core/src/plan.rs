@@ -68,18 +68,52 @@ struct PlanKey {
     scheme: Scheme,
 }
 
-/// Cache of built plans. Cheap to clone handles out; `get` builds at most
-/// once per key.
+/// Default [`PlanCache`] capacity: generous for production time loops
+/// (an app reuses a handful of shapes) while bounding the block-size ×
+/// scheme sweeps that used to grow the cache without limit.
+pub const DEFAULT_PLAN_CAPACITY: usize = 64;
+
+struct CacheEntry {
+    plan: Arc<AnyPlan>,
+    /// Tick of the most recent `get` returning this entry (LRU key).
+    last_used: u64,
+}
+
 #[derive(Default)]
+struct CacheInner {
+    plans: HashMap<PlanKey, CacheEntry>,
+    tick: u64,
+    hits: usize,
+    builds: usize,
+}
+
+/// Bounded cache of built plans. Cheap to clone handles out; `get`
+/// builds at most once per *resident* key and evicts the
+/// least-recently-used plan beyond the capacity (handles already cloned
+/// out stay alive — eviction only drops the cache's reference).
 pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Arc<AnyPlan>>>,
-    builds: Mutex<usize>,
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::with_capacity(DEFAULT_PLAN_CAPACITY)
+    }
 }
 
 impl PlanCache {
-    /// Empty cache.
+    /// Cache with the [default capacity](DEFAULT_PLAN_CAPACITY).
     pub fn new() -> PlanCache {
         PlanCache::default()
+    }
+
+    /// Cache holding at most `capacity` plans (min 1).
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Fetch (building if needed) the plan for a loop shape.
@@ -98,8 +132,16 @@ impl PlanCache {
             block_size: inputs.block_size,
             scheme,
         };
-        if let Some(plan) = self.plans.lock().get(&key) {
-            return Arc::clone(plan);
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.plans.get_mut(&key) {
+                entry.last_used = tick;
+                let plan = Arc::clone(&entry.plan);
+                inner.hits += 1;
+                return plan;
+            }
         }
         // build outside the lock (plans can take a while on big meshes)
         let plan = Arc::new(match scheme {
@@ -107,13 +149,50 @@ impl PlanCache {
             Scheme::FullPermute => AnyPlan::Full(FullPermutePlan::build(inputs)),
             Scheme::BlockPermute => AnyPlan::Block(BlockPermutePlan::build(inputs)),
         });
-        *self.builds.lock() += 1;
-        Arc::clone(self.plans.lock().entry(key).or_insert(plan))
+        let mut inner = self.inner.lock();
+        inner.builds += 1;
+        inner.tick += 1;
+        let tick = inner.tick;
+        let out = {
+            let entry = inner.plans.entry(key).or_insert_with(|| CacheEntry {
+                plan,
+                last_used: tick,
+            });
+            entry.last_used = tick;
+            Arc::clone(&entry.plan)
+        };
+        // LRU eviction; the just-inserted entry carries the newest tick,
+        // so it is never the victim.
+        while inner.plans.len() > self.capacity {
+            let victim = inner
+                .plans
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity cache");
+            inner.plans.remove(&victim);
+        }
+        out
     }
 
     /// Number of plans actually built (cache-effectiveness metric).
     pub fn builds(&self) -> usize {
-        *self.builds.lock()
+        self.inner.lock().builds
+    }
+
+    /// Number of `get` calls answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.inner.lock().hits
+    }
+
+    /// Number of plans currently resident (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().plans.len()
+    }
+
+    /// `true` when no plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -139,6 +218,48 @@ mod tests {
         // different scheme -> different plan
         cache.get(Scheme::FullPermute, &["edge2cell"], &inputs);
         assert_eq!(cache.builds(), 3);
+    }
+
+    #[test]
+    fn hits_and_builds_counters() {
+        let m = quad_channel(8, 8).mesh;
+        let cache = PlanCache::new();
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 64);
+        assert_eq!((cache.hits(), cache.builds()), (0, 0));
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs);
+        assert_eq!((cache.hits(), cache.builds()), (0, 1));
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs);
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs);
+        assert_eq!((cache.hits(), cache.builds()), (2, 1));
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_cache() {
+        let m = quad_channel(8, 8).mesh;
+        let cache = PlanCache::with_capacity(2);
+        let inputs = |bs: usize| PlanInputs::new(m.n_edges(), vec![&m.edge2cell], bs);
+        let a = cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(16));
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(32));
+        assert_eq!(cache.len(), 2);
+        // third shape evicts the least-recently-used (block 16)
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(64));
+        assert_eq!((cache.len(), cache.builds()), (2, 3));
+        // block 32 and 64 are resident: hits
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(32));
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(64));
+        assert_eq!(cache.hits(), 2);
+        // block 16 was evicted: rebuilt, and the evicted handle stays valid
+        let a2 = cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(16));
+        assert_eq!(cache.builds(), 4);
+        assert!(!Arc::ptr_eq(&a, &a2));
+        assert_eq!(a.two_level().blocks.len(), a2.two_level().blocks.len());
+        // recency, not insertion order, picks the victim: touch 16 then
+        // insert a fourth shape — 64 (least recent) must go, 16 stays
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(16));
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(128));
+        let builds_before = cache.builds();
+        cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(16));
+        assert_eq!(cache.builds(), builds_before, "16 should still be resident");
     }
 
     #[test]

@@ -174,6 +174,9 @@ pub struct ExecPool {
     dispatch: Mutex<()>,
     workers: Vec<JoinHandle<()>>,
     team: usize,
+    /// Lifetime count of dispatched rounds (see
+    /// [`dispatch_rounds`](ExecPool::dispatch_rounds)).
+    rounds: AtomicU64,
 }
 
 impl ExecPool {
@@ -211,12 +214,22 @@ impl ExecPool {
             dispatch: Mutex::new(()),
             workers,
             team,
+            rounds: AtomicU64::new(0),
         }
     }
 
     /// Team size (dispatching caller + persistent workers).
     pub fn n_threads(&self) -> usize {
         self.team
+    }
+
+    /// Number of rounds dispatched on this pool so far — every
+    /// [`run_round`](ExecPool::run_round) call counts as one, including
+    /// rounds small enough to execute inline. The synchronization-cost
+    /// metric behind the fusion instrumentation: one round ≈ one
+    /// team-wide barrier.
+    pub fn dispatch_rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
     }
 
     /// Effective concurrent-body cap for a round: `0` means the whole
@@ -263,6 +276,7 @@ impl ExecPool {
         chunk: usize,
         body: &(dyn Fn(usize) + Sync),
     ) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
         let cap = self.cap(max_threads);
         // Inline paths: trivial rounds, single-thread caps, and nested
         // dispatch from inside a round body (which would deadlock on the
@@ -388,41 +402,79 @@ impl ExecPool {
     ) {
         assert!(simt_width >= 1);
         let body = |block_id: usize, range: Range<u32>| {
-            if sched_overhead_ns > 0 {
-                let t0 = std::time::Instant::now();
-                while (t0.elapsed().as_nanos() as u64) < sched_overhead_ns {
-                    std::hint::spin_loop();
-                }
-            }
-            let n_colors = plan.n_elem_colors[block_id];
-            // per-color buckets of (item, increment), reused across the
-            // block's chunks; within a bucket items stay in ascending
-            // order, so the apply order matches the per-color rescan the
-            // paper's Fig. 3a loop produces. Pre-sized so the lock-step
-            // loop never reallocates (a chunk holds ≤ simt_width items
-            // total, across all buckets).
-            let mut buckets: Vec<Vec<(usize, I)>> = (0..n_colors)
-                .map(|_| Vec::with_capacity(simt_width))
-                .collect();
-            let mut chunk_start = range.start as usize;
-            let end = range.end as usize;
-            while chunk_start < end {
-                let chunk_end = (chunk_start + simt_width).min(end);
-                // lock-step compute phase: all work-items of the chunk
-                for e in chunk_start..chunk_end {
-                    buckets[plan.elem_colors[e] as usize].push((e, compute(e)));
-                }
-                // colored increment phase, one bucket per color
-                for bucket in &mut buckets {
-                    for (e, inc) in bucket.iter() {
-                        apply(*e, inc);
-                    }
-                    bucket.clear();
-                }
-                chunk_start = chunk_end;
-            }
+            simt_block_sweep(
+                plan,
+                block_id,
+                range,
+                simt_width,
+                sched_overhead_ns,
+                &compute,
+                &apply,
+            );
         };
         self.colored_blocks(plan, max_threads, body);
+    }
+}
+
+/// Busy-wait for `ns` nanoseconds (0 = no-op) — the scheduling-overhead
+/// model shared by every SIMT-emulation dispatch site, so fused and
+/// unfused executors charge identical per-work-group costs.
+pub fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let t0 = std::time::Instant::now();
+    while (t0.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+/// One work-group of the SIMT emulation: the work-items of `range`
+/// advance in lock-step chunks of `simt_width`, buffering their private
+/// increments and applying them serialized by element color (paper
+/// Fig. 3a). The shared inner loop of [`ExecPool::simt_colored`] and of
+/// the fused SIMT-shape executors in `ump-lazy` — callers supply the
+/// block's plan (for element colors) and the two kernel phases.
+///
+/// `sched_overhead_ns` busy-waits once per call, modelling the OpenCL
+/// runtime's work-group scheduling cost; pass 0 for none.
+pub fn simt_block_sweep<I>(
+    plan: &TwoLevelPlan,
+    block_id: usize,
+    range: Range<u32>,
+    simt_width: usize,
+    sched_overhead_ns: u64,
+    compute: &(impl Fn(usize) -> I + ?Sized),
+    apply: &(impl Fn(usize, &I) + ?Sized),
+) {
+    assert!(simt_width >= 1);
+    spin_ns(sched_overhead_ns);
+    let n_colors = plan.n_elem_colors[block_id];
+    // per-color buckets of (item, increment), reused across the
+    // block's chunks; within a bucket items stay in ascending
+    // order, so the apply order matches the per-color rescan the
+    // paper's Fig. 3a loop produces. Pre-sized so the lock-step
+    // loop never reallocates (a chunk holds ≤ simt_width items
+    // total, across all buckets).
+    let mut buckets: Vec<Vec<(usize, I)>> = (0..n_colors)
+        .map(|_| Vec::with_capacity(simt_width))
+        .collect();
+    let mut chunk_start = range.start as usize;
+    let end = range.end as usize;
+    while chunk_start < end {
+        let chunk_end = (chunk_start + simt_width).min(end);
+        // lock-step compute phase: all work-items of the chunk
+        for e in chunk_start..chunk_end {
+            buckets[plan.elem_colors[e] as usize].push((e, compute(e)));
+        }
+        // colored increment phase, one bucket per color
+        for bucket in &mut buckets {
+            for (e, inc) in bucket.iter() {
+                apply(*e, inc);
+            }
+            bucket.clear();
+        }
+        chunk_start = chunk_end;
     }
 }
 
@@ -663,6 +715,27 @@ mod tests {
         let b = ExecPool::global() as *const ExecPool;
         assert_eq!(a, b);
         assert!(ExecPool::global().n_threads() >= 1);
+    }
+
+    #[test]
+    fn dispatch_rounds_counts_every_round() {
+        let pool = ExecPool::new(2);
+        let r0 = pool.dispatch_rounds();
+        pool.run_round(10, 0, 1, &|_| {});
+        pool.run_round(1, 0, 1, &|_| {}); // inline path still counts
+        assert_eq!(pool.dispatch_rounds() - r0, 2);
+
+        let m = quad_channel(8, 8).mesh;
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 16);
+        let plan = TwoLevelPlan::build(&inputs);
+        let active = plan
+            .blocks_by_color
+            .iter()
+            .filter(|b| !b.is_empty())
+            .count() as u64;
+        let r1 = pool.dispatch_rounds();
+        pool.colored_blocks(&plan, 0, |_b, _r| {});
+        assert_eq!(pool.dispatch_rounds() - r1, active);
     }
 
     #[test]

@@ -1,0 +1,774 @@
+//! The chain recorder and the fused executors.
+//!
+//! A [`Chain`] records loops (descriptor + execution closure) in program
+//! order; [`Chain::execute`] partitions them into fusable groups
+//! ([`fuse_groups`]), builds one union-write-set
+//! [`TwoLevelPlan`](ump_color::TwoLevelPlan) per group through the
+//! shared [`PlanCache`], and dispatches each group as a single colored
+//! run on an [`ExecPool`] — the member loops execute back-to-back on
+//! each block while the block's working set is cache-resident.
+//!
+//! Bodies are *block-level* closures. Within a color round a block's
+//! bodies run in recorded loop order, and the group plan is colored by
+//! the union of the members' written maps, so the same coloring
+//! invariant the unfused engines rely on holds for every member's
+//! writes. Mutation from bodies goes through
+//! [`SharedDat`](ump_core::SharedDat) views exactly as in the generated
+//! drivers.
+
+use std::collections::HashSet;
+use std::ops::Range;
+use std::time::Instant;
+
+use ump_color::PlanInputs;
+use ump_core::pool::simt_block_sweep;
+use ump_core::{ExecPool, FusionStats, Indirection, PlanCache, Recorder, Scheme};
+use ump_mesh::MapTable;
+
+use crate::desc::{fuse_groups, GroupSpec, LoopDesc};
+
+/// The execution shape of a fused dispatch — the two shared-memory
+/// backends of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// Colored-block threading (the OpenMP analogue): each member loop
+    /// iterates its block range element-wise.
+    Threaded,
+    /// SIMT (OpenCL-on-CPU) emulation: two-phase member loops run in
+    /// lock-step chunks of `width` with color-bucketed increments
+    /// ([`ump_core::simt_block_sweep`]); `sched_overhead_ns` models the
+    /// OpenCL work-group scheduling cost, charged once per
+    /// (block, loop) dispatch for every pooled loop — a fused group of
+    /// `k` loops still pays `k` work-group dispatches per block, so
+    /// fusion's win under this shape is barriers and locality, not
+    /// modelled scheduling cost.
+    Simt {
+        /// Lock-step chunk width (work-items per SIMT batch).
+        width: usize,
+        /// Busy-wait per work-group dispatch, 0 for an ideal runtime.
+        sched_overhead_ns: u64,
+    },
+}
+
+/// Block-level execution closure of a recorded loop.
+type BlockBody<'a> = Box<dyn Fn(&ump_color::TwoLevelPlan, Shape, usize, Range<u32>) + Sync + 'a>;
+
+/// Charge the SIMT shape's work-group scheduling cost for one
+/// (block, loop) dispatch — every pooled loop pays it, exactly like the
+/// unfused [`simt_colored`](ump_core::ExecPool::simt_colored) engine
+/// charges each work-group (two-phase loops pay it inside
+/// [`simt_block_sweep`] instead).
+fn sched_spin(shape: Shape) {
+    if let Shape::Simt {
+        sched_overhead_ns, ..
+    } = shape
+    {
+        ump_core::pool::spin_ns(sched_overhead_ns);
+    }
+}
+
+enum Body<'a> {
+    /// Dispatched through the pool, block by block.
+    Blocks(BlockBody<'a>),
+    /// Run serially on the dispatching thread (tiny sets).
+    Seq(Box<dyn Fn() + Sync + 'a>),
+}
+
+struct RecordedLoop<'a> {
+    desc: LoopDesc,
+    written: Vec<&'a MapTable>,
+    body: Body<'a>,
+    epilogue: Option<Box<dyn Fn() + Sync + 'a>>,
+}
+
+/// What one chain execution did and saved; also pushed into the
+/// [`Recorder`] (as [`FusionStats`]) when one is supplied.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChainReport {
+    /// Loops recorded.
+    pub loops: usize,
+    /// Groups dispatched (fused + sequential).
+    pub groups: usize,
+    /// Pool dispatch rounds issued.
+    pub fused_rounds: usize,
+    /// Rounds the same chain would issue executing loop-by-loop.
+    pub unfused_rounds: usize,
+    /// Read bytes not re-streamed thanks to fusion (paper counting).
+    pub bytes_saved: f64,
+}
+
+impl ChainReport {
+    /// Dispatch rounds fusion removed.
+    pub fn rounds_saved(&self) -> usize {
+        self.unfused_rounds.saturating_sub(self.fused_rounds)
+    }
+}
+
+/// A recorded chain of loops awaiting fused execution.
+pub struct Chain<'a> {
+    name: String,
+    loops: Vec<RecordedLoop<'a>>,
+}
+
+impl<'a> Chain<'a> {
+    /// Empty chain named for instrumentation (`rec.fusion(name)`).
+    pub fn new(name: impl Into<String>) -> Chain<'a> {
+        Chain {
+            name: name.into(),
+            loops: Vec::new(),
+        }
+    }
+
+    /// Chain name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of recorded loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// `true` when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    fn push_blocks(&mut self, desc: LoopDesc, written: Vec<&'a MapTable>, body: BlockBody<'a>) {
+        let mut names: Vec<&str> = written.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(
+            names,
+            desc.profile.written_maps(),
+            "{}: written tables must match the descriptor's written maps",
+            desc.profile.name
+        );
+        for m in &written {
+            assert_eq!(
+                m.from_size, desc.n_elems,
+                "{}: written map size mismatch",
+                desc.profile.name
+            );
+        }
+        self.loops.push(RecordedLoop {
+            desc,
+            written,
+            body: Body::Blocks(body),
+            epilogue: None,
+        });
+    }
+
+    /// Record a loop whose body runs element-wise in every shape —
+    /// direct loops and loops whose execution is shape-agnostic.
+    /// `written` holds the tables of the descriptor's written maps (empty
+    /// for loops without indirect writes).
+    pub fn record(
+        &mut self,
+        desc: LoopDesc,
+        written: Vec<&'a MapTable>,
+        body: impl Fn(usize) + Sync + 'a,
+    ) -> &mut Self {
+        self.push_blocks(
+            desc,
+            written,
+            Box::new(move |_plan, shape, _b, range| {
+                sched_spin(shape);
+                for e in range {
+                    body(e as usize);
+                }
+            }),
+        );
+        self
+    }
+
+    /// Record a loop whose body sees the whole block (`block id`,
+    /// element range) — for per-block reduction partials sized by
+    /// `n_elems.div_ceil(block_size)`, the block count every two-level
+    /// plan of this set uses.
+    pub fn record_blocks(
+        &mut self,
+        desc: LoopDesc,
+        written: Vec<&'a MapTable>,
+        body: impl Fn(usize, Range<u32>) + Sync + 'a,
+    ) -> &mut Self {
+        self.push_blocks(
+            desc,
+            written,
+            Box::new(move |_plan, shape, b, range| {
+                sched_spin(shape);
+                body(b, range)
+            }),
+        );
+        self
+    }
+
+    /// Record a two-phase (compute → increment) loop — the indirect-
+    /// increment kernels. The threaded shape applies each element's
+    /// increment immediately; the SIMT shape runs lock-step chunks with
+    /// color-bucketed increments, exactly like the unfused
+    /// [`simt_colored`](ump_core::ExecPool::simt_colored) engine.
+    pub fn record_two_phase<I: Send>(
+        &mut self,
+        desc: LoopDesc,
+        written: Vec<&'a MapTable>,
+        compute: impl Fn(usize) -> I + Sync + 'a,
+        apply: impl Fn(usize, &I) + Sync + 'a,
+    ) -> &mut Self {
+        self.push_blocks(
+            desc,
+            written,
+            Box::new(move |plan, shape, b, range| match shape {
+                Shape::Threaded => {
+                    for e in range {
+                        let e = e as usize;
+                        let inc = compute(e);
+                        apply(e, &inc);
+                    }
+                }
+                Shape::Simt {
+                    width,
+                    sched_overhead_ns,
+                } => simt_block_sweep(plan, b, range, width, sched_overhead_ns, &compute, &apply),
+            }),
+        );
+        self
+    }
+
+    /// Record a loop executed serially on the dispatching thread between
+    /// groups — the tiny boundary sets the paper drops from analysis. A
+    /// serial loop never fuses and issues no pool rounds.
+    pub fn record_seq(&mut self, desc: LoopDesc, body: impl Fn() + Sync + 'a) -> &mut Self {
+        self.loops.push(RecordedLoop {
+            desc,
+            written: Vec::new(),
+            body: Body::Seq(Box::new(body)),
+            epilogue: None,
+        });
+        self
+    }
+
+    /// Attach an epilogue to the most recently recorded loop: run once
+    /// on the dispatching thread after the loop's *group* completes
+    /// (reduction merges — e.g. folding per-block Δt partials before a
+    /// later loop in the chain consumes the value).
+    pub fn epilogue(&mut self, f: impl Fn() + Sync + 'a) -> &mut Self {
+        let last = self
+            .loops
+            .last_mut()
+            .expect("epilogue requires a recorded loop");
+        last.epilogue = Some(Box::new(f));
+        self
+    }
+
+    /// The fused-group partition of the recorded chain (exposed for
+    /// tests and diagnostics; `execute` computes the same).
+    pub fn groups(&self) -> Vec<GroupSpec> {
+        let entries: Vec<(&LoopDesc, bool)> = self
+            .loops
+            .iter()
+            .map(|l| (&l.desc, matches!(l.body, Body::Seq(_))))
+            .collect();
+        fuse_groups(&entries)
+    }
+
+    /// Execute the chain: one colored dispatch per fused group on
+    /// `pool`, serial loops inline, epilogues after their group. Plans
+    /// come from `cache` (union write sets, [`PlanInputs::merged`]);
+    /// `word_bytes` scales the byte accounting (4 = SP, 8 = DP). When a
+    /// [`Recorder`] is given, each group is timed under
+    /// `fused[name+name+…]` (plain loop name for serial groups) and the
+    /// chain's [`FusionStats`] accumulate under the chain name.
+    ///
+    /// The returned [`ChainReport`] (including the unfused-rounds
+    /// baseline and the bytes-saved estimate) is always computed —
+    /// callers without a recorder still get it; the cost is one
+    /// plan-cache *hit* per loop (the per-loop plans are the ones the
+    /// unfused drivers build and share through the same cache) plus a
+    /// small per-group set walk.
+    pub fn execute(
+        &self,
+        pool: &ExecPool,
+        cache: &PlanCache,
+        shape: Shape,
+        n_threads: usize,
+        block_size: usize,
+        word_bytes: usize,
+        rec: Option<&Recorder>,
+    ) -> ChainReport {
+        let groups = self.groups();
+        let mut report = ChainReport {
+            loops: self.loops.len(),
+            groups: groups.len(),
+            ..ChainReport::default()
+        };
+        for group in &groups {
+            let members = &self.loops[group.loops.clone()];
+            let t0 = Instant::now();
+            if group.seq {
+                match &members[0].body {
+                    Body::Seq(f) => f(),
+                    Body::Blocks(_) => unreachable!("seq group with pooled body"),
+                }
+            } else {
+                let n_elems = members[0].desc.n_elems;
+                let inputs = PlanInputs::merged(
+                    n_elems,
+                    members.iter().flat_map(|l| l.written.iter().copied()),
+                    block_size,
+                );
+                let names: Vec<&str> = inputs
+                    .written_maps
+                    .iter()
+                    .map(|m| m.name.as_str())
+                    .collect();
+                let plan = cache.get(Scheme::TwoLevel, &names, &inputs);
+                let plan = plan.two_level();
+                report.fused_rounds += active_rounds(plan);
+                pool.colored_blocks(plan, n_threads, |b, range| {
+                    for l in members {
+                        if let Body::Blocks(f) = &l.body {
+                            f(plan, shape, b, range.clone());
+                        }
+                    }
+                });
+            }
+            for l in members {
+                if let Some(e) = &l.epilogue {
+                    e();
+                }
+            }
+            if let Some(r) = rec {
+                let dt = t0.elapsed().as_secs_f64();
+                let bytes: f64 = members
+                    .iter()
+                    .map(|l| l.desc.profile.bytes_per_elem(word_bytes) * l.desc.n_elems as f64)
+                    .sum();
+                let flops: f64 = members
+                    .iter()
+                    .map(|l| l.desc.profile.flops_per_elem * l.desc.n_elems as f64)
+                    .sum();
+                r.record(&group_label(members), dt, bytes, flops);
+            }
+            report.unfused_rounds += members
+                .iter()
+                .map(|l| self.unfused_rounds_of(l, cache, block_size))
+                .sum::<usize>();
+            report.bytes_saved += group_bytes_saved(members, word_bytes);
+        }
+        if let Some(r) = rec {
+            r.record_fusion(
+                &self.name,
+                FusionStats {
+                    executions: 1,
+                    loops: report.loops,
+                    groups: report.groups,
+                    fused_rounds: report.fused_rounds,
+                    unfused_rounds: report.unfused_rounds,
+                    bytes_saved: report.bytes_saved,
+                },
+            );
+        }
+        report
+    }
+
+    /// Rounds this loop issues when dispatched alone — its own plan from
+    /// its own written maps, the unfused drivers' cost.
+    fn unfused_rounds_of(
+        &self,
+        l: &RecordedLoop<'_>,
+        cache: &PlanCache,
+        block_size: usize,
+    ) -> usize {
+        match l.body {
+            Body::Seq(_) => 0,
+            Body::Blocks(_) => {
+                let inputs =
+                    PlanInputs::merged(l.desc.n_elems, l.written.iter().copied(), block_size);
+                let names: Vec<&str> = inputs
+                    .written_maps
+                    .iter()
+                    .map(|m| m.name.as_str())
+                    .collect();
+                let plan = cache.get(Scheme::TwoLevel, &names, &inputs);
+                active_rounds(plan.two_level())
+            }
+        }
+    }
+}
+
+/// Non-empty color rounds of a plan — the pool dispatches one round per
+/// non-empty color.
+fn active_rounds(plan: &ump_color::TwoLevelPlan) -> usize {
+    plan.blocks_by_color
+        .iter()
+        .filter(|blocks| !blocks.is_empty())
+        .count()
+}
+
+fn group_label(members: &[RecordedLoop<'_>]) -> String {
+    if members.len() == 1 {
+        return members[0].desc.profile.name.clone();
+    }
+    let names: Vec<&str> = members
+        .iter()
+        .map(|l| l.desc.profile.name.as_str())
+        .collect();
+    format!("fused[{}]", names.join("+"))
+}
+
+/// Read bytes a fused group does not re-stream: every argument of a
+/// later member that *reads* a dat an earlier member already touched
+/// would, unfused, stream that dat from memory again — fused, the
+/// block's rows are still cache-resident. Paper counting (useful words ×
+/// word size), an estimate that ignores cache capacity.
+fn group_bytes_saved(members: &[RecordedLoop<'_>], word_bytes: usize) -> f64 {
+    let mut saved = 0.0;
+    let mut touched: HashSet<&str> = HashSet::new();
+    for l in members {
+        for a in &l.desc.profile.args {
+            if a.ind == Indirection::Global {
+                continue;
+            }
+            if a.access.reads() && touched.contains(a.dat.as_str()) {
+                saved += (a.dim * l.desc.n_elems * word_bytes) as f64;
+            }
+        }
+        for a in &l.desc.profile.args {
+            if a.ind != Indirection::Global {
+                touched.insert(a.dat.as_str());
+            }
+        }
+    }
+    saved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ump_core::{Access, ArgInfo, LoopProfile, SharedDat};
+    use ump_mesh::generators::quad_channel;
+
+    fn desc(name: &str, set: &str, n: usize, args: Vec<ArgInfo>) -> LoopDesc {
+        LoopDesc::new(
+            LoopProfile {
+                name: name.into(),
+                set: set.into(),
+                args,
+                flops_per_elem: 1.0,
+                transcendentals_per_elem: 0.0,
+                description: String::new(),
+            },
+            n,
+        )
+    }
+
+    /// A direct chain (fill → scale → combine) must fuse into one group
+    /// and produce bit-identical results to sequential loop-by-loop
+    /// execution.
+    #[test]
+    fn fused_direct_chain_matches_sequential_exactly() {
+        let n = 1000;
+        let mut reference = (vec![0.0f64; n], vec![0.0f64; n]);
+        for e in 0..n {
+            reference.0[e] = (e % 13) as f64;
+        }
+        for e in 0..n {
+            reference.1[e] = reference.0[e] * 2.0;
+        }
+        for e in 0..n {
+            reference.1[e] += reference.0[e];
+        }
+
+        for shape in [
+            Shape::Threaded,
+            Shape::Simt {
+                width: 8,
+                sched_overhead_ns: 0,
+            },
+        ] {
+            let pool = ExecPool::new(4);
+            let cache = PlanCache::new();
+            let mut a = vec![0.0f64; n];
+            let mut b = vec![0.0f64; n];
+            let report;
+            {
+                let av = SharedDat::new(&mut a);
+                let bv = SharedDat::new(&mut b);
+                let mut chain = Chain::new("direct");
+                {
+                    let av = &av;
+                    chain.record(
+                        desc(
+                            "fill",
+                            "items",
+                            n,
+                            vec![ArgInfo::direct("a", 1, Access::Write)],
+                        ),
+                        vec![],
+                        move |e| unsafe { av.slice_mut(e, 1)[0] = (e % 13) as f64 },
+                    );
+                }
+                {
+                    let (av, bv) = (&av, &bv);
+                    chain.record(
+                        desc(
+                            "scale",
+                            "items",
+                            n,
+                            vec![
+                                ArgInfo::direct("a", 1, Access::Read),
+                                ArgInfo::direct("b", 1, Access::Write),
+                            ],
+                        ),
+                        vec![],
+                        move |e| unsafe { bv.slice_mut(e, 1)[0] = av.slice(e, 1)[0] * 2.0 },
+                    );
+                }
+                {
+                    let (av, bv) = (&av, &bv);
+                    chain.record(
+                        desc(
+                            "combine",
+                            "items",
+                            n,
+                            vec![
+                                ArgInfo::direct("a", 1, Access::Read),
+                                ArgInfo::direct("b", 1, Access::Inc),
+                            ],
+                        ),
+                        vec![],
+                        move |e| unsafe { bv.slice_mut(e, 1)[0] += av.slice(e, 1)[0] },
+                    );
+                }
+                assert_eq!(chain.groups().len(), 1, "direct-only chain must fuse");
+                report = chain.execute(&pool, &cache, shape, 0, 64, 8, None);
+            }
+            assert_eq!(a, reference.0, "{shape:?}");
+            assert_eq!(b, reference.1, "{shape:?}");
+            // one fused round replaces three unfused ones
+            assert_eq!(report.fused_rounds, 1);
+            assert_eq!(report.unfused_rounds, 3);
+            assert!(report.bytes_saved > 0.0);
+        }
+    }
+
+    /// An indirect increment fused with a preceding direct producer must
+    /// match the sequential reference exactly (integer-valued data), and
+    /// a following indirect consumer must be split into its own group.
+    #[test]
+    fn fused_indirect_group_matches_and_raw_splits() {
+        let m = quad_channel(12, 9).mesh;
+        let (ne, nc) = (m.n_edges(), m.n_cells());
+
+        // reference: produce a[e], scatter into cells, gather back
+        let mut ra = vec![0.0f64; ne];
+        let mut racc = vec![0.0f64; nc];
+        let mut rout = vec![0.0f64; ne];
+        for e in 0..ne {
+            ra[e] = (e % 7 + 1) as f64;
+        }
+        for e in 0..ne {
+            let c = m.edge2cell.row(e);
+            racc[c[0] as usize] += ra[e];
+            racc[c[1] as usize] -= 2.0;
+        }
+        for e in 0..ne {
+            let c = m.edge2cell.row(e);
+            rout[e] = racc[c[0] as usize] - racc[c[1] as usize];
+        }
+
+        for shape in [
+            Shape::Threaded,
+            Shape::Simt {
+                width: 4,
+                sched_overhead_ns: 0,
+            },
+        ] {
+            let pool = ExecPool::new(3);
+            let cache = PlanCache::new();
+            let mut a = vec![0.0f64; ne];
+            let mut acc = vec![0.0f64; nc];
+            let mut out = vec![0.0f64; ne];
+            let report;
+            {
+                let av = SharedDat::new(&mut a);
+                let accv = SharedDat::new(&mut acc);
+                let outv = SharedDat::new(&mut out);
+                let mut chain = Chain::new("indirect");
+                {
+                    let av = &av;
+                    chain.record(
+                        desc(
+                            "fill",
+                            "edges",
+                            ne,
+                            vec![ArgInfo::direct("a", 1, Access::Write)],
+                        ),
+                        vec![],
+                        move |e| unsafe { av.slice_mut(e, 1)[0] = (e % 7 + 1) as f64 },
+                    );
+                }
+                {
+                    let (av, accv, m) = (&av, &accv, &m);
+                    chain.record_two_phase(
+                        desc(
+                            "scatter",
+                            "edges",
+                            ne,
+                            vec![
+                                ArgInfo::direct("a", 1, Access::Read),
+                                ArgInfo::indirect("acc", 1, Access::Inc, "edge2cell", 0),
+                                ArgInfo::indirect("acc", 1, Access::Inc, "edge2cell", 1),
+                            ],
+                        ),
+                        vec![&m.edge2cell],
+                        move |e| {
+                            let c = m.edge2cell.row(e);
+                            let v = unsafe { av.slice(e, 1)[0] };
+                            (c[0] as usize, [v], c[1] as usize, [-2.0])
+                        },
+                        move |_e, inc| unsafe { ump_core::apply_edge_inc(accv, inc) },
+                    );
+                }
+                {
+                    let (accv, outv, m) = (&accv, &outv, &m);
+                    chain.record(
+                        desc(
+                            "gather",
+                            "edges",
+                            ne,
+                            vec![
+                                ArgInfo::indirect("acc", 1, Access::Read, "edge2cell", 0),
+                                ArgInfo::indirect("acc", 1, Access::Read, "edge2cell", 1),
+                                ArgInfo::direct("out", 1, Access::Write),
+                            ],
+                        ),
+                        vec![],
+                        move |e| {
+                            let c = m.edge2cell.row(e);
+                            unsafe {
+                                outv.slice_mut(e, 1)[0] = accv.slice(c[0] as usize, 1)[0]
+                                    - accv.slice(c[1] as usize, 1)[0];
+                            }
+                        },
+                    );
+                }
+                let groups = chain.groups();
+                // [fill+scatter] fuse; gather (indirect RAW on acc) splits
+                assert_eq!(groups.len(), 2, "{groups:?}");
+                assert_eq!(groups[0].loops, 0..2);
+                report = chain.execute(&pool, &cache, shape, 0, 16, 8, None);
+            }
+            assert_eq!(a, ra, "{shape:?}");
+            assert_eq!(acc, racc, "{shape:?}");
+            assert_eq!(out, rout, "{shape:?}");
+            assert!(report.fused_rounds < report.unfused_rounds);
+        }
+    }
+
+    /// Epilogues run after their group and before later groups consume
+    /// the merged value; sequential loops dispatch zero pool rounds.
+    #[test]
+    fn epilogue_order_and_seq_loops() {
+        let n = 64usize;
+        let pool = ExecPool::new(2);
+        let cache = PlanCache::new();
+        let mut partial = vec![0.0f64; n.div_ceil(16)];
+        let mut total = vec![0.0f64; 1];
+        let mut consumed = vec![0.0f64; 1];
+        let report;
+        {
+            let pv = SharedDat::new(&mut partial);
+            let tv = SharedDat::new(&mut total);
+            let cv = SharedDat::new(&mut consumed);
+            let mut chain = Chain::new("reduce");
+            {
+                let pv = &pv;
+                chain.record_blocks(
+                    desc(
+                        "sum",
+                        "items",
+                        n,
+                        vec![ArgInfo::global("acc", 1, Access::Inc)],
+                    ),
+                    vec![],
+                    move |b, range| {
+                        let mut local = 0.0;
+                        for e in range {
+                            local += e as f64;
+                        }
+                        unsafe { pv.slice_mut(b, 1)[0] = local };
+                    },
+                );
+            }
+            {
+                let (pv, tv) = (&pv, &tv);
+                chain.epilogue(move || unsafe {
+                    let s: f64 = pv.slice(0, pv.len()).iter().sum();
+                    tv.slice_mut(0, 1)[0] = s;
+                });
+            }
+            {
+                let (tv, cv) = (&tv, &cv);
+                chain.record_seq(desc("consume", "bedges", 1, vec![]), move || unsafe {
+                    cv.slice_mut(0, 1)[0] = tv.slice(0, 1)[0] * 2.0;
+                });
+            }
+            let r0 = pool.dispatch_rounds();
+            report = chain.execute(&pool, &cache, Shape::Threaded, 0, 16, 8, None);
+            assert_eq!(
+                pool.dispatch_rounds() - r0,
+                report.fused_rounds as u64,
+                "reported rounds must match the pool counter"
+            );
+        }
+        let expect: f64 = (0..n).map(|e| e as f64).sum();
+        assert_eq!(total[0], expect);
+        assert_eq!(consumed[0], expect * 2.0);
+        assert_eq!(report.fused_rounds, 1);
+    }
+
+    /// Group timing and fusion stats land in the recorder.
+    #[test]
+    fn recorder_receives_group_times_and_fusion_stats() {
+        let n = 128;
+        let pool = ExecPool::new(2);
+        let cache = PlanCache::new();
+        let rec = Recorder::new();
+        let mut a = vec![0.0f64; n];
+        {
+            let av = SharedDat::new(&mut a);
+            let mut chain = Chain::new("stats");
+            {
+                let av = &av;
+                chain.record(
+                    desc(
+                        "w",
+                        "items",
+                        n,
+                        vec![ArgInfo::direct("a", 1, Access::Write)],
+                    ),
+                    vec![],
+                    move |e| unsafe { av.slice_mut(e, 1)[0] = 1.0 },
+                );
+            }
+            {
+                let av = &av;
+                chain.record(
+                    desc("r", "items", n, vec![ArgInfo::direct("a", 1, Access::Rw)]),
+                    vec![],
+                    move |e| unsafe { av.slice_mut(e, 1)[0] += 1.0 },
+                );
+            }
+            chain.execute(&pool, &cache, Shape::Threaded, 0, 32, 8, Some(&rec));
+        }
+        assert!(rec.get("fused[w+r]").is_some());
+        let f = rec.fusion("stats").unwrap();
+        assert_eq!(f.executions, 1);
+        assert_eq!(f.loops, 2);
+        assert_eq!(f.groups, 1);
+        assert_eq!(f.rounds_saved(), 1);
+        // the Rw read of `a` in loop `r` re-reads what `w` wrote
+        assert_eq!(f.bytes_saved, (n * 8) as f64);
+    }
+}

@@ -4,8 +4,9 @@
 //! of *"Vectorizing Unstructured Mesh Computations for Many-core
 //! Architectures"* (Reguly, László, Mudalige, Giles): an OP2-style
 //! domain-specific layer for unstructured-mesh parallel loops with
-//! scalar, threaded (colored blocks), explicitly-SIMD, SIMT-emulated and
-//! message-passing backends, plus the two benchmark applications
+//! scalar, threaded (colored blocks), explicitly-SIMD, SIMT-emulated,
+//! message-passing and fused lazy-execution ([`lazy`]) backends, plus
+//! the two benchmark applications
 //! (Airfoil CFD and the Volna tsunami code) and an analytic model of the
 //! paper's four machines.
 //!
@@ -29,6 +30,7 @@ pub use ump_apps as apps;
 pub use ump_archsim as archsim;
 pub use ump_color as color;
 pub use ump_core as core;
+pub use ump_lazy as lazy;
 pub use ump_mesh as mesh;
 pub use ump_minimpi as minimpi;
 pub use ump_part as part;

@@ -1,0 +1,191 @@
+//! Integration: the `ump_lazy` fused backend must compute the same
+//! physics as the sequential reference on both applications, in both
+//! execution shapes, while issuing strictly fewer `ExecPool` dispatch
+//! rounds than the unfused threaded drivers — the two claims the fusion
+//! runtime exists for.
+
+use ump_apps::{airfoil, volna};
+use ump_core::{ExecPool, PlanCache, Recorder};
+use ump_lazy::Shape;
+
+const NX: usize = 24;
+const NY: usize = 16;
+const ITERS: usize = 5;
+
+const SIMT: Shape = Shape::Simt {
+    width: 8,
+    sched_overhead_ns: 0,
+};
+
+#[test]
+fn fused_airfoil_matches_sequential_within_1e12() {
+    let mut reference = airfoil::Airfoil::<f64>::new(NX, NY);
+    let ref_hist: Vec<f64> = (0..ITERS)
+        .map(|_| airfoil::drivers::step_seq(&mut reference, None))
+        .collect();
+
+    for shape in [Shape::Threaded, SIMT] {
+        let pool = ExecPool::new(4);
+        let cache = PlanCache::new();
+        let mut sim = airfoil::Airfoil::<f64>::new(NX, NY);
+        for (i, &r) in ref_hist.iter().enumerate() {
+            let rms = airfoil::drivers::step_fused_on(&pool, &mut sim, &cache, shape, 0, 32, None);
+            assert!(
+                (rms - r).abs() < 1e-12 * (1.0 + r),
+                "{shape:?} iter {i}: rms {rms} vs {r}"
+            );
+        }
+        let d = sim.q.max_abs_diff(&reference.q);
+        assert!(d <= 1e-12, "{shape:?}: max |Δq| = {d:e} > 1e-12");
+    }
+}
+
+#[test]
+fn fused_volna_matches_sequential_within_1e12() {
+    let mut reference = volna::Volna::<f64>::new(NX, NY);
+    let ref_hist: Vec<f64> = (0..ITERS)
+        .map(|_| volna::drivers::step_seq(&mut reference, None))
+        .collect();
+
+    for shape in [Shape::Threaded, SIMT] {
+        let pool = ExecPool::new(4);
+        let cache = PlanCache::new();
+        let mut sim = volna::Volna::<f64>::new(NX, NY);
+        for (i, &r) in ref_hist.iter().enumerate() {
+            let dt = volna::drivers::step_fused_on(&pool, &mut sim, &cache, shape, 0, 32, None);
+            // the Δt reduction is an exact min of its inputs; the inputs
+            // themselves carry ULP-level reassociation differences
+            assert!(
+                (dt - r).abs() <= 1e-12 * r,
+                "{shape:?} iter {i}: {dt} vs {r}"
+            );
+        }
+        let d = sim.w.max_abs_diff(&reference.w);
+        assert!(d <= 1e-12, "{shape:?}: max |Δw| = {d:e} > 1e-12");
+        assert!(sim.w.all_finite());
+    }
+}
+
+/// The headline claim: a fused Airfoil timestep issues strictly fewer
+/// pool dispatch rounds than `step_threaded`, and the instrumentation
+/// counters agree with the pool's own round counter.
+#[test]
+fn fused_airfoil_issues_strictly_fewer_dispatch_rounds() {
+    let pool = ExecPool::new(4);
+    let cache = PlanCache::new();
+    let block_size = 32;
+
+    let mut sim = airfoil::Airfoil::<f64>::new(NX, NY);
+    // warm the plan cache so both measurements dispatch identically
+    airfoil::drivers::step_threaded_on(&pool, &mut sim, &cache, 0, block_size, None);
+    airfoil::drivers::step_fused_on(
+        &pool,
+        &mut sim,
+        &cache,
+        Shape::Threaded,
+        0,
+        block_size,
+        None,
+    );
+
+    let r0 = pool.dispatch_rounds();
+    airfoil::drivers::step_threaded_on(&pool, &mut sim, &cache, 0, block_size, None);
+    let threaded_rounds = pool.dispatch_rounds() - r0;
+
+    let rec = Recorder::new();
+    let r1 = pool.dispatch_rounds();
+    airfoil::drivers::step_fused_on(
+        &pool,
+        &mut sim,
+        &cache,
+        Shape::Threaded,
+        0,
+        block_size,
+        Some(&rec),
+    );
+    let fused_rounds = pool.dispatch_rounds() - r1;
+
+    assert!(
+        fused_rounds < threaded_rounds,
+        "fused step must issue strictly fewer rounds: fused {fused_rounds} vs threaded {threaded_rounds}"
+    );
+
+    let stats = rec.fusion("airfoil_step").expect("chain stats recorded");
+    assert_eq!(stats.fused_rounds as u64, fused_rounds, "counter mismatch");
+    assert_eq!(
+        stats.unfused_rounds as u64, threaded_rounds,
+        "baseline mismatch"
+    );
+    assert!(stats.rounds_saved() >= 2, "airfoil fuses two cell pairs");
+    assert!(
+        stats.bytes_saved > 0.0,
+        "fusion must save re-streamed bytes"
+    );
+    assert_eq!(stats.loops, 9);
+}
+
+/// Same for Volna, whose edge-loop triple fuses: three rounds saved
+/// (compute_flux+numerical_flux+space_disc collapse to one dispatch in
+/// phase 0, compute_flux+space_disc in phase 1).
+#[test]
+fn fused_volna_issues_strictly_fewer_dispatch_rounds() {
+    let pool = ExecPool::new(4);
+    let cache = PlanCache::new();
+    let block_size = 32;
+
+    let mut sim = volna::Volna::<f64>::new(NX, NY);
+    volna::drivers::step_threaded_on(&pool, &mut sim, &cache, 0, block_size, None);
+    volna::drivers::step_fused_on(
+        &pool,
+        &mut sim,
+        &cache,
+        Shape::Threaded,
+        0,
+        block_size,
+        None,
+    );
+
+    let r0 = pool.dispatch_rounds();
+    volna::drivers::step_threaded_on(&pool, &mut sim, &cache, 0, block_size, None);
+    let threaded_rounds = pool.dispatch_rounds() - r0;
+
+    let rec = Recorder::new();
+    let r1 = pool.dispatch_rounds();
+    volna::drivers::step_fused_on(
+        &pool,
+        &mut sim,
+        &cache,
+        Shape::Threaded,
+        0,
+        block_size,
+        Some(&rec),
+    );
+    let fused_rounds = pool.dispatch_rounds() - r1;
+
+    assert!(
+        fused_rounds < threaded_rounds,
+        "fused {fused_rounds} vs threaded {threaded_rounds}"
+    );
+    let stats = rec.fusion("volna_step").unwrap();
+    assert_eq!(stats.rounds_saved(), 3, "cf+nf+sd and cf+sd fusions");
+}
+
+/// Fused execution under an explicit small team and tight block size
+/// still matches — exercises multi-color fused dispatch heavily.
+#[test]
+fn fused_is_robust_across_block_sizes_and_teams() {
+    let mut reference = airfoil::Airfoil::<f64>::new(NX, NY);
+    for _ in 0..3 {
+        airfoil::drivers::step_seq(&mut reference, None);
+    }
+    for (team, bs) in [(1usize, 16usize), (2, 64), (3, 1024)] {
+        let pool = ExecPool::new(team);
+        let cache = PlanCache::new();
+        let mut sim = airfoil::Airfoil::<f64>::new(NX, NY);
+        for _ in 0..3 {
+            airfoil::drivers::step_fused_on(&pool, &mut sim, &cache, Shape::Threaded, 0, bs, None);
+        }
+        let d = sim.q.max_abs_diff(&reference.q);
+        assert!(d <= 1e-12, "team {team} block {bs}: {d:e}");
+    }
+}

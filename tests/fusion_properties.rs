@@ -1,0 +1,282 @@
+//! Property tests of the fusion runtime: for random meshes and random
+//! loop chains drawn from a small vocabulary of integer-valued kernels,
+//! fused execution must **bit-match** (`max_abs_diff == 0`) the plain
+//! sequential loop-by-loop reference in both execution shapes — integer
+//! arithmetic in f64 is exact, so any reordering bug, dropped loop, or
+//! illegal fusion shows up as a hard mismatch, not a tolerance question.
+
+use proptest::prelude::*;
+use ump_core::{apply_edge_inc, Access, ArgInfo, ExecPool, LoopProfile, PlanCache, SharedDat};
+use ump_lazy::{Chain, LoopDesc, Shape};
+use ump_mesh::generators::perturbed_quads;
+use ump_mesh::Mesh2d;
+
+/// The loop vocabulary chains are drawn from. All bodies are
+/// integer-valued so f64 execution is exact in any order the legality
+/// rules permit.
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    /// edges, direct: `a[e] += e % 5 + 1`
+    FillA,
+    /// edges, direct RAW on `a`: `b[e] += 2·a[e]`
+    CombineB,
+    /// edges, indirect increment: `acc[c0] += a[e]; acc[c1] -= 2`
+    Scatter,
+    /// edges, indirect read of `acc` (splits after Scatter):
+    /// `b[e] += acc[c0] − acc[c1]`
+    Gather,
+    /// cells, direct (different set, always splits): `acc[c] += 3`
+    CellStep,
+}
+
+impl Kind {
+    fn from_index(i: usize) -> Kind {
+        match i % 5 {
+            0 => Kind::FillA,
+            1 => Kind::CombineB,
+            2 => Kind::Scatter,
+            3 => Kind::Gather,
+            _ => Kind::CellStep,
+        }
+    }
+
+    fn desc(self, ne: usize, nc: usize) -> LoopDesc {
+        let (name, set, n, args) = match self {
+            Kind::FillA => (
+                "fill_a",
+                "edges",
+                ne,
+                vec![ArgInfo::direct("a", 1, Access::Inc)],
+            ),
+            Kind::CombineB => (
+                "combine_b",
+                "edges",
+                ne,
+                vec![
+                    ArgInfo::direct("a", 1, Access::Read),
+                    ArgInfo::direct("b", 1, Access::Inc),
+                ],
+            ),
+            Kind::Scatter => (
+                "scatter",
+                "edges",
+                ne,
+                vec![
+                    ArgInfo::direct("a", 1, Access::Read),
+                    ArgInfo::indirect("acc", 1, Access::Inc, "edge2cell", 0),
+                    ArgInfo::indirect("acc", 1, Access::Inc, "edge2cell", 1),
+                ],
+            ),
+            Kind::Gather => (
+                "gather",
+                "edges",
+                ne,
+                vec![
+                    ArgInfo::indirect("acc", 1, Access::Read, "edge2cell", 0),
+                    ArgInfo::indirect("acc", 1, Access::Read, "edge2cell", 1),
+                    ArgInfo::direct("b", 1, Access::Inc),
+                ],
+            ),
+            Kind::CellStep => (
+                "cell_step",
+                "cells",
+                nc,
+                vec![ArgInfo::direct("acc", 1, Access::Inc)],
+            ),
+        };
+        LoopDesc::new(
+            LoopProfile {
+                name: name.into(),
+                set: set.into(),
+                args,
+                flops_per_elem: 1.0,
+                transcendentals_per_elem: 0.0,
+                description: String::new(),
+            },
+            n,
+        )
+    }
+}
+
+struct State {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    acc: Vec<f64>,
+}
+
+impl State {
+    fn new(mesh: &Mesh2d) -> State {
+        State {
+            a: vec![0.0; mesh.n_edges()],
+            b: vec![0.0; mesh.n_edges()],
+            acc: vec![0.0; mesh.n_cells()],
+        }
+    }
+}
+
+/// Plain loop-by-loop sequential reference.
+fn run_reference(mesh: &Mesh2d, kinds: &[Kind], s: &mut State) {
+    for k in kinds {
+        match k {
+            Kind::FillA => {
+                for e in 0..mesh.n_edges() {
+                    s.a[e] += (e % 5 + 1) as f64;
+                }
+            }
+            Kind::CombineB => {
+                for e in 0..mesh.n_edges() {
+                    s.b[e] += 2.0 * s.a[e];
+                }
+            }
+            Kind::Scatter => {
+                for e in 0..mesh.n_edges() {
+                    let c = mesh.edge2cell.row(e);
+                    s.acc[c[0] as usize] += s.a[e];
+                    s.acc[c[1] as usize] -= 2.0;
+                }
+            }
+            Kind::Gather => {
+                for e in 0..mesh.n_edges() {
+                    let c = mesh.edge2cell.row(e);
+                    s.b[e] += s.acc[c[0] as usize] - s.acc[c[1] as usize];
+                }
+            }
+            Kind::CellStep => {
+                for c in 0..mesh.n_cells() {
+                    s.acc[c] += 3.0;
+                }
+            }
+        }
+    }
+}
+
+/// Record the same chain and execute it fused.
+fn run_fused(
+    mesh: &Mesh2d,
+    kinds: &[Kind],
+    s: &mut State,
+    shape: Shape,
+    block_size: usize,
+) -> ump_lazy::ChainReport {
+    let (ne, nc) = (mesh.n_edges(), mesh.n_cells());
+    let pool = ExecPool::new(3);
+    let cache = PlanCache::new();
+    let av = SharedDat::new(&mut s.a);
+    let bv = SharedDat::new(&mut s.b);
+    let accv = SharedDat::new(&mut s.acc);
+    let mut chain = Chain::new("prop");
+    for k in kinds {
+        match k {
+            Kind::FillA => {
+                let av = &av;
+                chain.record(k.desc(ne, nc), vec![], move |e| unsafe {
+                    av.slice_mut(e, 1)[0] += (e % 5 + 1) as f64;
+                });
+            }
+            Kind::CombineB => {
+                let (av, bv) = (&av, &bv);
+                chain.record(k.desc(ne, nc), vec![], move |e| unsafe {
+                    bv.slice_mut(e, 1)[0] += 2.0 * av.slice(e, 1)[0];
+                });
+            }
+            Kind::Scatter => {
+                let (av, accv) = (&av, &accv);
+                chain.record_two_phase(
+                    k.desc(ne, nc),
+                    vec![&mesh.edge2cell],
+                    move |e| {
+                        let c = mesh.edge2cell.row(e);
+                        let v = unsafe { av.slice(e, 1)[0] };
+                        (c[0] as usize, [v], c[1] as usize, [-2.0])
+                    },
+                    move |_e, inc| unsafe { apply_edge_inc(accv, inc) },
+                );
+            }
+            Kind::Gather => {
+                let (bv, accv) = (&bv, &accv);
+                chain.record(k.desc(ne, nc), vec![], move |e| {
+                    let c = mesh.edge2cell.row(e);
+                    unsafe {
+                        bv.slice_mut(e, 1)[0] +=
+                            accv.slice(c[0] as usize, 1)[0] - accv.slice(c[1] as usize, 1)[0];
+                    }
+                });
+            }
+            Kind::CellStep => {
+                let accv = &accv;
+                chain.record(k.desc(ne, nc), vec![], move |c| unsafe {
+                    accv.slice_mut(c, 1)[0] += 3.0;
+                });
+            }
+        }
+    }
+    chain.execute(&pool, &cache, shape, 0, block_size, 8, None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Fused execution of a random legal chain on a random perturbed
+    // mesh bit-matches the sequential reference — threaded and SIMT
+    // shapes alike — and never issues more rounds than loop-by-loop
+    // execution would.
+    #[test]
+    fn fused_chain_bit_matches_sequential(
+        nx in 3usize..12,
+        ny in 3usize..10,
+        seed in any::<u64>(),
+        kind_ids in prop::collection::vec(0usize..5, 1..9),
+        bs_sel in 0usize..3,
+    ) {
+        let mesh = perturbed_quads(nx, ny, 0.25, seed);
+        let kinds: Vec<Kind> = kind_ids.iter().map(|&i| Kind::from_index(i)).collect();
+        let block_size = [5usize, 16, 64][bs_sel];
+
+        let mut reference = State::new(&mesh);
+        run_reference(&mesh, &kinds, &mut reference);
+
+        for shape in [Shape::Threaded, Shape::Simt { width: 4, sched_overhead_ns: 0 }] {
+            let mut fused = State::new(&mesh);
+            let report = run_fused(&mesh, &kinds, &mut fused, shape, block_size);
+            prop_assert_eq!(&fused.a, &reference.a, "a diverged ({:?}, {:?})", shape, kinds);
+            prop_assert_eq!(&fused.b, &reference.b, "b diverged ({:?}, {:?})", shape, kinds);
+            prop_assert_eq!(&fused.acc, &reference.acc, "acc diverged ({:?}, {:?})", shape, kinds);
+            prop_assert!(report.fused_rounds <= report.unfused_rounds);
+            prop_assert!(report.groups <= report.loops);
+        }
+    }
+
+    // The canonical illegal fusion — an indirect read directly after an
+    // indirect increment through the shared map — is split into two
+    // groups, and still computes the exact sequential result.
+    #[test]
+    fn illegal_indirect_raw_is_split_and_correct(
+        nx in 3usize..10,
+        ny in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mesh = perturbed_quads(nx, ny, 0.2, seed);
+        let kinds = [Kind::FillA, Kind::Scatter, Kind::Gather];
+
+        // the fused partition must split exactly between Scatter (inc
+        // through edge2cell) and Gather (read through edge2cell)
+        let (ne, nc) = (mesh.n_edges(), mesh.n_cells());
+        let entries: Vec<LoopDesc> = kinds.iter().map(|k| k.desc(ne, nc)).collect();
+        let refs: Vec<(&LoopDesc, bool)> = entries.iter().map(|d| (d, false)).collect();
+        let groups = ump_lazy::fuse_groups(&refs);
+        prop_assert_eq!(groups.len(), 2, "expected split: {:?}", groups);
+        prop_assert_eq!(groups[0].loops.clone(), 0..2);
+        prop_assert_eq!(groups[1].loops.clone(), 2..3);
+        prop_assert!(
+            ump_lazy::conflict(&entries[1], &entries[2]).is_some(),
+            "indirect RAW must conflict"
+        );
+
+        let mut reference = State::new(&mesh);
+        run_reference(&mesh, &kinds, &mut reference);
+        let mut fused = State::new(&mesh);
+        run_fused(&mesh, &kinds, &mut fused, Shape::Threaded, 16);
+        prop_assert_eq!(&fused.b, &reference.b);
+        prop_assert_eq!(&fused.acc, &reference.acc);
+    }
+}
