@@ -17,8 +17,8 @@
 
 use ump_color::PlanInputs;
 use ump_core::{
-    apply_edge_inc, global_pool_cap, seq_loop, ExecPool, OpDat, PlanCache, Recorder, Scheme,
-    SharedDat, SharedMut,
+    apply_edge_inc, global_pool_cap, seq_loop, Backend, ExecPool, OpDat, PlanCache, Recorder,
+    Scheme, SharedDat, SharedMut,
 };
 use ump_lazy::{Chain, LoopDesc, Shape};
 use ump_simd::{split_sweep, IdxVec, Real, VecR};
@@ -379,26 +379,104 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Airfoil<R>, rec: Option<&Rec
                 );
             }
             for cstart in sweep.vector_chunks() {
-                let qold_p: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::load_strided(&qold.data, cstart * 4 + d, 4));
-                let mut q_p: [VecR<R, L>; 4] = [VecR::zero(); 4];
-                let mut res_p: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::load_strided(&res.data, cstart * 4 + d, 4));
-                let adt_p = VecR::<R, L>::load(&adt.data, cstart);
-                update_vec(&qold_p, &mut q_p, &mut res_p, adt_p, &mut rms_v);
-                for d in 0..4 {
-                    q_p[d].store_strided(&mut q.data, cstart * 4 + d, 4);
-                    res_p[d].store_strided(&mut res.data, cstart * 4 + d, 4);
-                }
+                update_chunk::<R, L>(
+                    cstart,
+                    &qold.data,
+                    &mut q.data,
+                    &mut res.data,
+                    &adt.data,
+                    &mut rms_v,
+                );
             }
         });
     }
     sim.normalize_rms(rms_s.to_f64() + rms_v.reduce_sum().to_f64())
 }
 
+/// One lane-aligned chunk of vectorized `adt_calc`: gather node
+/// coordinates through `cell2node`, load q strided, store adt
+/// contiguously. Raw-slice signature so the pooled sweeps (`OpDat`
+/// storage) and the fused-chain vector bodies (`SharedDat` views) share
+/// one copy of the index arithmetic.
+#[inline(always)]
+pub(crate) fn adt_chunk<R: Real, const L: usize>(
+    cs: usize,
+    c2n: &[i32],
+    x: &[R],
+    q: &[R],
+    adt: &mut [R],
+    consts: &super::Consts<R>,
+) {
+    let nodes: [IdxVec<L>; 4] = std::array::from_fn(|j| IdxVec::load_strided(c2n, cs * 4 + j, 4));
+    let xp: [[VecR<R, L>; 2]; 4] = std::array::from_fn(|j| {
+        [
+            VecR::gather(x, nodes[j], 2, 0),
+            VecR::gather(x, nodes[j], 2, 1),
+        ]
+    });
+    let q_p: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(q, cs * 4 + d, 4));
+    let a = adt_calc_vec(&xp[0], &xp[1], &xp[2], &xp[3], &q_p, consts);
+    a.store(adt, cs);
+}
+
+/// One lane-aligned chunk of vectorized `res_calc` with *serialized*
+/// lane scatter (ascending lane order — the scalar accumulation order).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn res_chunk<R: Real, const L: usize>(
+    es: usize,
+    e2n: &[i32],
+    e2c: &[i32],
+    x: &[R],
+    q: &[R],
+    adt: &[R],
+    res: &mut [R],
+    consts: &super::Consts<R>,
+) {
+    let n0 = IdxVec::<L>::load_strided(e2n, es * 2, 2);
+    let n1 = IdxVec::<L>::load_strided(e2n, es * 2 + 1, 2);
+    let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
+    let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
+    let x1 = [VecR::gather(x, n0, 2, 0), VecR::gather(x, n0, 2, 1)];
+    let x2 = [VecR::gather(x, n1, 2, 0), VecR::gather(x, n1, 2, 1)];
+    let q1: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(q, c0, 4, d));
+    let q2: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(q, c1, 4, d));
+    let a1 = VecR::gather(adt, c0, 1, 0);
+    let a2 = VecR::gather(adt, c1, 1, 0);
+    let mut r1 = [VecR::<R, L>::zero(); 4];
+    let mut r2 = [VecR::<R, L>::zero(); 4];
+    res_calc_vec(&x1, &x2, &q1, &q2, a1, a2, &mut r1, &mut r2, consts);
+    for d in 0..4 {
+        r1[d].scatter_add_serial(res, c0, 4, d);
+        r2[d].scatter_add_serial(res, c1, 4, d);
+    }
+}
+
+/// One lane-aligned chunk of vectorized `update`, folding the residual
+/// into `rms` (caller reduces the accumulator once per sweep or block).
+#[inline(always)]
+pub(crate) fn update_chunk<R: Real, const L: usize>(
+    cs: usize,
+    qold: &[R],
+    q: &mut [R],
+    res: &mut [R],
+    adt: &[R],
+    rms: &mut VecR<R, L>,
+) {
+    let qold_p: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(qold, cs * 4 + d, 4));
+    let mut q_p = [VecR::<R, L>::zero(); 4];
+    let mut res_p: [VecR<R, L>; 4] =
+        std::array::from_fn(|d| VecR::load_strided(res, cs * 4 + d, 4));
+    let adt_p = VecR::<R, L>::load(adt, cs);
+    update_vec(&qold_p, &mut q_p, &mut res_p, adt_p, rms);
+    for d in 0..4 {
+        q_p[d].store_strided(q, cs * 4 + d, 4);
+        res_p[d].store_strided(res, cs * 4 + d, 4);
+    }
+}
+
 /// Vectorized adt_calc over an element range (shared by the pure-SIMD and
-/// hybrid drivers). Gathers node coordinates through `cell2node`, loads q
-/// strided, stores adt contiguously.
+/// hybrid drivers).
 pub(crate) fn simd_adt_sweep<R: Real, const L: usize>(
     range: std::ops::Range<usize>,
     mesh: &ump_mesh::Mesh2d,
@@ -422,20 +500,15 @@ pub(crate) fn simd_adt_sweep<R: Real, const L: usize>(
         );
         adt.data[c] = a;
     }
-    let c2n = &mesh.cell2node.data;
     for cs in sweep.vector_chunks() {
-        let nodes: [IdxVec<L>; 4] =
-            std::array::from_fn(|j| IdxVec::load_strided(c2n, cs * 4 + j, 4));
-        let xp: [[VecR<R, L>; 2]; 4] = std::array::from_fn(|j| {
-            [
-                VecR::gather(&x.data, nodes[j], 2, 0),
-                VecR::gather(&x.data, nodes[j], 2, 1),
-            ]
-        });
-        let q_p: [VecR<R, L>; 4] =
-            std::array::from_fn(|d| VecR::load_strided(&q.data, cs * 4 + d, 4));
-        let a = adt_calc_vec(&xp[0], &xp[1], &xp[2], &xp[3], &q_p, consts);
-        a.store(&mut adt.data, cs);
+        adt_chunk::<R, L>(
+            cs,
+            &mesh.cell2node.data,
+            &x.data,
+            &q.data,
+            &mut adt.data,
+            consts,
+        );
     }
 }
 
@@ -470,32 +543,17 @@ pub(crate) fn simd_res_sweep<R: Real, const L: usize>(
             consts,
         );
     }
-    let e2n = &mesh.edge2node.data;
-    let e2c = &mesh.edge2cell.data;
     for es in sweep.vector_chunks() {
-        let n0 = IdxVec::<L>::load_strided(e2n, es * 2, 2);
-        let n1 = IdxVec::<L>::load_strided(e2n, es * 2 + 1, 2);
-        let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
-        let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
-        let x1 = [
-            VecR::gather(&x.data, n0, 2, 0),
-            VecR::gather(&x.data, n0, 2, 1),
-        ];
-        let x2 = [
-            VecR::gather(&x.data, n1, 2, 0),
-            VecR::gather(&x.data, n1, 2, 1),
-        ];
-        let q1: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(&q.data, c0, 4, d));
-        let q2: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(&q.data, c1, 4, d));
-        let a1 = VecR::gather(&adt.data, c0, 1, 0);
-        let a2 = VecR::gather(&adt.data, c1, 1, 0);
-        let mut r1 = [VecR::<R, L>::zero(); 4];
-        let mut r2 = [VecR::<R, L>::zero(); 4];
-        res_calc_vec(&x1, &x2, &q1, &q2, a1, a2, &mut r1, &mut r2, consts);
-        for d in 0..4 {
-            r1[d].scatter_add_serial(&mut res.data, c0, 4, d);
-            r2[d].scatter_add_serial(&mut res.data, c1, 4, d);
-        }
+        res_chunk::<R, L>(
+            es,
+            &mesh.edge2node.data,
+            &mesh.edge2cell.data,
+            &x.data,
+            &q.data,
+            &adt.data,
+            &mut res.data,
+            consts,
+        );
     }
 }
 
@@ -641,20 +699,14 @@ pub fn step_simd_threaded_on<R: Real, const L: usize>(
                             );
                         }
                         for cs in sweep.vector_chunks() {
-                            let qd = qs.slice_mut(0, qs.len());
-                            let rd = ress.slice_mut(0, ress.len());
-                            let qold_p: [VecR<R, L>; 4] = std::array::from_fn(|d| {
-                                VecR::load_strided(&qold.data, cs * 4 + d, 4)
-                            });
-                            let mut q_p = [VecR::<R, L>::zero(); 4];
-                            let mut res_p: [VecR<R, L>; 4] =
-                                std::array::from_fn(|d| VecR::load_strided(rd, cs * 4 + d, 4));
-                            let adt_p = VecR::<R, L>::load(&adt.data, cs);
-                            update_vec(&qold_p, &mut q_p, &mut res_p, adt_p, &mut local_v);
-                            for d in 0..4 {
-                                q_p[d].store_strided(qd, cs * 4 + d, 4);
-                                res_p[d].store_strided(rd, cs * 4 + d, 4);
-                            }
+                            update_chunk::<R, L>(
+                                cs,
+                                &qold.data,
+                                qs.slice_mut(0, qs.len()),
+                                ress.slice_mut(0, ress.len()),
+                                &adt.data,
+                                &mut local_v,
+                            );
                         }
                         rmss.slice_mut(b, 1)[0] = local_s + local_v.reduce_sum();
                     }
@@ -863,8 +915,73 @@ pub fn step_fused<R: Real>(
 }
 
 /// As [`step_fused`] on an explicit pool and execution shape
-/// ([`Shape::Threaded`] or the SIMT emulation [`Shape::Simt`]).
+/// ([`Shape::Threaded`] or the SIMT emulation [`Shape::Simt`]; for the
+/// vectorized fused shape use [`step_fused_simd_on`], which pins the
+/// lane count at compile time).
 pub fn step_fused_on<R: Real>(
+    pool: &ExecPool,
+    sim: &mut Airfoil<R>,
+    cache: &PlanCache,
+    shape: Shape,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    fused_chain_step::<R, 4>(pool, sim, cache, shape, n_threads, block_size, rec)
+}
+
+/// One iteration through the **fused-SIMD** backend: the same recorded
+/// chain and union-write-set plans as [`step_fused`], but every pooled
+/// loop carries an `L`-lane vector body (gathers through the mesh maps,
+/// serialized lane scatters for the colored increment, three-sweep
+/// alignment handling) executed via [`Shape::Simd`] — the paper's
+/// headline explicit vectorization composed with cross-loop fusion on
+/// one dispatch path. Issues exactly as many pool rounds as the fused
+/// threaded shape (the plans are shared). Runs on the process-wide
+/// [`ExecPool`] capped at `n_threads` members (`0` = all).
+pub fn step_fused_simd<R: Real, const L: usize>(
+    sim: &mut Airfoil<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_fused_simd_on::<R, L>(
+        ExecPool::global(),
+        sim,
+        cache,
+        global_pool_cap(n_threads),
+        block_size,
+        rec,
+    )
+}
+
+/// As [`step_fused_simd`] on an explicit pool.
+pub fn step_fused_simd_on<R: Real, const L: usize>(
+    pool: &ExecPool,
+    sim: &mut Airfoil<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    fused_chain_step::<R, L>(
+        pool,
+        sim,
+        cache,
+        Shape::Simd { lanes: L },
+        n_threads,
+        block_size,
+        rec,
+    )
+}
+
+/// The shared fused-chain timestep behind [`step_fused_on`] and
+/// [`step_fused_simd_on`]: records the nine-loop iteration with both
+/// scalar and `L`-lane vector bodies, so one chain serves every fused
+/// shape (scalar bodies under `Threaded`/`Simt`, vector bodies under
+/// `Simd { lanes: L }`).
+fn fused_chain_step<R: Real, const L: usize>(
     pool: &ExecPool,
     sim: &mut Airfoil<R>,
     cache: &PlanCache,
@@ -902,35 +1019,64 @@ pub fn step_fused_on<R: Real>(
         let mut chain = Chain::new("airfoil_step");
         {
             let (qs, qolds) = (&qs, &qolds);
-            chain.record(desc("save_soln", nc), vec![], move |c| unsafe {
-                save_soln(qs.slice(c * 4, 4), qolds.slice_mut(c * 4, 4));
-            });
+            chain.record_simd(
+                desc("save_soln", nc),
+                vec![],
+                L,
+                move |c| unsafe {
+                    save_soln(qs.slice(c * 4, 4), qolds.slice_mut(c * 4, 4));
+                },
+                move |cs| unsafe {
+                    // contiguous copy of L cells × 4 components
+                    let src = qs.as_slice();
+                    let dst = qolds.slice_mut(0, qolds.len());
+                    for i in 0..4 {
+                        VecR::<R, L>::load(src, cs * 4 + i * L).store(dst, cs * 4 + i * L);
+                    }
+                },
+            );
         }
         for phase in 0..2 {
             {
                 let (qs, adts) = (&qs, &adts);
-                chain.record(desc("adt_calc", nc), vec![], move |c| {
-                    let n = mesh.cell2node.row(c);
-                    let mut a = R::ZERO;
-                    unsafe {
-                        adt_calc(
-                            x.row(n[0] as usize),
-                            x.row(n[1] as usize),
-                            x.row(n[2] as usize),
-                            x.row(n[3] as usize),
-                            qs.slice(c * 4, 4),
-                            &mut a,
+                chain.record_simd(
+                    desc("adt_calc", nc),
+                    vec![],
+                    L,
+                    move |c| {
+                        let n = mesh.cell2node.row(c);
+                        let mut a = R::ZERO;
+                        unsafe {
+                            adt_calc(
+                                x.row(n[0] as usize),
+                                x.row(n[1] as usize),
+                                x.row(n[2] as usize),
+                                x.row(n[3] as usize),
+                                qs.slice(c * 4, 4),
+                                &mut a,
+                                consts,
+                            );
+                            adts.slice_mut(c, 1)[0] = a;
+                        }
+                    },
+                    move |cs| unsafe {
+                        adt_chunk::<R, L>(
+                            cs,
+                            &mesh.cell2node.data,
+                            &x.data,
+                            qs.as_slice(),
+                            adts.slice_mut(0, adts.len()),
                             consts,
                         );
-                        adts.slice_mut(c, 1)[0] = a;
-                    }
-                });
+                    },
+                );
             }
             {
                 let (qs, adts, ress) = (&qs, &adts, &ress);
-                chain.record_two_phase(
+                chain.record_simd_two_phase(
                     desc("res_calc", ne),
                     vec![&mesh.edge2cell],
+                    L,
                     move |e| {
                         let n = mesh.edge2node.row(e);
                         let c = mesh.edge2cell.row(e);
@@ -953,6 +1099,21 @@ pub fn step_fused_on<R: Real>(
                         (c0, r1, c1, r2)
                     },
                     move |_e, inc| unsafe { apply_edge_inc(ress, inc) },
+                    move |es| unsafe {
+                        // one aligned chunk: gather, vector flux kernel,
+                        // serialized lane scatter (block-exclusive under
+                        // the group plan's coloring)
+                        res_chunk::<R, L>(
+                            es,
+                            &mesh.edge2node.data,
+                            &mesh.edge2cell.data,
+                            &x.data,
+                            qs.as_slice(),
+                            adts.as_slice(),
+                            ress.slice_mut(0, ress.len()),
+                            consts,
+                        );
+                    },
                 );
             }
             {
@@ -978,10 +1139,20 @@ pub fn step_fused_on<R: Real>(
             }
             {
                 let (qs, qolds, adts, ress, rmss) = (&qs, &qolds, &adts, &ress, &rmss);
-                chain.record_blocks(desc("update", nc), vec![], move |b, range| {
-                    let mut local = R::ZERO;
-                    for c in range.start as usize..range.end as usize {
-                        unsafe {
+                // rms partials land in one (phase, block) slot each; both
+                // recordings below produce the same deterministic
+                // block-order reduction as step_threaded
+                if let Shape::Simd { .. } = shape {
+                    // SIMD shape: per-chunk fold into the block slot (a
+                    // block executes on one thread, so the in-place `+=`
+                    // through the shared view is race-free; the slot is
+                    // touched once per chunk, not once per element)
+                    chain.record_simd(
+                        desc("update", nc),
+                        vec![],
+                        L,
+                        move |c| unsafe {
+                            let mut local = R::ZERO;
                             update(
                                 qolds.slice(c * 4, 4),
                                 qs.slice_mut(c * 4, 4),
@@ -989,10 +1160,43 @@ pub fn step_fused_on<R: Real>(
                                 adts.slice(c, 1)[0],
                                 &mut local,
                             );
+                            let slot = phase * n_cell_blocks + c / block_size;
+                            rmss.slice_mut(slot, 1)[0] += local;
+                        },
+                        move |cs| unsafe {
+                            let mut local_v = VecR::<R, L>::zero();
+                            update_chunk::<R, L>(
+                                cs,
+                                qolds.as_slice(),
+                                qs.slice_mut(0, qs.len()),
+                                ress.slice_mut(0, ress.len()),
+                                adts.as_slice(),
+                                &mut local_v,
+                            );
+                            let slot = phase * n_cell_blocks + cs / block_size;
+                            rmss.slice_mut(slot, 1)[0] += local_v.reduce_sum();
+                        },
+                    );
+                } else {
+                    // scalar shapes: accumulate in a register over the
+                    // whole block, one store per block (the hot fused-
+                    // threaded path measured in BENCH_fusion.json)
+                    chain.record_blocks(desc("update", nc), vec![], move |b, range| {
+                        let mut local = R::ZERO;
+                        for c in range.start as usize..range.end as usize {
+                            unsafe {
+                                update(
+                                    qolds.slice(c * 4, 4),
+                                    qs.slice_mut(c * 4, 4),
+                                    ress.slice_mut(c * 4, 4),
+                                    adts.slice(c, 1)[0],
+                                    &mut local,
+                                );
+                            }
                         }
-                    }
-                    unsafe { rmss.slice_mut(phase * n_cell_blocks + b, 1)[0] = local };
-                });
+                        unsafe { rmss.slice_mut(phase * n_cell_blocks + b, 1)[0] = local };
+                    });
+                }
             }
         }
         chain.execute(pool, cache, shape, n_threads, block_size, R::BYTES, rec);
@@ -1187,4 +1391,85 @@ pub fn step_simt_on<R: Real>(
         });
     }
     sim.normalize_rms(rms.to_f64())
+}
+
+// ---------------------------------------------------------------------------
+// the unified dispatcher — one entry point per execution shape
+// ---------------------------------------------------------------------------
+
+/// Simt lock-step width used by the registry dispatcher (the unfused and
+/// fused SIMT shapes alike); the paper's OpenCL work-group sub-width.
+pub const DISPATCH_SIMT_WIDTH: usize = 8;
+
+/// One iteration through any registered [`Backend`], on an explicit pool
+/// — the single dispatcher behind the conformance matrix and the `repro`
+/// backend sweep. Backends with `needs_pool() == false` ignore `pool`
+/// and `n_threads`; lane-carrying backends are dispatched to the const
+/// instantiations the registry lists (L = 4 and 8) and panic, naming the
+/// backend, for any other width.
+pub fn step_on<R: Real>(
+    backend: Backend,
+    sim: &mut Airfoil<R>,
+    pool: &ExecPool,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    match backend {
+        Backend::Seq => step_seq(sim, rec),
+        Backend::Threaded => step_threaded_on(pool, sim, cache, n_threads, block_size, rec),
+        Backend::Simd { lanes: 4 } => step_simd::<R, 4>(sim, rec),
+        Backend::Simd { lanes: 8 } => step_simd::<R, 8>(sim, rec),
+        Backend::SimdThreaded { lanes: 4 } => {
+            step_simd_threaded_on::<R, 4>(pool, sim, cache, n_threads, block_size, rec)
+        }
+        Backend::SimdThreaded { lanes: 8 } => {
+            step_simd_threaded_on::<R, 8>(pool, sim, cache, n_threads, block_size, rec)
+        }
+        Backend::SimdScheme { scheme } => {
+            step_simd_scheme::<R, 4>(sim, cache, scheme, block_size, rec)
+        }
+        Backend::Simt => step_simt_on(
+            pool,
+            sim,
+            cache,
+            n_threads,
+            DISPATCH_SIMT_WIDTH,
+            0,
+            block_size,
+            rec,
+        ),
+        Backend::Fused => step_fused_on(
+            pool,
+            sim,
+            cache,
+            Shape::Threaded,
+            n_threads,
+            block_size,
+            rec,
+        ),
+        Backend::FusedSimt => step_fused_on(
+            pool,
+            sim,
+            cache,
+            Shape::Simt {
+                width: DISPATCH_SIMT_WIDTH,
+                sched_overhead_ns: 0,
+            },
+            n_threads,
+            block_size,
+            rec,
+        ),
+        Backend::FusedSimd { lanes: 4 } => {
+            step_fused_simd_on::<R, 4>(pool, sim, cache, n_threads, block_size, rec)
+        }
+        Backend::FusedSimd { lanes: 8 } => {
+            step_fused_simd_on::<R, 8>(pool, sim, cache, n_threads, block_size, rec)
+        }
+        other => panic!(
+            "backend {} has no compiled lane instantiation — add it to step_on",
+            other.name()
+        ),
+    }
 }

@@ -5,8 +5,8 @@
 
 use ump_color::PlanInputs;
 use ump_core::{
-    apply_edge_inc, global_pool_cap, seq_loop, ExecPool, PlanCache, Recorder, Scheme, SharedDat,
-    SharedMut,
+    apply_edge_inc, global_pool_cap, seq_loop, Backend, ExecPool, OpDat, PlanCache, Recorder,
+    Scheme, SharedDat, SharedMut,
 };
 use ump_lazy::{Chain, LoopDesc, Shape};
 use ump_simd::{split_sweep, IdxVec, Real, VecR};
@@ -333,7 +333,6 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Volna<R>, rec: Option<&Recor
     let cfl = R::from_f64(CFL);
     let mesh = &sim.case.mesh;
     let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
-    let e2c = &mesh.edge2cell.data;
 
     maybe_time(rec, "sim_1", wb, nc, || {
         let flat = nc * 4;
@@ -350,90 +349,666 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Volna<R>, rec: Option<&Recor
     for phase in 0..2 {
         let state = if phase == 0 { &sim.w } else { &sim.w1 };
         maybe_time(rec, "compute_flux", wb, ne, || {
-            let sweep = split_sweep(0..ne, L, 0);
-            for e in sweep.scalar_items() {
-                let c = mesh.edge2cell.row(e);
-                compute_flux(
-                    sim.egeom.row(e),
-                    state.row(c[0] as usize),
-                    state.row(c[1] as usize),
-                    sim.eflux.row_mut(e),
-                    g,
-                    h_min,
-                );
-            }
-            for es in sweep.vector_chunks() {
-                let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
-                let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
-                let geom: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::load_strided(&sim.egeom.data, es * 4 + d, 4));
-                let wl: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::gather(&state.data, c0, 4, d));
-                let wr: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::gather(&state.data, c1, 4, d));
-                let f = compute_flux_vec(&geom, &wl, &wr, g, h_min);
-                for d in 0..4 {
-                    f[d].store_strided(&mut sim.eflux.data, es * 4 + d, 4);
-                }
-            }
+            simd_compute_flux_sweep::<R, L>(
+                0..ne,
+                mesh,
+                &sim.egeom,
+                state,
+                &mut sim.eflux,
+                g,
+                h_min,
+            );
         });
         if phase == 0 {
             maybe_time(rec, "numerical_flux", wb, ne, || {
-                let sweep = split_sweep(0..ne, L, 0);
-                let mut dt_v = VecR::<R, L>::splat(R::INFINITY);
-                for e in sweep.scalar_items() {
-                    let c = mesh.edge2cell.row(e);
-                    numerical_flux(
-                        sim.egeom.row(e),
-                        sim.eflux.row(e),
-                        sim.area.row(c[0] as usize)[0],
-                        sim.area.row(c[1] as usize)[0],
-                        &mut dt,
-                        cfl,
-                    );
-                }
-                for es in sweep.vector_chunks() {
-                    let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
-                    let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
-                    let lam = VecR::<R, L>::load_strided(&sim.eflux.data, es * 4 + 3, 4);
-                    let al = VecR::gather(&sim.area.data, c0, 1, 0);
-                    let ar = VecR::gather(&sim.area.data, c1, 1, 0);
-                    numerical_flux_vec(lam, al, ar, &mut dt_v, cfl);
-                }
-                dt = dt.min(dt_v.reduce_min());
+                let local = simd_numerical_flux_sweep::<R, L>(
+                    0..ne,
+                    mesh,
+                    &sim.egeom,
+                    &sim.eflux,
+                    &sim.area,
+                    cfl,
+                );
+                dt = dt.min(local);
             });
         }
         maybe_time(rec, "space_disc", wb, ne, || {
-            let sweep = split_sweep(0..ne, L, 0);
-            for e in sweep.scalar_items() {
-                let c = mesh.edge2cell.row(e);
-                let (c0, c1) = (c[0] as usize, c[1] as usize);
-                let (rl, rr) = two_rows_mut(&mut sim.res.data, 4, c0, c1);
-                space_disc(
-                    sim.egeom.row(e),
-                    sim.eflux.row(e),
-                    state.row(c0),
-                    state.row(c1),
-                    rl,
-                    rr,
-                    g,
+            simd_space_disc_sweep::<R, L>(
+                0..ne,
+                mesh,
+                &sim.egeom,
+                &sim.eflux,
+                state,
+                &mut sim.res,
+                g,
+            );
+        });
+        maybe_time(rec, "bc_flux", wb, mesh.n_bedges(), || {
+            seq_loop(0..mesh.n_bedges(), |be| {
+                let c0 = mesh.bedge2cell.at(be, 0);
+                bc_flux(sim.bgeom.row(be), state.row(c0), sim.res.row_mut(c0), g);
+            });
+        });
+        let rk_name = if phase == 0 { "RK_1" } else { "RK_2" };
+        maybe_time(rec, rk_name, wb, nc, || {
+            if phase == 0 {
+                simd_rk1_sweep::<R, L>(0..nc, &sim.w_old, &mut sim.res, &mut sim.w1, &sim.area, dt);
+            } else {
+                simd_rk2_sweep::<R, L>(
+                    0..nc,
+                    &sim.w_old,
+                    &sim.w1,
+                    &mut sim.res,
+                    &mut sim.w,
+                    &sim.area,
+                    dt,
                 );
             }
-            for es in sweep.vector_chunks() {
-                let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
-                let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
-                let geom: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::load_strided(&sim.egeom.data, es * 4 + d, 4));
-                let ef: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::load_strided(&sim.eflux.data, es * 4 + d, 4));
-                let wl: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::gather(&state.data, c0, 4, d));
-                let wr: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::gather(&state.data, c1, 4, d));
-                let (rl, rr) = space_disc_vec(&geom, &ef, &wl, &wr, g);
-                for d in 0..3 {
-                    rl[d].scatter_add_serial(&mut sim.res.data, c0, 4, d);
-                    rr[d].scatter_add_serial(&mut sim.res.data, c1, 4, d);
+        });
+    }
+    dt.to_f64()
+}
+
+// ---------------------------------------------------------------------------
+// shared SIMD chunk kernels and sweeps (pure-SIMD, hybrid, scheme and
+// fused drivers)
+// ---------------------------------------------------------------------------
+
+/// One lane-aligned chunk of vectorized `compute_flux`. Raw-slice
+/// signature so the pooled sweeps (`OpDat` storage) and the fused-chain
+/// vector bodies (`SharedDat` views) share one copy of the index
+/// arithmetic.
+#[inline(always)]
+pub(crate) fn compute_flux_chunk<R: Real, const L: usize>(
+    es: usize,
+    e2c: &[i32],
+    egeom: &[R],
+    state: &[R],
+    eflux: &mut [R],
+    g: R,
+    h_min: R,
+) {
+    let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
+    let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
+    let geom: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(egeom, es * 4 + d, 4));
+    let wl: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(state, c0, 4, d));
+    let wr: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(state, c1, 4, d));
+    let f = compute_flux_vec(&geom, &wl, &wr, g, h_min);
+    for d in 0..4 {
+        f[d].store_strided(eflux, es * 4 + d, 4);
+    }
+}
+
+/// One lane-aligned chunk of vectorized `numerical_flux`: folds the
+/// chunk's CFL Δt candidates into `dt_acc` (exact — `min` does not
+/// reassociate).
+#[inline(always)]
+pub(crate) fn numerical_flux_chunk<R: Real, const L: usize>(
+    es: usize,
+    e2c: &[i32],
+    eflux: &[R],
+    area: &[R],
+    dt_acc: &mut VecR<R, L>,
+    cfl: R,
+) {
+    let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
+    let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
+    let lam = VecR::<R, L>::load_strided(eflux, es * 4 + 3, 4);
+    let al = VecR::gather(area, c0, 1, 0);
+    let ar = VecR::gather(area, c1, 1, 0);
+    numerical_flux_vec(lam, al, ar, dt_acc, cfl);
+}
+
+/// One lane-aligned chunk of vectorized `space_disc` with *serialized*
+/// lane scatter (ascending lane order — the scalar accumulation order).
+#[inline(always)]
+pub(crate) fn space_disc_chunk<R: Real, const L: usize>(
+    es: usize,
+    e2c: &[i32],
+    egeom: &[R],
+    eflux: &[R],
+    state: &[R],
+    res: &mut [R],
+    g: R,
+) {
+    let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
+    let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
+    let geom: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(egeom, es * 4 + d, 4));
+    let ef: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(eflux, es * 4 + d, 4));
+    let wl: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(state, c0, 4, d));
+    let wr: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(state, c1, 4, d));
+    let (rl, rr) = space_disc_vec(&geom, &ef, &wl, &wr, g);
+    for d in 0..3 {
+        rl[d].scatter_add_serial(res, c0, 4, d);
+        rr[d].scatter_add_serial(res, c1, 4, d);
+    }
+}
+
+/// One lane-aligned chunk of vectorized `RK_1`.
+#[inline(always)]
+pub(crate) fn rk1_chunk<R: Real, const L: usize>(
+    cs: usize,
+    w_old: &[R],
+    res: &mut [R],
+    w1: &mut [R],
+    area: &[R],
+    dt: R,
+) {
+    let w_old_p: [VecR<R, L>; 4] =
+        std::array::from_fn(|d| VecR::load_strided(w_old, cs * 4 + d, 4));
+    let mut res_p: [VecR<R, L>; 4] =
+        std::array::from_fn(|d| VecR::load_strided(res, cs * 4 + d, 4));
+    let area_p = VecR::<R, L>::load(area, cs);
+    let mut w1_p = [VecR::<R, L>::zero(); 4];
+    rk_1_vec(&w_old_p, &mut res_p, &mut w1_p, area_p, dt);
+    for d in 0..4 {
+        w1_p[d].store_strided(w1, cs * 4 + d, 4);
+        res_p[d].store_strided(res, cs * 4 + d, 4);
+    }
+}
+
+/// One lane-aligned chunk of vectorized `RK_2`.
+#[inline(always)]
+pub(crate) fn rk2_chunk<R: Real, const L: usize>(
+    cs: usize,
+    w_old: &[R],
+    w1: &[R],
+    res: &mut [R],
+    w: &mut [R],
+    area: &[R],
+    dt: R,
+) {
+    let w_old_p: [VecR<R, L>; 4] =
+        std::array::from_fn(|d| VecR::load_strided(w_old, cs * 4 + d, 4));
+    let w1_p: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(w1, cs * 4 + d, 4));
+    let mut res_p: [VecR<R, L>; 4] =
+        std::array::from_fn(|d| VecR::load_strided(res, cs * 4 + d, 4));
+    let area_p = VecR::<R, L>::load(area, cs);
+    let mut w_p = [VecR::<R, L>::zero(); 4];
+    rk_2_vec(&w_old_p, &w1_p, &mut res_p, &mut w_p, area_p, dt);
+    for d in 0..4 {
+        w_p[d].store_strided(w, cs * 4 + d, 4);
+        res_p[d].store_strided(res, cs * 4 + d, 4);
+    }
+}
+
+/// Vectorized `compute_flux` over an edge range: gathers both cell
+/// states through `edge2cell`, loads geometry strided, stores the flux
+/// pack strided.
+pub(crate) fn simd_compute_flux_sweep<R: Real, const L: usize>(
+    range: std::ops::Range<usize>,
+    mesh: &ump_mesh::Mesh2d,
+    egeom: &OpDat<R>,
+    state: &OpDat<R>,
+    eflux: &mut OpDat<R>,
+    g: R,
+    h_min: R,
+) {
+    let sweep = split_sweep(range, L, 0);
+    for e in sweep.scalar_items() {
+        let c = mesh.edge2cell.row(e);
+        compute_flux(
+            egeom.row(e),
+            state.row(c[0] as usize),
+            state.row(c[1] as usize),
+            eflux.row_mut(e),
+            g,
+            h_min,
+        );
+    }
+    for es in sweep.vector_chunks() {
+        compute_flux_chunk::<R, L>(
+            es,
+            &mesh.edge2cell.data,
+            &egeom.data,
+            &state.data,
+            &mut eflux.data,
+            g,
+            h_min,
+        );
+    }
+}
+
+/// Vectorized `numerical_flux` over an edge range: returns the CFL Δt
+/// minimum of the range (exact — `min` does not reassociate).
+pub(crate) fn simd_numerical_flux_sweep<R: Real, const L: usize>(
+    range: std::ops::Range<usize>,
+    mesh: &ump_mesh::Mesh2d,
+    egeom: &OpDat<R>,
+    eflux: &OpDat<R>,
+    area: &OpDat<R>,
+    cfl: R,
+) -> R {
+    let sweep = split_sweep(range, L, 0);
+    let mut local = R::INFINITY;
+    for e in sweep.scalar_items() {
+        let c = mesh.edge2cell.row(e);
+        numerical_flux(
+            egeom.row(e),
+            eflux.row(e),
+            area.row(c[0] as usize)[0],
+            area.row(c[1] as usize)[0],
+            &mut local,
+            cfl,
+        );
+    }
+    let mut dt_v = VecR::<R, L>::splat(R::INFINITY);
+    for es in sweep.vector_chunks() {
+        numerical_flux_chunk::<R, L>(
+            es,
+            &mesh.edge2cell.data,
+            &eflux.data,
+            &area.data,
+            &mut dt_v,
+            cfl,
+        );
+    }
+    local.min(dt_v.reduce_min())
+}
+
+/// Vectorized `space_disc` over an edge range with *serialized* lane
+/// scatter (the original-scheme shape — safe within one thread).
+pub(crate) fn simd_space_disc_sweep<R: Real, const L: usize>(
+    range: std::ops::Range<usize>,
+    mesh: &ump_mesh::Mesh2d,
+    egeom: &OpDat<R>,
+    eflux: &OpDat<R>,
+    state: &OpDat<R>,
+    res: &mut OpDat<R>,
+    g: R,
+) {
+    let sweep = split_sweep(range, L, 0);
+    for e in sweep.scalar_items() {
+        let c = mesh.edge2cell.row(e);
+        let (c0, c1) = (c[0] as usize, c[1] as usize);
+        let (rl, rr) = two_rows_mut(&mut res.data, 4, c0, c1);
+        space_disc(
+            egeom.row(e),
+            eflux.row(e),
+            state.row(c0),
+            state.row(c1),
+            rl,
+            rr,
+            g,
+        );
+    }
+    for es in sweep.vector_chunks() {
+        space_disc_chunk::<R, L>(
+            es,
+            &mesh.edge2cell.data,
+            &egeom.data,
+            &eflux.data,
+            &state.data,
+            &mut res.data,
+            g,
+        );
+    }
+}
+
+/// Vectorized `RK_1` over a cell range.
+pub(crate) fn simd_rk1_sweep<R: Real, const L: usize>(
+    range: std::ops::Range<usize>,
+    w_old: &OpDat<R>,
+    res: &mut OpDat<R>,
+    w1: &mut OpDat<R>,
+    area: &OpDat<R>,
+    dt: R,
+) {
+    let sweep = split_sweep(range, L, 0);
+    for c in sweep.scalar_items() {
+        rk_1(
+            w_old.row(c),
+            res.row_mut(c),
+            w1.row_mut(c),
+            area.row(c)[0],
+            dt,
+        );
+    }
+    for cs in sweep.vector_chunks() {
+        rk1_chunk::<R, L>(cs, &w_old.data, &mut res.data, &mut w1.data, &area.data, dt);
+    }
+}
+
+/// Vectorized `RK_2` over a cell range.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simd_rk2_sweep<R: Real, const L: usize>(
+    range: std::ops::Range<usize>,
+    w_old: &OpDat<R>,
+    w1: &OpDat<R>,
+    res: &mut OpDat<R>,
+    w: &mut OpDat<R>,
+    area: &OpDat<R>,
+    dt: R,
+) {
+    let sweep = split_sweep(range, L, 0);
+    for c in sweep.scalar_items() {
+        rk_2(
+            w_old.row(c),
+            w1.row(c),
+            res.row_mut(c),
+            w.row_mut(c),
+            area.row(c)[0],
+            dt,
+        );
+    }
+    for cs in sweep.vector_chunks() {
+        rk2_chunk::<R, L>(
+            cs,
+            &w_old.data,
+            &w1.data,
+            &mut res.data,
+            &mut w.data,
+            &area.data,
+            dt,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hybrid: threads × vectors
+// ---------------------------------------------------------------------------
+
+/// One RK2 step with colored-block threading *and* explicit SIMD inside
+/// each block (the paper's vectorized MPI+OpenMP shape for Volna), on
+/// the process-wide [`ExecPool`] capped at `n_threads` members (`0` =
+/// all).
+pub fn step_simd_threaded<R: Real, const L: usize>(
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_simd_threaded_on::<R, L>(
+        ExecPool::global(),
+        sim,
+        cache,
+        global_pool_cap(n_threads),
+        block_size,
+        rec,
+    )
+}
+
+/// As [`step_simd_threaded`] on an explicit pool.
+pub fn step_simd_threaded_on<R: Real, const L: usize>(
+    pool: &ExecPool,
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let wb = R::BYTES;
+    let g = R::from_f64(GRAVITY);
+    let h_min = R::from_f64(H_MIN);
+    let cfl = R::from_f64(CFL);
+    let mesh = &sim.case.mesh;
+    let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
+
+    let cell_plan = cache.get(
+        Scheme::TwoLevel,
+        &[],
+        &PlanInputs::new(nc, vec![], block_size),
+    );
+    let edge_direct = cache.get(
+        Scheme::TwoLevel,
+        &[],
+        &PlanInputs::new(ne, vec![], block_size),
+    );
+    let edge_colored = cache.get(
+        Scheme::TwoLevel,
+        &["edge2cell"],
+        &PlanInputs::new(ne, vec![&mesh.edge2cell], block_size),
+    );
+
+    maybe_time(rec, "sim_1", wb, nc, || {
+        let (w, w_old) = (&sim.w, &mut sim.w_old);
+        let wo = SharedDat::new(&mut w_old.data);
+        pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+            let (s, e) = (range.start as usize * 4, range.end as usize * 4);
+            let sweep = split_sweep(s..e, L, 0);
+            unsafe {
+                let dst = wo.slice_mut(0, wo.len());
+                for i in sweep.scalar_items() {
+                    dst[i] = w.data[i];
+                }
+                for i in sweep.vector_chunks() {
+                    VecR::<R, L>::load(&w.data, i).store(dst, i);
+                }
+            }
+        });
+    });
+
+    let mut dt = R::INFINITY;
+    for phase in 0..2 {
+        let state = if phase == 0 { &sim.w } else { &sim.w1 };
+        maybe_time(rec, "compute_flux", wb, ne, || {
+            let efs = SharedMut::new(&mut sim.eflux);
+            pool.colored_blocks(edge_direct.two_level(), n_threads, |_b, range| {
+                let eflux: &mut OpDat<R> = unsafe { efs.get_mut() };
+                simd_compute_flux_sweep::<R, L>(
+                    range.start as usize..range.end as usize,
+                    mesh,
+                    &sim.egeom,
+                    state,
+                    eflux,
+                    g,
+                    h_min,
+                );
+            });
+        });
+        if phase == 0 {
+            maybe_time(rec, "numerical_flux", wb, ne, || {
+                let plan = edge_direct.two_level();
+                let mut dt_blocks = vec![R::INFINITY; plan.blocks.len()];
+                {
+                    let dts = SharedDat::new(&mut dt_blocks);
+                    pool.colored_blocks(plan, n_threads, |b, range| {
+                        let local = simd_numerical_flux_sweep::<R, L>(
+                            range.start as usize..range.end as usize,
+                            mesh,
+                            &sim.egeom,
+                            &sim.eflux,
+                            &sim.area,
+                            cfl,
+                        );
+                        unsafe { dts.slice_mut(b, 1)[0] = local };
+                    });
+                }
+                for v in dt_blocks {
+                    dt = dt.min(v);
+                }
+            });
+        }
+        maybe_time(rec, "space_disc", wb, ne, || {
+            let ress = SharedMut::new(&mut sim.res);
+            pool.colored_blocks(edge_colored.two_level(), n_threads, |_b, range| {
+                let res: &mut OpDat<R> = unsafe { ress.get_mut() };
+                simd_space_disc_sweep::<R, L>(
+                    range.start as usize..range.end as usize,
+                    mesh,
+                    &sim.egeom,
+                    &sim.eflux,
+                    state,
+                    res,
+                    g,
+                );
+            });
+        });
+        maybe_time(rec, "bc_flux", wb, mesh.n_bedges(), || {
+            let res = &mut sim.res;
+            seq_loop(0..mesh.n_bedges(), |be| {
+                let c0 = mesh.bedge2cell.at(be, 0);
+                bc_flux(sim.bgeom.row(be), state.row(c0), res.row_mut(c0), g);
+            });
+        });
+        let rk_name = if phase == 0 { "RK_1" } else { "RK_2" };
+        maybe_time(rec, rk_name, wb, nc, || {
+            let (w_old, area) = (&sim.w_old, &sim.area);
+            let (w1s, ress, ws) = (
+                SharedMut::new(&mut sim.w1),
+                SharedMut::new(&mut sim.res),
+                SharedMut::new(&mut sim.w),
+            );
+            pool.colored_blocks(cell_plan.two_level(), n_threads, |_b, range| {
+                let r = range.start as usize..range.end as usize;
+                unsafe {
+                    if phase == 0 {
+                        simd_rk1_sweep::<R, L>(r, w_old, ress.get_mut(), w1s.get_mut(), area, dt);
+                    } else {
+                        simd_rk2_sweep::<R, L>(
+                            r,
+                            w_old,
+                            w1s.get_mut(),
+                            ress.get_mut(),
+                            ws.get_mut(),
+                            area,
+                            dt,
+                        );
+                    }
+                }
+            });
+        });
+    }
+    dt.to_f64()
+}
+
+// ---------------------------------------------------------------------------
+// SIMD space_disc under the three coloring schemes (Fig. 8a for Volna)
+// ---------------------------------------------------------------------------
+
+/// One RK2 step where `space_disc` uses the chosen coloring scheme's
+/// SIMD execution (other loops as in [`step_simd`]); single-threaded.
+/// The permute schemes gather everything through the permutation and use
+/// true vector scatters (lane independence guaranteed per color group).
+pub fn step_simd_scheme<R: Real, const L: usize>(
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    scheme: Scheme,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let wb = R::BYTES;
+    let g = R::from_f64(GRAVITY);
+    let h_min = R::from_f64(H_MIN);
+    let cfl = R::from_f64(CFL);
+    let mesh = &sim.case.mesh;
+    let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
+
+    maybe_time(rec, "sim_1", wb, nc, || {
+        sim.w_old.data.copy_from_slice(&sim.w.data);
+    });
+
+    let mut dt = R::INFINITY;
+    for phase in 0..2 {
+        let state = if phase == 0 { &sim.w } else { &sim.w1 };
+        maybe_time(rec, "compute_flux", wb, ne, || {
+            simd_compute_flux_sweep::<R, L>(
+                0..ne,
+                mesh,
+                &sim.egeom,
+                state,
+                &mut sim.eflux,
+                g,
+                h_min,
+            );
+        });
+        if phase == 0 {
+            maybe_time(rec, "numerical_flux", wb, ne, || {
+                let local = simd_numerical_flux_sweep::<R, L>(
+                    0..ne,
+                    mesh,
+                    &sim.egeom,
+                    &sim.eflux,
+                    &sim.area,
+                    cfl,
+                );
+                dt = dt.min(local);
+            });
+        }
+        maybe_time(rec, "space_disc", wb, ne, || {
+            let gather_group = |group: &[u32], res: &mut OpDat<R>| {
+                // conflict-free group: chunks of L via index gathers and
+                // true vector scatter-adds; sub-L tail scalar
+                let e2c = &mesh.edge2cell.data;
+                let mut i = 0;
+                while i + L <= group.len() {
+                    let ids: [usize; L] = std::array::from_fn(|l| group[i + l] as usize);
+                    let eidx = IdxVec::<L>::from_array(ids.map(|e| e as i32));
+                    let c0 = IdxVec::<L>::from_array(ids.map(|e| e2c[e * 2]));
+                    let c1 = IdxVec::<L>::from_array(ids.map(|e| e2c[e * 2 + 1]));
+                    let geom: [VecR<R, L>; 4] =
+                        std::array::from_fn(|d| VecR::gather(&sim.egeom.data, eidx, 4, d));
+                    let ef: [VecR<R, L>; 4] =
+                        std::array::from_fn(|d| VecR::gather(&sim.eflux.data, eidx, 4, d));
+                    let wl: [VecR<R, L>; 4] =
+                        std::array::from_fn(|d| VecR::gather(&state.data, c0, 4, d));
+                    let wr: [VecR<R, L>; 4] =
+                        std::array::from_fn(|d| VecR::gather(&state.data, c1, 4, d));
+                    let (rl, rr) = space_disc_vec(&geom, &ef, &wl, &wr, g);
+                    for d in 0..3 {
+                        rl[d].scatter_add(&mut res.data, c0, 4, d);
+                        rr[d].scatter_add(&mut res.data, c1, 4, d);
+                    }
+                    i += L;
+                }
+                for &eu in &group[i..] {
+                    let e = eu as usize;
+                    let c = mesh.edge2cell.row(e);
+                    let (c0, c1) = (c[0] as usize, c[1] as usize);
+                    let (rl, rr) = two_rows_mut(&mut res.data, 4, c0, c1);
+                    space_disc(
+                        sim.egeom.row(e),
+                        sim.eflux.row(e),
+                        state.row(c0),
+                        state.row(c1),
+                        rl,
+                        rr,
+                        g,
+                    );
+                }
+            };
+            match scheme {
+                Scheme::TwoLevel => {
+                    simd_space_disc_sweep::<R, L>(
+                        0..ne,
+                        mesh,
+                        &sim.egeom,
+                        &sim.eflux,
+                        state,
+                        &mut sim.res,
+                        g,
+                    );
+                }
+                Scheme::FullPermute => {
+                    let plan = cache.get(
+                        Scheme::FullPermute,
+                        &["edge2cell"],
+                        &PlanInputs::new(ne, vec![&mesh.edge2cell], block_size),
+                    );
+                    let plan = plan.full_permute();
+                    for c in 0..plan.coloring.n_colors as usize {
+                        let group =
+                            &plan.perm[plan.offsets[c] as usize..plan.offsets[c + 1] as usize];
+                        gather_group(group, &mut sim.res);
+                    }
+                }
+                Scheme::BlockPermute => {
+                    let plan = cache.get(
+                        Scheme::BlockPermute,
+                        &["edge2cell"],
+                        &PlanInputs::new(ne, vec![&mesh.edge2cell], block_size),
+                    );
+                    let plan = plan.block_permute();
+                    for b in 0..plan.blocks.len() {
+                        let r = plan.blocks[b].clone();
+                        let offs = &plan.color_offsets[b];
+                        for c in 0..offs.len() - 1 {
+                            let group = &plan.perm[r.start as usize + offs[c] as usize
+                                ..r.start as usize + offs[c + 1] as usize];
+                            gather_group(group, &mut sim.res);
+                        }
+                    }
                 }
             }
         });
@@ -445,53 +1020,18 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Volna<R>, rec: Option<&Recor
         });
         let rk_name = if phase == 0 { "RK_1" } else { "RK_2" };
         maybe_time(rec, rk_name, wb, nc, || {
-            let sweep = split_sweep(0..nc, L, 0);
-            for c in sweep.scalar_items() {
-                if phase == 0 {
-                    let (w_old, res, w1, area) = (&sim.w_old, &mut sim.res, &mut sim.w1, &sim.area);
-                    rk_1(
-                        w_old.row(c),
-                        res.row_mut(c),
-                        w1.row_mut(c),
-                        area.row(c)[0],
-                        dt,
-                    );
-                } else {
-                    let (w_old, w1, res, w, area) =
-                        (&sim.w_old, &sim.w1, &mut sim.res, &mut sim.w, &sim.area);
-                    rk_2(
-                        w_old.row(c),
-                        w1.row(c),
-                        res.row_mut(c),
-                        w.row_mut(c),
-                        area.row(c)[0],
-                        dt,
-                    );
-                }
-            }
-            for cs in sweep.vector_chunks() {
-                let w_old: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::load_strided(&sim.w_old.data, cs * 4 + d, 4));
-                let mut res: [VecR<R, L>; 4] =
-                    std::array::from_fn(|d| VecR::load_strided(&sim.res.data, cs * 4 + d, 4));
-                let area = VecR::<R, L>::load(&sim.area.data, cs);
-                if phase == 0 {
-                    let mut w1 = [VecR::<R, L>::zero(); 4];
-                    rk_1_vec(&w_old, &mut res, &mut w1, area, dt);
-                    for d in 0..4 {
-                        w1[d].store_strided(&mut sim.w1.data, cs * 4 + d, 4);
-                        res[d].store_strided(&mut sim.res.data, cs * 4 + d, 4);
-                    }
-                } else {
-                    let w1: [VecR<R, L>; 4] =
-                        std::array::from_fn(|d| VecR::load_strided(&sim.w1.data, cs * 4 + d, 4));
-                    let mut w = [VecR::<R, L>::zero(); 4];
-                    rk_2_vec(&w_old, &w1, &mut res, &mut w, area, dt);
-                    for d in 0..4 {
-                        w[d].store_strided(&mut sim.w.data, cs * 4 + d, 4);
-                        res[d].store_strided(&mut sim.res.data, cs * 4 + d, 4);
-                    }
-                }
+            if phase == 0 {
+                simd_rk1_sweep::<R, L>(0..nc, &sim.w_old, &mut sim.res, &mut sim.w1, &sim.area, dt);
+            } else {
+                simd_rk2_sweep::<R, L>(
+                    0..nc,
+                    &sim.w_old,
+                    &sim.w1,
+                    &mut sim.res,
+                    &mut sim.w,
+                    &sim.area,
+                    dt,
+                );
             }
         });
     }
@@ -530,8 +1070,68 @@ pub fn step_fused<R: Real>(
     )
 }
 
-/// As [`step_fused`] on an explicit pool and execution shape.
+/// As [`step_fused`] on an explicit pool and execution shape
+/// ([`Shape::Threaded`] or [`Shape::Simt`]; for the vectorized fused
+/// shape use [`step_fused_simd_on`], which pins the lane count).
 pub fn step_fused_on<R: Real>(
+    pool: &ExecPool,
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    shape: Shape,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    fused_chain_step::<R, 4>(pool, sim, cache, shape, n_threads, block_size, rec)
+}
+
+/// One RK2 step through the **fused-SIMD** backend: the fused chain of
+/// [`step_fused`] with `L`-lane vector bodies on every pooled loop,
+/// executed via [`Shape::Simd`] — same union-write-set plans and pool
+/// rounds as the fused threaded shape, lane-vectorized block bodies.
+/// Runs on the process-wide [`ExecPool`] capped at `n_threads` members
+/// (`0` = all). Returns Δt.
+pub fn step_fused_simd<R: Real, const L: usize>(
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    step_fused_simd_on::<R, L>(
+        ExecPool::global(),
+        sim,
+        cache,
+        global_pool_cap(n_threads),
+        block_size,
+        rec,
+    )
+}
+
+/// As [`step_fused_simd`] on an explicit pool.
+pub fn step_fused_simd_on<R: Real, const L: usize>(
+    pool: &ExecPool,
+    sim: &mut Volna<R>,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    fused_chain_step::<R, L>(
+        pool,
+        sim,
+        cache,
+        Shape::Simd { lanes: L },
+        n_threads,
+        block_size,
+        rec,
+    )
+}
+
+/// The shared fused-chain RK2 step behind [`step_fused_on`] and
+/// [`step_fused_simd_on`]: one recorded chain with scalar and `L`-lane
+/// vector bodies serving every fused shape.
+fn fused_chain_step<R: Real, const L: usize>(
     pool: &ExecPool,
     sim: &mut Volna<R>,
     cache: &PlanCache,
@@ -589,48 +1189,119 @@ pub fn step_fused_on<R: Real>(
         let mut chain = Chain::new("volna_step");
         {
             let (ws, wolds) = (&ws, &wolds);
-            chain.record(desc("sim_1", nc), vec![], move |c| unsafe {
-                sim_1(ws.slice(c * 4, 4), wolds.slice_mut(c * 4, 4));
-            });
+            chain.record_simd(
+                desc("sim_1", nc),
+                vec![],
+                L,
+                move |c| unsafe {
+                    sim_1(ws.slice(c * 4, 4), wolds.slice_mut(c * 4, 4));
+                },
+                move |cs| unsafe {
+                    let src = ws.as_slice();
+                    let dst = wolds.slice_mut(0, wolds.len());
+                    for i in 0..4 {
+                        VecR::<R, L>::load(src, cs * 4 + i * L).store(dst, cs * 4 + i * L);
+                    }
+                },
+            );
         }
         for phase in 0..2 {
             let state = if phase == 0 { &ws } else { &w1s };
             {
                 let efs = &efs;
-                chain.record(state_desc("compute_flux", ne, phase), vec![], move |e| {
-                    let c = mesh.edge2cell.row(e);
-                    unsafe {
-                        compute_flux(
-                            egeom.row(e),
-                            state.slice(c[0] as usize * 4, 4),
-                            state.slice(c[1] as usize * 4, 4),
-                            efs.slice_mut(e * 4, 4),
+                chain.record_simd(
+                    state_desc("compute_flux", ne, phase),
+                    vec![],
+                    L,
+                    move |e| {
+                        let c = mesh.edge2cell.row(e);
+                        unsafe {
+                            compute_flux(
+                                egeom.row(e),
+                                state.slice(c[0] as usize * 4, 4),
+                                state.slice(c[1] as usize * 4, 4),
+                                efs.slice_mut(e * 4, 4),
+                                g,
+                                h_min,
+                            );
+                        }
+                    },
+                    move |es| unsafe {
+                        compute_flux_chunk::<R, L>(
+                            es,
+                            &mesh.edge2cell.data,
+                            &egeom.data,
+                            state.as_slice(),
+                            efs.slice_mut(0, efs.len()),
                             g,
                             h_min,
                         );
-                    }
-                });
+                    },
+                );
             }
             if phase == 0 {
                 {
                     let (efs, dts) = (&efs, &dts);
-                    chain.record_blocks(desc("numerical_flux", ne), vec![], move |b, range| {
-                        let mut local = R::INFINITY;
-                        for e in range.start as usize..range.end as usize {
-                            let c = mesh.edge2cell.row(e);
-                            unsafe {
-                                numerical_flux(
-                                    egeom.row(e),
-                                    efs.slice(e * 4, 4),
-                                    area.row(c[0] as usize)[0],
-                                    area.row(c[1] as usize)[0],
-                                    &mut local,
+                    // Δt partials land in one slot per block; `min` is
+                    // exact in any order, and both recordings below fold
+                    // identically
+                    if let Shape::Simd { .. } = shape {
+                        // SIMD shape: per-chunk fold into the block slot
+                        // (one thread per block, so the in-place min
+                        // through the shared view is race-free)
+                        chain.record_simd(
+                            desc("numerical_flux", ne),
+                            vec![],
+                            L,
+                            move |e| {
+                                let c = mesh.edge2cell.row(e);
+                                unsafe {
+                                    let slot = &mut dts.slice_mut(e / block_size, 1)[0];
+                                    numerical_flux(
+                                        egeom.row(e),
+                                        efs.slice(e * 4, 4),
+                                        area.row(c[0] as usize)[0],
+                                        area.row(c[1] as usize)[0],
+                                        slot,
+                                        cfl,
+                                    );
+                                }
+                            },
+                            move |es| unsafe {
+                                let mut dt_v = VecR::<R, L>::splat(R::INFINITY);
+                                numerical_flux_chunk::<R, L>(
+                                    es,
+                                    &mesh.edge2cell.data,
+                                    efs.as_slice(),
+                                    &area.data,
+                                    &mut dt_v,
                                     cfl,
                                 );
+                                let slot = &mut dts.slice_mut(es / block_size, 1)[0];
+                                *slot = slot.min(dt_v.reduce_min());
+                            },
+                        );
+                    } else {
+                        // scalar shapes: fold in a register over the
+                        // whole block, one store per block
+                        chain.record_blocks(desc("numerical_flux", ne), vec![], move |b, range| {
+                            let mut local = R::INFINITY;
+                            for e in range.start as usize..range.end as usize {
+                                let c = mesh.edge2cell.row(e);
+                                unsafe {
+                                    numerical_flux(
+                                        egeom.row(e),
+                                        efs.slice(e * 4, 4),
+                                        area.row(c[0] as usize)[0],
+                                        area.row(c[1] as usize)[0],
+                                        &mut local,
+                                        cfl,
+                                    );
+                                }
                             }
-                        }
-                        unsafe { dts.slice_mut(b, 1)[0] = local };
-                    });
+                            unsafe { dts.slice_mut(b, 1)[0] = local };
+                        });
+                    }
                 }
                 {
                     let (dts, dtf) = (&dts, &dtf);
@@ -645,9 +1316,10 @@ pub fn step_fused_on<R: Real>(
             }
             {
                 let (efs, ress) = (&efs, &ress);
-                chain.record_two_phase(
+                chain.record_simd_two_phase(
                     state_desc("space_disc", ne, phase),
                     vec![&mesh.edge2cell],
+                    L,
                     move |e| {
                         let c = mesh.edge2cell.row(e);
                         let (c0, c1) = (c[0] as usize, c[1] as usize);
@@ -667,6 +1339,17 @@ pub fn step_fused_on<R: Real>(
                         (c0, rl, c1, rr)
                     },
                     move |_e, inc| unsafe { apply_edge_inc(ress, inc) },
+                    move |es| unsafe {
+                        space_disc_chunk::<R, L>(
+                            es,
+                            &mesh.edge2cell.data,
+                            &egeom.data,
+                            efs.as_slice(),
+                            state.as_slice(),
+                            ress.slice_mut(0, ress.len()),
+                            g,
+                        );
+                    },
                 );
             }
             {
@@ -687,37 +1370,62 @@ pub fn step_fused_on<R: Real>(
             }
             if phase == 0 {
                 let (wolds, w1s, ress, dtf) = (&wolds, &w1s, &ress, &dtf);
-                chain.record_blocks(desc("RK_1", nc), vec![], move |_b, range| {
-                    let dt = unsafe { dtf.slice(0, 1)[0] };
-                    for c in range.start as usize..range.end as usize {
-                        unsafe {
-                            rk_1(
-                                wolds.slice(c * 4, 4),
-                                ress.slice_mut(c * 4, 4),
-                                w1s.slice_mut(c * 4, 4),
-                                area.row(c)[0],
-                                dt,
-                            );
-                        }
-                    }
-                });
+                chain.record_simd(
+                    desc("RK_1", nc),
+                    vec![],
+                    L,
+                    move |c| unsafe {
+                        let dt = dtf.slice(0, 1)[0];
+                        rk_1(
+                            wolds.slice(c * 4, 4),
+                            ress.slice_mut(c * 4, 4),
+                            w1s.slice_mut(c * 4, 4),
+                            area.row(c)[0],
+                            dt,
+                        );
+                    },
+                    move |cs| unsafe {
+                        let dt = dtf.slice(0, 1)[0];
+                        rk1_chunk::<R, L>(
+                            cs,
+                            wolds.as_slice(),
+                            ress.slice_mut(0, ress.len()),
+                            w1s.slice_mut(0, w1s.len()),
+                            &area.data,
+                            dt,
+                        );
+                    },
+                );
             } else {
                 let (wolds, w1s, ress, ws, dtf) = (&wolds, &w1s, &ress, &ws, &dtf);
-                chain.record_blocks(desc("RK_2", nc), vec![], move |_b, range| {
-                    let dt = unsafe { dtf.slice(0, 1)[0] };
-                    for c in range.start as usize..range.end as usize {
-                        unsafe {
-                            rk_2(
-                                wolds.slice(c * 4, 4),
-                                w1s.slice(c * 4, 4),
-                                ress.slice_mut(c * 4, 4),
-                                ws.slice_mut(c * 4, 4),
-                                area.row(c)[0],
-                                dt,
-                            );
-                        }
-                    }
-                });
+                chain.record_simd(
+                    desc("RK_2", nc),
+                    vec![],
+                    L,
+                    move |c| unsafe {
+                        let dt = dtf.slice(0, 1)[0];
+                        rk_2(
+                            wolds.slice(c * 4, 4),
+                            w1s.slice(c * 4, 4),
+                            ress.slice_mut(c * 4, 4),
+                            ws.slice_mut(c * 4, 4),
+                            area.row(c)[0],
+                            dt,
+                        );
+                    },
+                    move |cs| unsafe {
+                        let dt = dtf.slice(0, 1)[0];
+                        rk2_chunk::<R, L>(
+                            cs,
+                            wolds.as_slice(),
+                            w1s.as_slice(),
+                            ress.slice_mut(0, ress.len()),
+                            ws.slice_mut(0, ws.len()),
+                            &area.data,
+                            dt,
+                        );
+                    },
+                );
             }
         }
         chain.execute(pool, cache, shape, n_threads, block_size, R::BYTES, rec);
@@ -960,4 +1668,82 @@ fn step_simt_inner<R: Real>(
         });
     }
     dt.to_f64()
+}
+
+// ---------------------------------------------------------------------------
+// the unified dispatcher — one entry point per execution shape
+// ---------------------------------------------------------------------------
+
+/// One RK2 step through any registered [`Backend`], on an explicit pool
+/// — the Volna half of the conformance matrix. Mirrors
+/// [`airfoil::drivers::step_on`](crate::airfoil::drivers::step_on):
+/// pool-free backends ignore `pool`/`n_threads`, lane-carrying backends
+/// dispatch to the L = 4 / 8 const instantiations and panic, naming the
+/// backend, for unregistered widths.
+pub fn step_on<R: Real>(
+    backend: Backend,
+    sim: &mut Volna<R>,
+    pool: &ExecPool,
+    cache: &PlanCache,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    use crate::airfoil::drivers::DISPATCH_SIMT_WIDTH;
+    match backend {
+        Backend::Seq => step_seq(sim, rec),
+        Backend::Threaded => step_threaded_on(pool, sim, cache, n_threads, block_size, rec),
+        Backend::Simd { lanes: 4 } => step_simd::<R, 4>(sim, rec),
+        Backend::Simd { lanes: 8 } => step_simd::<R, 8>(sim, rec),
+        Backend::SimdThreaded { lanes: 4 } => {
+            step_simd_threaded_on::<R, 4>(pool, sim, cache, n_threads, block_size, rec)
+        }
+        Backend::SimdThreaded { lanes: 8 } => {
+            step_simd_threaded_on::<R, 8>(pool, sim, cache, n_threads, block_size, rec)
+        }
+        Backend::SimdScheme { scheme } => {
+            step_simd_scheme::<R, 4>(sim, cache, scheme, block_size, rec)
+        }
+        Backend::Simt => step_simt_on(
+            pool,
+            sim,
+            cache,
+            n_threads,
+            DISPATCH_SIMT_WIDTH,
+            0,
+            block_size,
+            rec,
+        ),
+        Backend::Fused => step_fused_on(
+            pool,
+            sim,
+            cache,
+            Shape::Threaded,
+            n_threads,
+            block_size,
+            rec,
+        ),
+        Backend::FusedSimt => step_fused_on(
+            pool,
+            sim,
+            cache,
+            Shape::Simt {
+                width: DISPATCH_SIMT_WIDTH,
+                sched_overhead_ns: 0,
+            },
+            n_threads,
+            block_size,
+            rec,
+        ),
+        Backend::FusedSimd { lanes: 4 } => {
+            step_fused_simd_on::<R, 4>(pool, sim, cache, n_threads, block_size, rec)
+        }
+        Backend::FusedSimd { lanes: 8 } => {
+            step_fused_simd_on::<R, 8>(pool, sim, cache, n_threads, block_size, rec)
+        }
+        other => panic!(
+            "backend {} has no compiled lane instantiation — add it to step_on",
+            other.name()
+        ),
+    }
 }

@@ -8,7 +8,8 @@
 //! step counted from the pool's own round counter and the chain's
 //! saved-bytes estimate taken from the fusion instrumentation. Results
 //! land in `BENCH_fusion.json` at the repo root, next to
-//! `BENCH_pool.json`.
+//! `BENCH_pool.json`; the fused vs fused-SIMD comparison (same chains,
+//! scalar vs 4-lane vector bodies) lands in `BENCH_fused_simd.json`.
 
 use criterion::Criterion;
 use ump_apps::{airfoil, volna};
@@ -147,6 +148,76 @@ fn main() {
             rounds_fused,
             bytes_saved_per_step: stats.bytes_saved,
         });
+    }
+
+    // Fused vs fused-SIMD (the composition PR): identical chains and
+    // union-write-set plans, scalar vs L=4 vector lane bodies.
+    {
+        let cache = PlanCache::new();
+        let mut sim = airfoil::Airfoil::<f64>::new(300, 150);
+        airfoil::drivers::step_fused_on(&pool, &mut sim, &cache, Shape::Threaded, 0, BLOCK, None);
+        airfoil::drivers::step_fused_simd_on::<f64, 4>(&pool, &mut sim, &cache, 0, BLOCK, None);
+
+        let mut group = criterion.benchmark_group("airfoil_fused_simd");
+        group.sample_size(15);
+        group.bench_function("fused", |b| {
+            b.iter(|| {
+                airfoil::drivers::step_fused_on(
+                    &pool,
+                    &mut sim,
+                    &cache,
+                    Shape::Threaded,
+                    0,
+                    BLOCK,
+                    None,
+                )
+            });
+        });
+        group.bench_function("fused_simd4", |b| {
+            b.iter(|| {
+                airfoil::drivers::step_fused_simd_on::<f64, 4>(
+                    &pool, &mut sim, &cache, 0, BLOCK, None,
+                )
+            });
+        });
+        group.finish();
+
+        let r0 = pool.dispatch_rounds();
+        airfoil::drivers::step_fused_on(&pool, &mut sim, &cache, Shape::Threaded, 0, BLOCK, None);
+        let rounds_fused = pool.dispatch_rounds() - r0;
+        let r1 = pool.dispatch_rounds();
+        airfoil::drivers::step_fused_simd_on::<f64, 4>(&pool, &mut sim, &cache, 0, BLOCK, None);
+        let rounds_fused_simd = pool.dispatch_rounds() - r1;
+        assert!(
+            rounds_fused_simd <= rounds_fused,
+            "fused-SIMD must not add pool rounds"
+        );
+
+        let fused_ns = median(&criterion, "airfoil_fused_simd/fused");
+        let fused_simd_ns = median(&criterion, "airfoil_fused_simd/fused_simd4");
+        let json = format!(
+            "{{\n  \"bench\": \"fusion_fused_vs_fused_simd_timestep\",\n  \"app\": \
+             \"airfoil_300x150_dp\",\n  \"team\": {TEAM},\n  \"block_size\": {BLOCK},\n  \
+             \"lanes\": 4,\n  \"host_cpus\": {},\n  \"fused_step_ns\": {:.1},\n  \
+             \"fused_simd_step_ns\": {:.1},\n  \"fused_simd_speedup\": {:.3},\n  \
+             \"dispatch_rounds_fused_per_step\": {},\n  \
+             \"dispatch_rounds_fused_simd_per_step\": {}\n}}\n",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+            fused_ns,
+            fused_simd_ns,
+            fused_ns / fused_simd_ns,
+            rounds_fused,
+            rounds_fused_simd,
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fused_simd.json");
+        std::fs::write(path, &json).expect("writing BENCH_fused_simd.json");
+        println!("# wrote {path}");
+        println!(
+            "# airfoil fused-SIMD: {:.2}x over fused, rounds {} == {}",
+            fused_ns / fused_simd_ns,
+            rounds_fused,
+            rounds_fused_simd
+        );
     }
 
     write_json(&results);

@@ -4,9 +4,13 @@
 //! repro <experiment> [--scale small|paper]
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
 //!              table9 fig5 fig6 fig7 fig8a fig8b fig9 fusion all
-//! repro --smoke   # tiny-mesh end-to-end run of every host backend,
-//!                 # including the fused (ump-lazy) path; asserts
-//!                 # consistency and exits non-zero on divergence
+//! repro --smoke [--backends all|name,name,…]
+//!     # tiny-mesh end-to-end sweep of the backend registry
+//!     # (ump_core::Backend::all()) on both apps via the step_on
+//!     # dispatchers; asserts consistency against the sequential
+//!     # reference plus the fused runtime's round savings, and exits
+//!     # non-zero on divergence. `--backends` filters the sweep by
+//!     # registry name (default: all).
 //! ```
 //!
 //! Cross-hardware numbers come from `ump-archsim` (we do not own the
@@ -18,13 +22,15 @@
 use ump_apps::{airfoil, volna};
 use ump_archsim::{machines, predict, Backend, Machine};
 use ump_bench::{fmt_s, measure_indirect, work_for, MeasuredLoop, Scale};
-use ump_core::{ExecPool, PlanCache, Recorder};
+use ump_core::{Backend as ExecBackend, ExecPool, PlanCache, Recorder};
 use ump_mesh::MeshStats;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut cmd = String::from("all");
+    let mut smoke_run = false;
+    let mut backends: Vec<ExecBackend> = ExecBackend::all();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -32,12 +38,30 @@ fn main() {
                 let v = it.next().expect("--scale needs a value");
                 scale = Scale::parse(v).expect("scale is small|paper");
             }
-            "--smoke" => {
-                smoke();
-                return;
+            "--smoke" => smoke_run = true,
+            "--backends" => {
+                let v = it
+                    .next()
+                    .expect("--backends needs a value (all|name,name,…)");
+                if v != "all" {
+                    backends = v
+                        .split(',')
+                        .map(|name| {
+                            ExecBackend::parse(name).unwrap_or_else(|| {
+                                let known: Vec<String> =
+                                    ExecBackend::all().iter().map(|b| b.name()).collect();
+                                panic!("unknown backend {name}; registry: {}", known.join(" "))
+                            })
+                        })
+                        .collect();
+                }
             }
             other => cmd = other.to_string(),
         }
+    }
+    if smoke_run {
+        smoke(&backends);
+        return;
     }
     let all = [
         "table1", "table2", "table3", "table4", "fig5", "table5", "fig6", "table6", "fig7",
@@ -854,17 +878,21 @@ fn fusion(scale: Scale) {
     );
 }
 
-/// Tiny-mesh end-to-end exercise of every host execution path —
-/// sequential, threaded, SIMD, SIMT and the fused chain runtime on both
-/// apps — asserting cross-backend consistency. Fast enough for CI; any
-/// divergence or NaN panics (non-zero exit).
-fn smoke() {
-    header("smoke — tiny meshes through every host backend (incl. fused)");
+/// Tiny-mesh end-to-end sweep of the backend registry on both apps —
+/// the declarative scenario sweep the registry exists for. Every
+/// requested backend runs 3 steps through the apps' `step_on`
+/// dispatchers and is checked against the sequential reference; fused
+/// backends additionally assert their round savings through the
+/// `Recorder` fusion counters. Fast enough for CI; any divergence or
+/// NaN panics (non-zero exit).
+fn smoke(backends: &[ExecBackend]) {
+    header("smoke — tiny meshes × the backend registry (ump_core::Backend)");
     let pool = ExecPool::new(4);
+    let iters = 3usize;
 
-    // Airfoil 48x24, 3 iters
+    // Airfoil 48x24
     {
-        let (nx, ny, iters) = (48usize, 24usize, 3usize);
+        let (nx, ny) = (48usize, 24usize);
         let mut reference = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
         let mut rms = 0.0;
         for _ in 0..iters {
@@ -872,83 +900,45 @@ fn smoke() {
         }
         assert!(reference.q.all_finite() && rms.is_finite());
 
-        let check = |name: &str, q: &ump_core::OpDat<f64>, tol: f64| {
-            let d = q.max_abs_diff(&reference.q);
-            assert!(d <= tol, "{name} diverged: {d:e} > {tol:e}");
-            println!("airfoil {nx}x{ny} {name:<18} max|Δq| = {d:.2e}  ok");
-        };
-
         let cache = PlanCache::new();
-        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
-        for _ in 0..iters {
-            ump_apps::airfoil::drivers::step_threaded_on(&pool, &mut sim, &cache, 0, 64, None);
-        }
-        check("threaded", &sim.q, 1e-11);
-
-        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
-        for _ in 0..iters {
-            ump_apps::airfoil::drivers::step_simd::<f64, 4>(&mut sim, None);
-        }
-        check("simd", &sim.q, 1e-11);
-
-        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
-        for _ in 0..iters {
-            ump_apps::airfoil::drivers::step_simd_threaded_on::<f64, 4>(
-                &pool, &mut sim, &cache, 0, 64, None,
+        for &backend in backends {
+            let rec = Recorder::new();
+            let r0 = pool.dispatch_rounds();
+            let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+            for _ in 0..iters {
+                ump_apps::airfoil::drivers::step_on(
+                    backend,
+                    &mut sim,
+                    &pool,
+                    &cache,
+                    0,
+                    64,
+                    Some(&rec),
+                );
+            }
+            let rounds = pool.dispatch_rounds() - r0;
+            let d = sim.q.max_abs_diff(&reference.q);
+            assert!(d <= 1e-12, "airfoil {backend} diverged: {d:e} > 1e-12");
+            assert_eq!(
+                rounds > 0,
+                backend.needs_pool(),
+                "airfoil {backend}: {rounds} pool rounds vs needs_pool"
+            );
+            if backend.is_fused() {
+                let s = rec.fusion("airfoil_step").expect("fusion stats");
+                assert!(s.rounds_saved() >= 2 * iters, "fusion must save rounds");
+            }
+            println!(
+                "airfoil {nx}x{ny} {:<26} max|Δq| = {d:.2e}  rounds/step {:>2}  ok",
+                backend.name(),
+                rounds / iters as u64
             );
         }
-        check("simd+threads", &sim.q, 1e-11);
-
-        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
-        for _ in 0..iters {
-            ump_apps::airfoil::drivers::step_simt_on(&pool, &mut sim, &cache, 0, 8, 0, 64, None);
-        }
-        check("simt", &sim.q, 1e-11);
-
-        let rec = Recorder::new();
-        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
-        for _ in 0..iters {
-            ump_apps::airfoil::drivers::step_fused_on(
-                &pool,
-                &mut sim,
-                &cache,
-                ump_lazy::Shape::Threaded,
-                0,
-                64,
-                Some(&rec),
-            );
-        }
-        check("fused/threaded", &sim.q, 1e-12);
-        let s = rec.fusion("airfoil_step").expect("fusion stats");
-        assert!(s.rounds_saved() >= 2, "fusion must save rounds");
-        println!(
-            "airfoil fused chain: {} loops -> {} groups, {} rounds saved/step",
-            s.loops / s.executions,
-            s.groups / s.executions,
-            s.rounds_saved() / s.executions
-        );
-
-        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
-        for _ in 0..iters {
-            ump_apps::airfoil::drivers::step_fused_on(
-                &pool,
-                &mut sim,
-                &cache,
-                ump_lazy::Shape::Simt {
-                    width: 8,
-                    sched_overhead_ns: 0,
-                },
-                0,
-                64,
-                None,
-            );
-        }
-        check("fused/simt", &sim.q, 1e-12);
     }
 
-    // Volna 20x14, 3 steps
+    // Volna 20x14
     {
-        let (nx, ny, iters) = (20usize, 14usize, 3usize);
+        let (nx, ny) = (20usize, 14usize);
         let mut reference = ump_apps::volna::Volna::<f64>::new(nx, ny);
         let v0 = reference.total_volume();
         let mut dts = Vec::new();
@@ -962,52 +952,38 @@ fn smoke() {
         );
 
         let cache = PlanCache::new();
-        let vcheck = |name: &str, w: &ump_core::OpDat<f64>, tol: f64| {
-            let d = w.max_abs_diff(&reference.w);
-            assert!(d <= tol, "volna {name} diverged: {d:e} > {tol:e}");
-            println!("volna {nx}x{ny} {name:<18} max|Δw| = {d:.2e}  ok");
-        };
-
-        let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
-        for _ in 0..iters {
-            ump_apps::volna::drivers::step_threaded_on(&pool, &mut sim, &cache, 0, 64, None);
-        }
-        vcheck("threaded", &sim.w, 1e-11);
-
-        let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
-        for _ in 0..iters {
-            ump_apps::volna::drivers::step_simd::<f64, 4>(&mut sim, None);
-        }
-        vcheck("simd", &sim.w, 1e-11);
-
-        let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
-        for _ in 0..iters {
-            ump_apps::volna::drivers::step_simt_on(&pool, &mut sim, &cache, 0, 8, 0, 64, None);
-        }
-        vcheck("simt", &sim.w, 1e-11);
-
-        let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
-        for (i, &r) in dts.iter().enumerate() {
-            let dt = ump_apps::volna::drivers::step_fused_on(
-                &pool,
-                &mut sim,
-                &cache,
-                ump_lazy::Shape::Threaded,
-                0,
-                64,
-                None,
-            );
-            assert!(
-                (dt - r).abs() <= 1e-12 * r,
-                "volna fused Δt diverged at step {i}: {dt} vs {r}"
+        for &backend in backends {
+            let rec = Recorder::new();
+            let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
+            for (i, &r) in dts.iter().enumerate() {
+                let dt = ump_apps::volna::drivers::step_on(
+                    backend,
+                    &mut sim,
+                    &pool,
+                    &cache,
+                    0,
+                    64,
+                    Some(&rec),
+                );
+                assert!(
+                    (dt - r).abs() <= 1e-12 * r,
+                    "volna {backend} Δt diverged at step {i}: {dt} vs {r}"
+                );
+            }
+            let d = sim.w.max_abs_diff(&reference.w);
+            assert!(d <= 1e-12, "volna {backend} diverged: {d:e} > 1e-12");
+            if backend.is_fused() {
+                let s = rec.fusion("volna_step").expect("fusion stats");
+                assert_eq!(s.rounds_saved(), 3 * iters, "volna fusion saves 3/step");
+            }
+            println!(
+                "volna {nx}x{ny} {:<26} max|Δw| = {d:.2e}  ok",
+                backend.name()
             );
         }
-        let d = sim.w.max_abs_diff(&reference.w);
-        assert!(d <= 1e-12, "volna fused diverged: {d:e}");
-        println!("volna {nx}x{ny} fused/threaded    max|Δw| = {d:.2e}  ok");
     }
 
-    println!("smoke ok");
+    println!("smoke ok ({} backends)", backends.len());
 }
 
 fn fig9(scale: Scale) {

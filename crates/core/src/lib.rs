@@ -24,7 +24,10 @@
 //!   owner-compute cells, redundantly executed boundary edges (OP2's
 //!   import-exec halo), ghost-cell exchange plans,
 //! * [`instrument`] — the per-loop time/bytes/FLOP registry behind every
-//!   reproduced table.
+//!   reproduced table,
+//! * [`backend`] — the unified backend registry ([`Backend`]): every
+//!   execution shape as one enumerable, parseable surface, behind which
+//!   the applications expose a single `step_on` dispatcher.
 //!
 //! Per-kernel loop *drivers* (what OP2's code generator emits, Figs
 //! 2b/3a/3b) live in `ump-apps`, assembled from these building blocks.
@@ -32,6 +35,7 @@
 #![deny(missing_docs)]
 
 pub mod arg;
+pub mod backend;
 pub mod dat;
 pub mod dist;
 pub mod exec;
@@ -41,6 +45,7 @@ pub mod pool;
 pub mod profile;
 
 pub use arg::{Access, ArgInfo, Indirection};
+pub use backend::Backend;
 pub use dat::OpDat;
 pub use dist::{assemble_owned, distribute, extract_rows, LocalMesh};
 pub use exec::{
@@ -49,5 +54,5 @@ pub use exec::{
 };
 pub use instrument::{FusionStats, LoopStats, Recorder};
 pub use plan::{PlanCache, Scheme};
-pub use pool::{simt_block_sweep, ExecPool};
+pub use pool::{simd_block_sweep, simt_block_sweep, ExecPool};
 pub use profile::LoopProfile;

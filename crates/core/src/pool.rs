@@ -478,6 +478,52 @@ pub fn simt_block_sweep<I>(
     }
 }
 
+/// One work-group of the vectorized (fused-SIMD) execution shape: the
+/// lane-aware sibling of [`simt_block_sweep`]. Decomposes a colored
+/// block's element range into the paper's three-sweep structure (§4.2) —
+/// a scalar pre-sweep up to the next `lanes`-aligned index (alignment
+/// relative to element 0, where direct data is vector-aligned), a vector
+/// body of whole `lanes`-wide chunks, and a scalar post-sweep for the
+/// leftovers — and drives the two bodies:
+///
+/// * `scalar(e)` for every pre-/post-sweep element,
+/// * `vector(chunk_start)` once per aligned chunk, covering
+///   `chunk_start..chunk_start + lanes`.
+///
+/// The decomposition matches `ump_simd::split_sweep(range, lanes, 0)`
+/// exactly (property-tested in `tests/simd_sweep_properties.rs`): every
+/// element of `range` is covered exactly once, chunks never cross the
+/// block boundary, and a block executes on one thread — so serialized
+/// lane scatters inside `vector` are race-free under the same coloring
+/// invariant every other engine relies on.
+pub fn simd_block_sweep(
+    range: Range<u32>,
+    lanes: usize,
+    scalar: &(impl Fn(usize) + ?Sized),
+    vector: &(impl Fn(usize) + ?Sized),
+) {
+    assert!(lanes >= 1, "lanes must be >= 1");
+    let (start, end) = (range.start as usize, range.end as usize);
+    let misalign = start % lanes;
+    let body_start = if misalign == 0 {
+        start
+    } else {
+        (start + lanes - misalign).min(end)
+    };
+    let body_end = body_start + (end - body_start) / lanes * lanes;
+    for e in start..body_start {
+        scalar(e);
+    }
+    let mut chunk = body_start;
+    while chunk < body_end {
+        vector(chunk);
+        chunk += lanes;
+    }
+    for e in body_end..end {
+        scalar(e);
+    }
+}
+
 impl Drop for ExecPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
@@ -736,6 +782,38 @@ mod tests {
         let r1 = pool.dispatch_rounds();
         pool.colored_blocks(&plan, 0, |_b, _r| {});
         assert_eq!(pool.dispatch_rounds() - r1, active);
+    }
+
+    #[test]
+    fn simd_block_sweep_tiles_exactly_once() {
+        use std::cell::RefCell;
+        for lanes in [1usize, 2, 4, 8] {
+            for start in 0..10u32 {
+                for len in 0..30u32 {
+                    let range = start..start + len;
+                    let visits = RefCell::new(vec![0usize; (start + len) as usize]);
+                    simd_block_sweep(
+                        range.clone(),
+                        lanes,
+                        &|e| visits.borrow_mut()[e] += 1,
+                        &|cs| {
+                            // vector chunks are lane-aligned relative to 0
+                            // and never cross the range end
+                            assert_eq!(cs % lanes, 0, "lanes={lanes} cs={cs}");
+                            assert!(cs + lanes <= (start + len) as usize);
+                            for e in cs..cs + lanes {
+                                visits.borrow_mut()[e] += 1;
+                            }
+                        },
+                    );
+                    let v = visits.borrow();
+                    for e in 0..(start + len) as usize {
+                        let expect = usize::from(e >= start as usize);
+                        assert_eq!(v[e], expect, "lanes={lanes} range={range:?} e={e}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::ops::Range;
 use std::time::Instant;
 
 use ump_color::PlanInputs;
-use ump_core::pool::simt_block_sweep;
+use ump_core::pool::{simd_block_sweep, simt_block_sweep};
 use ump_core::{ExecPool, FusionStats, Indirection, PlanCache, Recorder, Scheme};
 use ump_mesh::MapTable;
 
@@ -47,6 +47,20 @@ pub enum Shape {
         width: usize,
         /// Busy-wait per work-group dispatch, 0 for an ideal runtime.
         sched_overhead_ns: u64,
+    },
+    /// Vectorized fused execution: each colored block runs the paper's
+    /// three-sweep decomposition (§4.2) per member loop — scalar
+    /// pre-sweep to lane alignment, `lanes`-wide vector body built from
+    /// `VecR` gather/scatter lane bodies, scalar post-sweep — via
+    /// [`ump_core::simd_block_sweep`]. Only loops recorded through
+    /// [`Chain::record_simd`] / [`Chain::record_simd_two_phase`] have
+    /// vector bodies; other recorded loops fall back to their scalar
+    /// element bodies. `lanes` must match the width the vector bodies
+    /// were compiled for (the drivers' const generic `L`) — the executor
+    /// asserts it.
+    Simd {
+        /// Vector width of the recorded lane bodies.
+        lanes: usize,
     },
 }
 
@@ -218,6 +232,86 @@ impl<'a> Chain<'a> {
             desc,
             written,
             Box::new(move |plan, shape, b, range| match shape {
+                // without a recorded vector body the SIMD shape degrades
+                // to the threaded element loop (still correct: one
+                // thread per block, increments applied immediately)
+                Shape::Threaded | Shape::Simd { .. } => {
+                    for e in range {
+                        let e = e as usize;
+                        let inc = compute(e);
+                        apply(e, &inc);
+                    }
+                }
+                Shape::Simt {
+                    width,
+                    sched_overhead_ns,
+                } => simt_block_sweep(plan, b, range, width, sched_overhead_ns, &compute, &apply),
+            }),
+        );
+        self
+    }
+
+    /// Record a loop with both a scalar element body and a `lanes`-wide
+    /// vector body. Under [`Shape::Simd`] each colored block runs the
+    /// three-sweep decomposition ([`ump_core::simd_block_sweep`]):
+    /// `scalar(e)` for the pre-/post-sweep elements and `vector(cs)` for
+    /// every lane-aligned chunk `cs..cs + lanes`. Every other shape runs
+    /// `scalar` element-wise, exactly like [`record`](Chain::record).
+    ///
+    /// `lanes` must equal the const width the vector body was compiled
+    /// for; executing under `Shape::Simd` with a different lane count
+    /// panics (the registry only dispatches matching widths).
+    pub fn record_simd(
+        &mut self,
+        desc: LoopDesc,
+        written: Vec<&'a MapTable>,
+        lanes: usize,
+        scalar: impl Fn(usize) + Sync + 'a,
+        vector: impl Fn(usize) + Sync + 'a,
+    ) -> &mut Self {
+        self.push_blocks(
+            desc,
+            written,
+            Box::new(move |_plan, shape, _b, range| match shape {
+                Shape::Simd { lanes: l } => {
+                    assert_eq!(
+                        l, lanes,
+                        "chain recorded {lanes}-lane bodies but executes at {l} lanes"
+                    );
+                    simd_block_sweep(range, lanes, &scalar, &vector);
+                }
+                _ => {
+                    sched_spin(shape);
+                    for e in range {
+                        scalar(e as usize);
+                    }
+                }
+            }),
+        );
+        self
+    }
+
+    /// Record a two-phase (compute → increment) loop with an additional
+    /// `lanes`-wide vector body for [`Shape::Simd`]. The vector body
+    /// `vector(cs)` handles one whole aligned chunk: gather, compute,
+    /// and *serialized* lane scatter (safe — a block executes on one
+    /// thread, and the group plan's coloring keeps concurrent blocks off
+    /// each other's write targets). Pre-/post-sweep elements run
+    /// `compute` + `apply` immediately. The threaded and SIMT shapes
+    /// behave exactly like [`record_two_phase`](Chain::record_two_phase).
+    pub fn record_simd_two_phase<I: Send>(
+        &mut self,
+        desc: LoopDesc,
+        written: Vec<&'a MapTable>,
+        lanes: usize,
+        compute: impl Fn(usize) -> I + Sync + 'a,
+        apply: impl Fn(usize, &I) + Sync + 'a,
+        vector: impl Fn(usize) + Sync + 'a,
+    ) -> &mut Self {
+        self.push_blocks(
+            desc,
+            written,
+            Box::new(move |plan, shape, b, range| match shape {
                 Shape::Threaded => {
                     for e in range {
                         let e = e as usize;
@@ -229,6 +323,21 @@ impl<'a> Chain<'a> {
                     width,
                     sched_overhead_ns,
                 } => simt_block_sweep(plan, b, range, width, sched_overhead_ns, &compute, &apply),
+                Shape::Simd { lanes: l } => {
+                    assert_eq!(
+                        l, lanes,
+                        "chain recorded {lanes}-lane bodies but executes at {l} lanes"
+                    );
+                    simd_block_sweep(
+                        range,
+                        lanes,
+                        &|e| {
+                            let inc = compute(e);
+                            apply(e, &inc);
+                        },
+                        &vector,
+                    );
+                }
             }),
         );
         self
@@ -485,6 +594,9 @@ mod tests {
                 width: 8,
                 sched_overhead_ns: 0,
             },
+            // scalar-recorded loops must degrade gracefully under the
+            // SIMD shape (element-wise fallback)
+            Shape::Simd { lanes: 4 },
         ] {
             let pool = ExecPool::new(4);
             let cache = PlanCache::new();
@@ -726,6 +838,146 @@ mod tests {
         assert_eq!(total[0], expect);
         assert_eq!(consumed[0], expect * 2.0);
         assert_eq!(report.fused_rounds, 1);
+    }
+
+    /// Loops recorded with explicit vector bodies execute them under
+    /// the SIMD shape — and only then — covering every element exactly
+    /// once and bit-matching the scalar result for integer data. A
+    /// two-phase SIMD loop's serialized chunk scatter must accumulate
+    /// exactly like the scalar apply order.
+    #[test]
+    fn simd_shape_runs_vector_bodies_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let m = quad_channel(11, 7).mesh;
+        let (ne, nc) = (m.n_edges(), m.n_cells());
+        const LANES: usize = 4;
+
+        // reference: fill a, scatter into cells through edge2cell
+        let mut ra = vec![0.0f64; ne];
+        let mut racc = vec![0.0f64; nc];
+        for e in 0..ne {
+            ra[e] = (e % 9 + 1) as f64;
+        }
+        for e in 0..ne {
+            let c = m.edge2cell.row(e);
+            racc[c[0] as usize] += ra[e];
+            racc[c[1] as usize] -= 3.0;
+        }
+
+        for (shape, expect_vector) in [
+            (Shape::Simd { lanes: LANES }, true),
+            (Shape::Threaded, false),
+        ] {
+            let pool = ExecPool::new(3);
+            let cache = PlanCache::new();
+            let vector_chunks = AtomicUsize::new(0);
+            let mut a = vec![0.0f64; ne];
+            let mut acc = vec![0.0f64; nc];
+            {
+                let av = SharedDat::new(&mut a);
+                let accv = SharedDat::new(&mut acc);
+                let mut chain = Chain::new("simd");
+                {
+                    let (av, vc) = (&av, &vector_chunks);
+                    chain.record_simd(
+                        desc(
+                            "fill",
+                            "edges",
+                            ne,
+                            vec![ArgInfo::direct("a", 1, Access::Write)],
+                        ),
+                        vec![],
+                        LANES,
+                        move |e| unsafe { av.slice_mut(e, 1)[0] = (e % 9 + 1) as f64 },
+                        move |cs| {
+                            vc.fetch_add(1, Ordering::Relaxed);
+                            for e in cs..cs + LANES {
+                                unsafe { av.slice_mut(e, 1)[0] = (e % 9 + 1) as f64 };
+                            }
+                        },
+                    );
+                }
+                {
+                    let (av, accv, vc, m) = (&av, &accv, &vector_chunks, &m);
+                    chain.record_simd_two_phase(
+                        desc(
+                            "scatter",
+                            "edges",
+                            ne,
+                            vec![
+                                ArgInfo::direct("a", 1, Access::Read),
+                                ArgInfo::indirect("acc", 1, Access::Inc, "edge2cell", 0),
+                                ArgInfo::indirect("acc", 1, Access::Inc, "edge2cell", 1),
+                            ],
+                        ),
+                        vec![&m.edge2cell],
+                        LANES,
+                        move |e| {
+                            let c = m.edge2cell.row(e);
+                            let v = unsafe { av.slice(e, 1)[0] };
+                            (c[0] as usize, [v], c[1] as usize, [-3.0])
+                        },
+                        move |_e, inc| unsafe { ump_core::apply_edge_inc(accv, inc) },
+                        move |cs| {
+                            vc.fetch_add(1, Ordering::Relaxed);
+                            // serialized lane scatter in ascending order —
+                            // the same accumulation order as the scalar path
+                            for e in cs..cs + LANES {
+                                let c = m.edge2cell.row(e);
+                                unsafe {
+                                    let v = av.slice(e, 1)[0];
+                                    accv.slice_mut(c[0] as usize, 1)[0] += v;
+                                    accv.slice_mut(c[1] as usize, 1)[0] -= 3.0;
+                                }
+                            }
+                        },
+                    );
+                }
+                chain.execute(&pool, &cache, shape, 0, 16, 8, None);
+            }
+            assert_eq!(a, ra, "{shape:?}");
+            assert_eq!(acc, racc, "{shape:?}");
+            let chunks = vector_chunks.load(Ordering::Relaxed);
+            assert_eq!(
+                chunks > 0,
+                expect_vector,
+                "{shape:?}: {chunks} vector chunks"
+            );
+        }
+    }
+
+    /// Executing a chain whose vector bodies were compiled at one width
+    /// under a different `Shape::Simd` lane count must panic loudly.
+    #[test]
+    #[should_panic(expected = "4-lane bodies")]
+    fn simd_lane_mismatch_panics() {
+        let n = 64;
+        let pool = ExecPool::new(1);
+        let cache = PlanCache::new();
+        let mut a = vec![0.0f64; n];
+        let av = SharedDat::new(&mut a);
+        let mut chain = Chain::new("mismatch");
+        {
+            let av = &av;
+            chain.record_simd(
+                desc(
+                    "w",
+                    "items",
+                    n,
+                    vec![ArgInfo::direct("a", 1, Access::Write)],
+                ),
+                vec![],
+                4,
+                move |e| unsafe { av.slice_mut(e, 1)[0] = 1.0 },
+                move |cs| {
+                    for e in cs..cs + 4 {
+                        unsafe { av.slice_mut(e, 1)[0] = 1.0 };
+                    }
+                },
+            );
+        }
+        chain.execute(&pool, &cache, Shape::Simd { lanes: 8 }, 0, 16, 8, None);
     }
 
     /// Group timing and fusion stats land in the recorder.

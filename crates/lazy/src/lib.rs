@@ -29,10 +29,16 @@
 //!   [`Chain::execute`] plans, fuses and dispatches the whole chain,
 //!   reporting what fusion saved through
 //!   [`ump_core::Recorder::record_fusion`];
-//! * fused executors for both shared-memory shapes: colored-block
-//!   threading ([`Shape::Threaded`]) and the SIMT / OpenCL-on-CPU
+//! * fused executors for every shared-memory shape: colored-block
+//!   threading ([`Shape::Threaded`]), the SIMT / OpenCL-on-CPU
 //!   emulation ([`Shape::Simt`], which reuses
-//!   [`ump_core::simt_block_sweep`] per member loop).
+//!   [`ump_core::simt_block_sweep`] per member loop), and vectorized
+//!   fused execution ([`Shape::Simd`], which runs loops recorded with
+//!   [`Chain::record_simd`] / [`Chain::record_simd_two_phase`] through
+//!   the scalar-presweep / vector-body / scalar-postsweep decomposition
+//!   of [`ump_core::simd_block_sweep`] — cross-loop fusion composed with
+//!   the paper's explicit SIMD on the same union-write-set plans and
+//!   pool dispatch path).
 //!
 //! # Fusion legality
 //!
@@ -72,8 +78,11 @@
 //!
 //! [`Chain::execute`]: chain::Chain::execute
 //! [`Chain::record_seq`]: chain::Chain::record_seq
+//! [`Chain::record_simd`]: chain::Chain::record_simd
+//! [`Chain::record_simd_two_phase`]: chain::Chain::record_simd_two_phase
 //! [`Shape::Threaded`]: chain::Shape::Threaded
 //! [`Shape::Simt`]: chain::Shape::Simt
+//! [`Shape::Simd`]: chain::Shape::Simd
 
 #![deny(missing_docs)]
 

@@ -1,0 +1,119 @@
+//! The cross-product conformance matrix: every backend in the registry
+//! (`Backend::all()`) × both applications × two mesh sizes must compute
+//! the sequential reference's physics within 1e-12 after 10 steps.
+//!
+//! The point of the registry is that this file never has to change when
+//! a backend is added — a new `Backend` variant registered in
+//! `ump_core::backend` and wired into the apps' `step_on` dispatchers is
+//! automatically swept here, on CI, against both applications.
+
+use ump_apps::{airfoil, volna};
+use ump_core::{Backend, ExecPool, PlanCache};
+
+const ITERS: usize = 10;
+const BLOCK: usize = 48;
+const TEAM: usize = 4;
+
+/// (tiny generated mesh, the 60×30 acceptance mesh).
+const MESHES: [(usize, usize); 2] = [(12, 8), (60, 30)];
+
+fn run_airfoil(backend: Backend, nx: usize, ny: usize) -> (airfoil::Airfoil<f64>, Vec<f64>, u64) {
+    let pool = ExecPool::new(TEAM);
+    let cache = PlanCache::new();
+    let mut sim = airfoil::Airfoil::<f64>::new(nx, ny);
+    let r0 = pool.dispatch_rounds();
+    let hist = (0..ITERS)
+        .map(|_| airfoil::drivers::step_on(backend, &mut sim, &pool, &cache, 0, BLOCK, None))
+        .collect();
+    let rounds = pool.dispatch_rounds() - r0;
+    (sim, hist, rounds)
+}
+
+fn run_volna(backend: Backend, nx: usize, ny: usize) -> (volna::Volna<f64>, Vec<f64>, u64) {
+    let pool = ExecPool::new(TEAM);
+    let cache = PlanCache::new();
+    let mut sim = volna::Volna::<f64>::new(nx, ny);
+    let r0 = pool.dispatch_rounds();
+    let hist = (0..ITERS)
+        .map(|_| volna::drivers::step_on(backend, &mut sim, &pool, &cache, 0, BLOCK, None))
+        .collect();
+    let rounds = pool.dispatch_rounds() - r0;
+    (sim, hist, rounds)
+}
+
+#[test]
+fn every_backend_matches_sequential_on_airfoil() {
+    for (nx, ny) in MESHES {
+        let (reference, ref_hist, _) = run_airfoil(Backend::Seq, nx, ny);
+        for backend in Backend::all() {
+            let (sim, hist, rounds) = run_airfoil(backend, nx, ny);
+            for (i, (&rms, &r)) in hist.iter().zip(&ref_hist).enumerate() {
+                assert!(
+                    (rms - r).abs() <= 1e-12 * (1.0 + r),
+                    "{backend} airfoil {nx}x{ny} iter {i}: rms {rms} vs {r}"
+                );
+            }
+            let d = sim.q.max_abs_diff(&reference.q);
+            assert!(
+                d <= 1e-12,
+                "{backend} airfoil {nx}x{ny}: max |Δq| = {d:e} > 1e-12"
+            );
+            assert!(sim.q.all_finite(), "{backend}: NaN/Inf in q");
+            assert_eq!(
+                rounds > 0,
+                backend.needs_pool(),
+                "{backend} airfoil {nx}x{ny}: dispatch_rounds = {rounds}, needs_pool = {}",
+                backend.needs_pool()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_backend_matches_sequential_on_volna() {
+    for (nx, ny) in MESHES {
+        let (reference, ref_hist, _) = run_volna(Backend::Seq, nx, ny);
+        for backend in Backend::all() {
+            let (sim, hist, rounds) = run_volna(backend, nx, ny);
+            for (i, (&dt, &r)) in hist.iter().zip(&ref_hist).enumerate() {
+                assert!(
+                    (dt - r).abs() <= 1e-12 * r,
+                    "{backend} volna {nx}x{ny} iter {i}: dt {dt} vs {r}"
+                );
+            }
+            let d = sim.w.max_abs_diff(&reference.w);
+            assert!(
+                d <= 1e-12,
+                "{backend} volna {nx}x{ny}: max |Δw| = {d:e} > 1e-12"
+            );
+            assert!(sim.w.all_finite(), "{backend}: NaN/Inf in w");
+            assert_eq!(
+                rounds > 0,
+                backend.needs_pool(),
+                "{backend} volna {nx}x{ny}: dispatch_rounds = {rounds}, needs_pool = {}",
+                backend.needs_pool()
+            );
+        }
+    }
+}
+
+/// The acceptance bound for the composition: fused-SIMD must issue no
+/// more pool rounds per step than fused-threaded — the vectorization
+/// rides the *same* union-write-set group plans, it must not cost
+/// synchronization.
+#[test]
+fn fused_simd_issues_no_more_rounds_than_fused_threaded() {
+    let rounds_of_airfoil = |backend: Backend| run_airfoil(backend, 60, 30).2;
+    let rounds_of_volna = |backend: Backend| run_volna(backend, 60, 30).2;
+    for lanes in [4usize, 8] {
+        let fused_simd = Backend::FusedSimd { lanes };
+        assert!(
+            rounds_of_airfoil(fused_simd) <= rounds_of_airfoil(Backend::Fused),
+            "airfoil fused_simd{lanes} issued more rounds than fused"
+        );
+        assert!(
+            rounds_of_volna(fused_simd) <= rounds_of_volna(Backend::Fused),
+            "volna fused_simd{lanes} issued more rounds than fused"
+        );
+    }
+}

@@ -170,6 +170,151 @@ fn fused_volna_issues_strictly_fewer_dispatch_rounds() {
     assert_eq!(stats.rounds_saved(), 3, "cf+nf+sd and cf+sd fusions");
 }
 
+/// The SIMT-fused path must feed the same `Recorder` fusion counters as
+/// the threaded-fused path: per-chain rounds saved, a fused-rounds count
+/// that agrees with the pool's own dispatch counter, and a non-zero
+/// bytes-not-re-streamed estimate. (Before this test the SIMT shape's
+/// stats were produced but never asserted anywhere.)
+#[test]
+fn simt_fused_records_fusion_stats_matching_pool_counter() {
+    let pool = ExecPool::new(4);
+    let cache = PlanCache::new();
+
+    // airfoil
+    let rec = Recorder::new();
+    let mut sim = airfoil::Airfoil::<f64>::new(NX, NY);
+    let r0 = pool.dispatch_rounds();
+    airfoil::drivers::step_fused_on(&pool, &mut sim, &cache, SIMT, 0, 32, Some(&rec));
+    let simt_rounds = pool.dispatch_rounds() - r0;
+    let stats = rec.fusion("airfoil_step").expect("SIMT-fused chain stats");
+    assert_eq!(stats.fused_rounds as u64, simt_rounds, "counter mismatch");
+    assert!(stats.rounds_saved() >= 2, "airfoil fuses two cell pairs");
+    assert!(stats.bytes_saved > 0.0);
+    assert_eq!(stats.loops, 9);
+
+    // volna: the edge-triple + edge-pair fusions save 3 rounds under
+    // SIMT exactly as under threading (same group plans)
+    let rec = Recorder::new();
+    let mut sim = volna::Volna::<f64>::new(NX, NY);
+    let r0 = pool.dispatch_rounds();
+    volna::drivers::step_fused_on(&pool, &mut sim, &cache, SIMT, 0, 32, Some(&rec));
+    let simt_rounds = pool.dispatch_rounds() - r0;
+    let stats = rec.fusion("volna_step").expect("SIMT-fused chain stats");
+    assert_eq!(stats.fused_rounds as u64, simt_rounds, "counter mismatch");
+    assert_eq!(stats.rounds_saved(), 3, "cf+nf+sd and cf+sd fusions");
+    assert!(stats.bytes_saved > 0.0);
+}
+
+/// The fused-SIMD backend: matches the sequential reference at L = 4
+/// and L = 8 on both apps, records the same fusion counters (it shares
+/// the fused plans), and issues no more pool rounds per step than the
+/// fused threaded shape.
+#[test]
+fn fused_simd_matches_sequential_and_saves_the_same_rounds() {
+    let mut airfoil_ref = airfoil::Airfoil::<f64>::new(NX, NY);
+    let air_hist: Vec<f64> = (0..ITERS)
+        .map(|_| airfoil::drivers::step_seq(&mut airfoil_ref, None))
+        .collect();
+    let mut volna_ref = volna::Volna::<f64>::new(NX, NY);
+    let volna_hist: Vec<f64> = (0..ITERS)
+        .map(|_| volna::drivers::step_seq(&mut volna_ref, None))
+        .collect();
+
+    let pool = ExecPool::new(4);
+    let cache = PlanCache::new();
+
+    // baseline: fused threaded rounds per step (plans warmed first)
+    let mut sim = airfoil::Airfoil::<f64>::new(NX, NY);
+    airfoil::drivers::step_fused_on(&pool, &mut sim, &cache, Shape::Threaded, 0, 32, None);
+    let r0 = pool.dispatch_rounds();
+    airfoil::drivers::step_fused_on(&pool, &mut sim, &cache, Shape::Threaded, 0, 32, None);
+    let fused_threaded_rounds = pool.dispatch_rounds() - r0;
+
+    fn check_airfoil<const L: usize>(
+        pool: &ExecPool,
+        cache: &PlanCache,
+        reference: &airfoil::Airfoil<f64>,
+        hist: &[f64],
+        fused_threaded_rounds: u64,
+    ) {
+        let rec = Recorder::new();
+        let mut sim = airfoil::Airfoil::<f64>::new(NX, NY);
+        let r0 = pool.dispatch_rounds();
+        for (i, &r) in hist.iter().enumerate() {
+            let rms = airfoil::drivers::step_fused_simd_on::<f64, L>(
+                pool,
+                &mut sim,
+                cache,
+                0,
+                32,
+                Some(&rec),
+            );
+            assert!(
+                (rms - r).abs() < 1e-12 * (1.0 + r),
+                "L={L} iter {i}: rms {rms} vs {r}"
+            );
+        }
+        let rounds_per_step = (pool.dispatch_rounds() - r0) / hist.len() as u64;
+        let d = sim.q.max_abs_diff(&reference.q);
+        assert!(d <= 1e-12, "L={L}: max |Δq| = {d:e}");
+        assert!(
+            rounds_per_step <= fused_threaded_rounds,
+            "L={L}: fused-SIMD issued {rounds_per_step} rounds/step vs fused-threaded {fused_threaded_rounds}"
+        );
+        let stats = rec.fusion("airfoil_step").expect("fused-SIMD chain stats");
+        assert_eq!(stats.executions, hist.len());
+        assert_eq!(
+            stats.fused_rounds as u64,
+            rounds_per_step * hist.len() as u64,
+            "L={L}: recorder disagrees with pool counter"
+        );
+        assert!(stats.rounds_saved() >= 2 * hist.len());
+        assert!(stats.bytes_saved > 0.0);
+    }
+    check_airfoil::<4>(
+        &pool,
+        &cache,
+        &airfoil_ref,
+        &air_hist,
+        fused_threaded_rounds,
+    );
+    check_airfoil::<8>(
+        &pool,
+        &cache,
+        &airfoil_ref,
+        &air_hist,
+        fused_threaded_rounds,
+    );
+
+    // volna at both widths
+    fn check_volna<const L: usize>(
+        pool: &ExecPool,
+        cache: &PlanCache,
+        reference: &volna::Volna<f64>,
+        hist: &[f64],
+    ) {
+        let rec = Recorder::new();
+        let mut sim = volna::Volna::<f64>::new(NX, NY);
+        for (i, &r) in hist.iter().enumerate() {
+            let dt = volna::drivers::step_fused_simd_on::<f64, L>(
+                pool,
+                &mut sim,
+                cache,
+                0,
+                32,
+                Some(&rec),
+            );
+            assert!((dt - r).abs() <= 1e-12 * r, "L={L} iter {i}: {dt} vs {r}");
+        }
+        let d = sim.w.max_abs_diff(&reference.w);
+        assert!(d <= 1e-12, "L={L}: max |Δw| = {d:e}");
+        let stats = rec.fusion("volna_step").expect("fused-SIMD chain stats");
+        assert_eq!(stats.rounds_saved(), 3 * hist.len());
+    }
+    check_volna::<4>(&pool, &cache, &volna_ref, &volna_hist);
+    check_volna::<8>(&pool, &cache, &volna_ref, &volna_hist);
+}
+
 /// Fused execution under an explicit small team and tight block size
 /// still matches — exercises multi-color fused dispatch heavily.
 #[test]
