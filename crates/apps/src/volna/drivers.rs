@@ -1741,6 +1741,29 @@ pub fn step_on<R: Real>(
         Backend::FusedSimd { lanes: 8 } => {
             step_fused_simd_on::<R, 8>(pool, sim, cache, n_threads, block_size, rec)
         }
+        // distributed backends: ranks own their pools; the caller's pool
+        // and n_threads are unused (needs_pool() is false)
+        Backend::MpiFused => super::mpi::step_mpi_fused::<R, 4>(
+            sim,
+            backend.ranks(),
+            block_size,
+            Shape::Threaded,
+            rec,
+        ),
+        Backend::MpiFusedSimd { lanes: 4 } => super::mpi::step_mpi_fused::<R, 4>(
+            sim,
+            backend.ranks(),
+            block_size,
+            Shape::Simd { lanes: 4 },
+            rec,
+        ),
+        Backend::MpiFusedSimd { lanes: 8 } => super::mpi::step_mpi_fused::<R, 8>(
+            sim,
+            backend.ranks(),
+            block_size,
+            Shape::Simd { lanes: 8 },
+            rec,
+        ),
         other => panic!(
             "backend {} has no compiled lane instantiation — add it to step_on",
             other.name()

@@ -11,22 +11,40 @@
 //!          over ALL local edges, dt = allreduce_min, RK_1 over owned
 //! phase 2: halo-exchange w1 → flux kernels on w1, RK_2 over owned
 //! ```
+//!
+//! The production path is [`RankState::step_fused_chain`]: the RK2 step
+//! recorded as an `ump_lazy` chain whose `w`/`w1` exchanges are
+//! non-blocking — `sim_1` and the fused flux group's **interior** blocks
+//! run while the messages fly, the exchange completes, and only the
+//! ghost-reading **boundary** blocks wait. The CFL Δt merges through a
+//! block-ordered fold and the rank-ordered `allreduce_min` inside the
+//! flux group's epilogue, before `RK_1` (a later loop of the same chain)
+//! consumes it. [`run_mpi_fused`] drives it end to end; the scalar
+//! [`RankState::step`] and threaded [`RankState::step_threaded`] remain
+//! as references.
+
+use std::sync::Mutex;
 
 use ump_color::PlanInputs;
 use ump_core::{distribute, ExecPool, LocalMesh, OpDat, PlanCache, Recorder, Scheme, SharedDat};
+use ump_lazy::{Chain, ExchangePolicy, LoopDesc, Shape};
 use ump_mesh::generators::CoastalCase;
-use ump_minimpi::{Comm, Universe};
-use ump_part::rcb;
-use ump_simd::Real;
+use ump_minimpi::{Comm, PendingExchange, Universe};
+use ump_part::{rcb, Partition};
+use ump_simd::{Real, VecR};
 
+use super::drivers;
 use super::kernels::{bc_flux, compute_flux, numerical_flux, rk_1, rk_2, sim_1, space_disc};
-use super::{Volna, CFL, GRAVITY, H_MIN};
+use super::{profile, Volna, CFL, GRAVITY, H_MIN};
 
 /// A rank-local Volna state (geometry-derived dats rebuilt from the
 /// local mesh; cell state extracted from the global case).
 pub struct RankState<R: Real> {
     /// The rank's mesh piece.
     pub local: LocalMesh,
+    /// Halo classification of the rank's executed edges (`true` = reads
+    /// a ghost cell; deferred past the exchange in the overlap schedule).
+    pub edge_halo: Vec<bool>,
     /// Cell state (owned + ghost).
     pub w: OpDat<R>,
     /// Saved state.
@@ -66,6 +84,7 @@ impl<R: Real> RankState<R> {
         };
         let sim = Volna::<R>::from_case(local_case);
         RankState {
+            edge_halo: local.boundary_edges(),
             w: sim.w,
             w_old: sim.w_old,
             w1: sim.w1,
@@ -381,6 +400,534 @@ impl<R: Real> RankState<R> {
         }
         global_dt
     }
+}
+
+impl<R: Real> RankState<R> {
+    /// One RK2 step as a rank-local **fused chain with halo/compute
+    /// overlap** — the distributed production path. Chain structure:
+    ///
+    /// ```text
+    /// exch(w)                            sends posted immediately
+    /// sim_1                              owned cells, interior (overlapped)
+    /// [compute_flux+numerical_flux+space_disc]
+    ///                                    interior blocks → finish(w) → boundary
+    ///                                    epilogue: fold Δt blocks, allreduce_min
+    /// bc_flux                            serial, owned cells only
+    /// RK_1                               owned cells; ghost res zeroed
+    /// exch(w1) → [compute_flux+space_disc] → bc_flux → RK_2
+    /// ```
+    ///
+    /// The CFL Δt is the implicit synchronization point §6.5 charges the
+    /// Phi for: it merges deterministically (block order within the
+    /// rank, rank order across ranks) inside the flux group's epilogue,
+    /// before `RK_1` consumes it. Returns the globally-agreed Δt.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_fused_chain<const L: usize>(
+        &mut self,
+        comm: &Comm,
+        cache: &PlanCache,
+        pool: &ExecPool,
+        shape: Shape,
+        block_size: usize,
+        policy: ExchangePolicy,
+        rec: Option<&Recorder>,
+    ) -> f64 {
+        let g = R::from_f64(GRAVITY);
+        let h_min = R::from_f64(H_MIN);
+        let cfl = R::from_f64(CFL);
+        let RankState {
+            local,
+            edge_halo,
+            w,
+            w_old,
+            w1,
+            res,
+            area,
+            egeom,
+            eflux,
+            bgeom,
+        } = self;
+        let mesh = &local.mesh;
+        let halo = &local.cell_halo;
+        let n_owned = local.n_owned_cells;
+        let (area, egeom, bgeom, edge_halo) = (&*area, &*egeom, &*bgeom, &*edge_halo);
+        let (ne, nb) = (mesh.n_edges(), mesh.n_bedges());
+        let n_edge_blocks = ne.div_ceil(block_size);
+        // Δt partials: one slot per edge block, folded (then allreduced)
+        // by the flux group's epilogue before RK_1 reads `dt_slot`
+        let mut dt_blocks = vec![R::INFINITY; n_edge_blocks];
+        let mut dt_slot = vec![f64::INFINITY; 1];
+        {
+            let ws = SharedDat::new(&mut w.data);
+            let wolds = SharedDat::new(&mut w_old.data);
+            let w1s = SharedDat::new(&mut w1.data);
+            let ress = SharedDat::new(&mut res.data);
+            let efs = SharedDat::new(&mut eflux.data);
+            let dts = SharedDat::new(&mut dt_blocks);
+            let dtf = SharedDat::new(&mut dt_slot);
+            let pending: [Mutex<Option<PendingExchange>>; 2] = [Mutex::new(None), Mutex::new(None)];
+            let desc = |name: &str, n: usize| LoopDesc::new(profile(name), n);
+            // the state the flux kernels gather switches to w1 in the
+            // second RK phase — the dependency analyzer must see it
+            let state_desc = |name: &str, n: usize, phase: usize| {
+                let mut p = profile(name);
+                if phase == 1 {
+                    for a in &mut p.args {
+                        if a.dat == "w" {
+                            a.dat = "w1".into();
+                        }
+                    }
+                }
+                LoopDesc::new(p, n)
+            };
+
+            let mut chain = Chain::new("volna_step");
+            // refresh w ghosts for phase 0: posted before sim_1 so the
+            // copy loop also hides message latency
+            {
+                let (ws, slot) = (&ws, &pending[0]);
+                chain.record_exchange(
+                    "halo[w]",
+                    move || {
+                        let started = halo.start(comm, unsafe { ws.as_slice() }, 4, 0);
+                        *slot.lock().unwrap() = Some(started);
+                    },
+                    move || {
+                        let started = slot.lock().unwrap().take().expect("w exchange started");
+                        started.finish(comm, unsafe { ws.slice_mut(0, ws.len()) });
+                    },
+                );
+            }
+            {
+                let (ws, wolds) = (&ws, &wolds);
+                chain.record_simd(
+                    desc("sim_1", n_owned),
+                    vec![],
+                    L,
+                    move |c| unsafe {
+                        sim_1(ws.slice(c * 4, 4), wolds.slice_mut(c * 4, 4));
+                    },
+                    move |cs| unsafe {
+                        let src = ws.as_slice();
+                        let dst = wolds.slice_mut(0, wolds.len());
+                        for i in 0..4 {
+                            VecR::<R, L>::load(src, cs * 4 + i * L).store(dst, cs * 4 + i * L);
+                        }
+                    },
+                );
+                chain.mark_interior();
+            }
+            for phase in 0..2 {
+                let state = if phase == 0 { &ws } else { &w1s };
+                if phase == 1 {
+                    // refresh w1 ghosts (RK_1 wrote owned rows only)
+                    let (w1s, slot) = (&w1s, &pending[1]);
+                    chain.record_exchange(
+                        "halo[w1]",
+                        move || {
+                            let started = halo.start(comm, unsafe { w1s.as_slice() }, 4, 1);
+                            *slot.lock().unwrap() = Some(started);
+                        },
+                        move || {
+                            let started = slot.lock().unwrap().take().expect("w1 exchange started");
+                            started.finish(comm, unsafe { w1s.slice_mut(0, w1s.len()) });
+                        },
+                    );
+                }
+                {
+                    let efs = &efs;
+                    chain.record_simd(
+                        state_desc("compute_flux", ne, phase),
+                        vec![],
+                        L,
+                        move |e| {
+                            let c = mesh.edge2cell.row(e);
+                            unsafe {
+                                compute_flux(
+                                    egeom.row(e),
+                                    state.slice(c[0] as usize * 4, 4),
+                                    state.slice(c[1] as usize * 4, 4),
+                                    efs.slice_mut(e * 4, 4),
+                                    g,
+                                    h_min,
+                                );
+                            }
+                        },
+                        move |es| unsafe {
+                            drivers::compute_flux_chunk::<R, L>(
+                                es,
+                                &mesh.edge2cell.data,
+                                &egeom.data,
+                                state.as_slice(),
+                                efs.slice_mut(0, efs.len()),
+                                g,
+                                h_min,
+                            );
+                        },
+                    );
+                    chain.mark_boundary(edge_halo);
+                }
+                if phase == 0 {
+                    {
+                        let (efs, dts) = (&efs, &dts);
+                        if let Shape::Simd { .. } = shape {
+                            chain.record_simd(
+                                desc("numerical_flux", ne),
+                                vec![],
+                                L,
+                                move |e| {
+                                    let c = mesh.edge2cell.row(e);
+                                    unsafe {
+                                        let slot = &mut dts.slice_mut(e / block_size, 1)[0];
+                                        numerical_flux(
+                                            egeom.row(e),
+                                            efs.slice(e * 4, 4),
+                                            area.row(c[0] as usize)[0],
+                                            area.row(c[1] as usize)[0],
+                                            slot,
+                                            cfl,
+                                        );
+                                    }
+                                },
+                                move |es| unsafe {
+                                    let mut dt_v = VecR::<R, L>::splat(R::INFINITY);
+                                    drivers::numerical_flux_chunk::<R, L>(
+                                        es,
+                                        &mesh.edge2cell.data,
+                                        efs.as_slice(),
+                                        &area.data,
+                                        &mut dt_v,
+                                        cfl,
+                                    );
+                                    let slot = &mut dts.slice_mut(es / block_size, 1)[0];
+                                    *slot = slot.min(dt_v.reduce_min());
+                                },
+                            );
+                        } else {
+                            chain.record_blocks(
+                                desc("numerical_flux", ne),
+                                vec![],
+                                move |b, range| {
+                                    let mut local = R::INFINITY;
+                                    for e in range.start as usize..range.end as usize {
+                                        let c = mesh.edge2cell.row(e);
+                                        unsafe {
+                                            numerical_flux(
+                                                egeom.row(e),
+                                                efs.slice(e * 4, 4),
+                                                area.row(c[0] as usize)[0],
+                                                area.row(c[1] as usize)[0],
+                                                &mut local,
+                                                cfl,
+                                            );
+                                        }
+                                    }
+                                    unsafe { dts.slice_mut(b, 1)[0] = local };
+                                },
+                            );
+                        }
+                        // numerical_flux reads edge-local flux and the
+                        // rank-local cell areas — no halo data
+                        chain.mark_interior();
+                    }
+                    {
+                        // fold the Δt partials, then the global CFL
+                        // agreement — the rank-ordered min-allreduce, the
+                        // step's implicit synchronization point
+                        let (dts, dtf) = (&dts, &dtf);
+                        chain.epilogue(move || unsafe {
+                            let mut merged = R::INFINITY;
+                            for &v in dts.slice(0, dts.len()) {
+                                merged = if v < merged { v } else { merged };
+                            }
+                            dtf.slice_mut(0, 1)[0] = comm.allreduce_min(merged.to_f64());
+                        });
+                    }
+                }
+                {
+                    let (efs, ress) = (&efs, &ress);
+                    chain.record_simd_two_phase(
+                        state_desc("space_disc", ne, phase),
+                        vec![&mesh.edge2cell],
+                        L,
+                        move |e| {
+                            let c = mesh.edge2cell.row(e);
+                            let (c0, c1) = (c[0] as usize, c[1] as usize);
+                            let mut rl = [R::ZERO; 4];
+                            let mut rr = [R::ZERO; 4];
+                            unsafe {
+                                space_disc(
+                                    egeom.row(e),
+                                    efs.slice(e * 4, 4),
+                                    state.slice(c0 * 4, 4),
+                                    state.slice(c1 * 4, 4),
+                                    &mut rl,
+                                    &mut rr,
+                                    g,
+                                );
+                            }
+                            (c0, rl, c1, rr)
+                        },
+                        move |_e, inc| unsafe { ump_core::apply_edge_inc(ress, inc) },
+                        move |es| unsafe {
+                            drivers::space_disc_chunk::<R, L>(
+                                es,
+                                &mesh.edge2cell.data,
+                                &egeom.data,
+                                efs.as_slice(),
+                                state.as_slice(),
+                                ress.slice_mut(0, ress.len()),
+                                g,
+                            );
+                        },
+                    );
+                    chain.mark_boundary(edge_halo);
+                }
+                {
+                    let ress = &ress;
+                    chain.record_seq(state_desc("bc_flux", nb, phase), move || {
+                        for be in 0..nb {
+                            let c0 = mesh.bedge2cell.at(be, 0);
+                            unsafe {
+                                bc_flux(
+                                    bgeom.row(be),
+                                    state.slice(c0 * 4, 4),
+                                    ress.slice_mut(c0 * 4, 4),
+                                    g,
+                                );
+                            }
+                        }
+                    });
+                    // bedges map to owned cells only
+                    chain.mark_interior();
+                }
+                if phase == 0 {
+                    let (wolds, w1s, ress, dtf) = (&wolds, &w1s, &ress, &dtf);
+                    chain.record_simd(
+                        desc("RK_1", n_owned),
+                        vec![],
+                        L,
+                        move |c| unsafe {
+                            let dt = R::from_f64(dtf.slice(0, 1)[0]);
+                            rk_1(
+                                wolds.slice(c * 4, 4),
+                                ress.slice_mut(c * 4, 4),
+                                w1s.slice_mut(c * 4, 4),
+                                area.row(c)[0],
+                                dt,
+                            );
+                        },
+                        move |cs| unsafe {
+                            let dt = R::from_f64(dtf.slice(0, 1)[0]);
+                            drivers::rk1_chunk::<R, L>(
+                                cs,
+                                wolds.as_slice(),
+                                ress.slice_mut(0, ress.len()),
+                                w1s.slice_mut(0, w1s.len()),
+                                &area.data,
+                                dt,
+                            );
+                        },
+                    );
+                    chain.mark_interior();
+                } else {
+                    let (wolds, w1s, ress, ws, dtf) = (&wolds, &w1s, &ress, &ws, &dtf);
+                    chain.record_simd(
+                        desc("RK_2", n_owned),
+                        vec![],
+                        L,
+                        move |c| unsafe {
+                            let dt = R::from_f64(dtf.slice(0, 1)[0]);
+                            rk_2(
+                                wolds.slice(c * 4, 4),
+                                w1s.slice(c * 4, 4),
+                                ress.slice_mut(c * 4, 4),
+                                ws.slice_mut(c * 4, 4),
+                                area.row(c)[0],
+                                dt,
+                            );
+                        },
+                        move |cs| unsafe {
+                            let dt = R::from_f64(dtf.slice(0, 1)[0]);
+                            drivers::rk2_chunk::<R, L>(
+                                cs,
+                                wolds.as_slice(),
+                                w1s.as_slice(),
+                                ress.slice_mut(0, ress.len()),
+                                ws.slice_mut(0, ws.len()),
+                                &area.data,
+                                dt,
+                            );
+                        },
+                    );
+                    chain.mark_interior();
+                }
+                {
+                    // discard ghost increments (owners recompute them)
+                    let ress = &ress;
+                    chain.epilogue(move || unsafe {
+                        for v in ress.slice_mut(n_owned * 4, ress.len() - n_owned * 4) {
+                            *v = R::ZERO;
+                        }
+                    });
+                }
+            }
+            chain.execute_policy(pool, cache, shape, 0, block_size, R::BYTES, rec, policy);
+        }
+        dt_slot[0]
+    }
+}
+
+/// Run the distributed fused backend end to end: `n_ranks` ranks, each
+/// stepping the rank-local fused chain with halo/compute overlap (or
+/// blocking exchanges). `shape` selects the per-rank execution shape.
+/// Returns the assembled global state and the Δt history.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mpi_fused<R: Real, const L: usize>(
+    case: &CoastalCase,
+    n_ranks: usize,
+    threads_per_rank: usize,
+    block_size: usize,
+    steps: usize,
+    shape: Shape,
+    policy: ExchangePolicy,
+) -> (OpDat<R>, Vec<f64>) {
+    let mesh = &case.mesh;
+    let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+    let partition = rcb(&pts, n_ranks as u32);
+    run_mpi_fused_with_partition::<R, L>(
+        case,
+        &partition,
+        threads_per_rank,
+        block_size,
+        steps,
+        shape,
+        policy,
+    )
+}
+
+/// As [`run_mpi_fused`] with an explicit partition (ragged-ownership
+/// tests).
+#[allow(clippy::too_many_arguments)]
+pub fn run_mpi_fused_with_partition<R: Real, const L: usize>(
+    case: &CoastalCase,
+    partition: &Partition,
+    threads_per_rank: usize,
+    block_size: usize,
+    steps: usize,
+    shape: Shape,
+    policy: ExchangePolicy,
+) -> (OpDat<R>, Vec<f64>) {
+    let mesh = &case.mesh;
+    let locals = distribute(mesh, partition);
+    let total_cells = mesh.n_cells();
+    let n_ranks = partition.n_parts as usize;
+
+    let results = Universe::new(n_ranks).run(|comm| {
+        let cache = PlanCache::new();
+        let pool = ExecPool::new(threads_per_rank);
+        let mut state = RankState::<R>::new(case, locals[comm.rank()].clone());
+        let mut history = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            history.push(
+                state.step_fused_chain::<L>(comm, &cache, &pool, shape, block_size, policy, None),
+            );
+        }
+        (
+            state.w.data,
+            state.local.cell_global.clone(),
+            state.local.n_owned_cells,
+            history,
+        )
+    });
+
+    let history = results[0].3.clone();
+    let parts: Vec<(&[R], &[u32], usize)> = results
+        .iter()
+        .map(|(data, ids, n_owned, _)| (data.as_slice(), ids.as_slice(), *n_owned))
+        .collect();
+    let w = OpDat::from_vec(
+        "w",
+        total_cells,
+        4,
+        ump_core::dist::assemble_owned(&parts, total_cells, 4),
+    );
+    (w, history)
+}
+
+/// Initialize a rank state from a *mid-simulation* global state (the
+/// inverse of the owned-row assembly).
+pub fn rank_state_from_global<R: Real>(
+    case: &CoastalCase,
+    local: LocalMesh,
+    global: &Volna<R>,
+) -> RankState<R> {
+    use ump_core::extract_rows;
+    let mut st = RankState::<R>::new(case, local);
+    st.w.data = extract_rows(&global.w.data, 4, &st.local.cell_global);
+    st.w_old.data = extract_rows(&global.w_old.data, 4, &st.local.cell_global);
+    st.w1.data = extract_rows(&global.w1.data, 4, &st.local.cell_global);
+    st.res.data = extract_rows(&global.res.data, 4, &st.local.cell_global);
+    st
+}
+
+/// One rank's returned state dats: (w, w_old, w1, res).
+type RankDats<R> = (Vec<R>, Vec<R>, Vec<R>, Vec<R>);
+
+/// One distributed fused RK2 step on a *global* simulation state — the
+/// `step_on` entry point behind `Backend::MpiFused*`. Distributes,
+/// steps every rank's overlapped fused chain once, assembles the state
+/// back; consecutive calls continue the simulation exactly like a
+/// persistent universe. Returns the globally-agreed Δt.
+pub fn step_mpi_fused<R: Real, const L: usize>(
+    sim: &mut Volna<R>,
+    n_ranks: usize,
+    block_size: usize,
+    shape: Shape,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let mesh = &sim.case.mesh;
+    let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+    let partition = rcb(&pts, n_ranks as u32);
+    let locals = distribute(mesh, &partition);
+    let total_cells = mesh.n_cells();
+
+    let results = {
+        let sim = &*sim;
+        Universe::new(n_ranks).run(|comm| {
+            let cache = PlanCache::new();
+            let pool = ExecPool::new(2);
+            let mut st = rank_state_from_global(&sim.case, locals[comm.rank()].clone(), sim);
+            let dt = st.step_fused_chain::<L>(
+                comm,
+                &cache,
+                &pool,
+                shape,
+                block_size,
+                ExchangePolicy::Overlap,
+                rec,
+            );
+            (
+                (st.w.data, st.w_old.data, st.w1.data, st.res.data),
+                st.local.cell_global.clone(),
+                st.local.n_owned_cells,
+                dt,
+            )
+        })
+    };
+
+    let assemble = |pick: &dyn Fn(&RankDats<R>) -> &[R]| {
+        let parts: Vec<(&[R], &[u32], usize)> = results
+            .iter()
+            .map(|(dats, ids, n_owned, _)| (pick(dats), ids.as_slice(), *n_owned))
+            .collect();
+        ump_core::dist::assemble_owned(&parts, total_cells, 4)
+    };
+    sim.w.data = assemble(&|d| &d.0);
+    sim.w_old.data = assemble(&|d| &d.1);
+    sim.w1.data = assemble(&|d| &d.2);
+    sim.res.data = assemble(&|d| &d.3);
+    results[0].3
 }
 
 /// Run `steps` RK2 steps of Volna across `n_ranks` message-passing

@@ -35,6 +35,19 @@ use crate::plan::Scheme;
 /// One execution shape of the runtime — the unified registry the
 /// applications' `step_on` dispatchers and the conformance harness
 /// enumerate. See the module docs for how to add a backend.
+///
+/// ```
+/// use ump_core::Backend;
+///
+/// // every registered shape round-trips its CLI spelling
+/// for b in Backend::all() {
+///     assert_eq!(Backend::parse(&b.name()), Some(b));
+/// }
+/// // capability flags describe a backend without hard-coding identity
+/// let b = Backend::parse("mpi_fused_simd4").unwrap();
+/// assert!(b.is_distributed() && b.is_fused() && !b.needs_pool());
+/// assert_eq!((b.ranks(), b.lanes()), (2, 4));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// Scalar sequential reference (the paper's per-rank loop, Fig. 2b).
@@ -70,6 +83,21 @@ pub enum Backend {
         /// Vector width of the fused lane bodies.
         lanes: usize,
     },
+    /// Distributed fused execution: message-passing ranks own mesh
+    /// partitions, each running the fused loop chain with halo/compute
+    /// overlap — non-blocking halo exchanges posted before the flux
+    /// group, interior blocks executed while messages are in flight,
+    /// boundary blocks after the exchange completes (paper §2, §6.5
+    /// composed with the lazy runtime). Registry entries run at
+    /// [`ranks`](Backend::ranks) ranks; the `run_mpi_fused` drivers take
+    /// any rank count.
+    MpiFused,
+    /// Distributed fused execution with vectorized lane bodies — the
+    /// full composition: ranks × fusion × explicit SIMD.
+    MpiFusedSimd {
+        /// Vector width of the fused lane bodies inside each rank.
+        lanes: usize,
+    },
 }
 
 impl Backend {
@@ -98,6 +126,9 @@ impl Backend {
             Backend::FusedSimt,
             Backend::FusedSimd { lanes: 4 },
             Backend::FusedSimd { lanes: 8 },
+            Backend::MpiFused,
+            Backend::MpiFusedSimd { lanes: 4 },
+            Backend::MpiFusedSimd { lanes: 8 },
         ]
     }
 
@@ -117,6 +148,8 @@ impl Backend {
             Backend::Fused => "fused".into(),
             Backend::FusedSimt => "fused_simt".into(),
             Backend::FusedSimd { lanes } => format!("fused_simd{lanes}"),
+            Backend::MpiFused => "mpi_fused".into(),
+            Backend::MpiFusedSimd { lanes } => format!("mpi_fused_simd{lanes}"),
         }
     }
 
@@ -133,7 +166,14 @@ impl Backend {
     /// [`ExecPool`]: crate::pool::ExecPool
     pub fn needs_pool(self) -> bool {
         match self {
-            Backend::Seq | Backend::Simd { .. } | Backend::SimdScheme { .. } => false,
+            // distributed backends give every *rank* its own pool and
+            // never touch the caller's — harnesses must not expect the
+            // shared pool's counters to move
+            Backend::Seq
+            | Backend::Simd { .. }
+            | Backend::SimdScheme { .. }
+            | Backend::MpiFused
+            | Backend::MpiFusedSimd { .. } => false,
             Backend::Threaded
             | Backend::SimdThreaded { .. }
             | Backend::Simt
@@ -150,7 +190,8 @@ impl Backend {
         match self {
             Backend::Simd { lanes }
             | Backend::SimdThreaded { lanes }
-            | Backend::FusedSimd { lanes } => lanes,
+            | Backend::FusedSimd { lanes }
+            | Backend::MpiFusedSimd { lanes } => lanes,
             Backend::SimdScheme { .. } => 4,
             _ => 1,
         }
@@ -160,8 +201,29 @@ impl Backend {
     pub fn is_fused(self) -> bool {
         matches!(
             self,
-            Backend::Fused | Backend::FusedSimt | Backend::FusedSimd { .. }
+            Backend::Fused
+                | Backend::FusedSimt
+                | Backend::FusedSimd { .. }
+                | Backend::MpiFused
+                | Backend::MpiFusedSimd { .. }
         )
+    }
+
+    /// `true` for the message-passing (multi-rank) backends.
+    pub fn is_distributed(self) -> bool {
+        matches!(self, Backend::MpiFused | Backend::MpiFusedSimd { .. })
+    }
+
+    /// Rank count a registry entry runs at in the conformance matrix and
+    /// the smoke sweep (1 for every shared-memory shape). The `run_mpi_*`
+    /// drivers accept any rank count; 2 is the smallest configuration
+    /// that exercises real halo traffic.
+    pub fn ranks(self) -> usize {
+        if self.is_distributed() {
+            2
+        } else {
+            1
+        }
     }
 
     /// The coloring scheme the backend's indirect-increment loop uses.
@@ -187,7 +249,7 @@ mod tests {
     #[test]
     fn registry_covers_every_shape_once() {
         let all = Backend::all();
-        assert!(all.len() >= 14, "registry shrank: {}", all.len());
+        assert!(all.len() >= 17, "registry shrank: {}", all.len());
         let names: HashSet<String> = all.iter().map(|b| b.name()).collect();
         assert_eq!(names.len(), all.len(), "duplicate backend names");
         // the acceptance shapes are all present
@@ -204,6 +266,9 @@ mod tests {
             "fused_simt",
             "fused_simd4",
             "fused_simd8",
+            "mpi_fused",
+            "mpi_fused_simd4",
+            "mpi_fused_simd8",
         ] {
             assert!(names.contains(required), "missing {required}");
         }
@@ -227,6 +292,13 @@ mod tests {
         assert_eq!(Backend::Threaded.lanes(), 1);
         assert!(Backend::FusedSimd { lanes: 4 }.is_fused());
         assert!(!Backend::Simt.is_fused());
+        assert!(Backend::MpiFused.is_fused());
+        assert!(Backend::MpiFused.is_distributed());
+        assert!(!Backend::MpiFused.needs_pool(), "ranks own their pools");
+        assert_eq!(Backend::MpiFused.ranks(), 2);
+        assert_eq!(Backend::MpiFusedSimd { lanes: 8 }.lanes(), 8);
+        assert!(!Backend::Fused.is_distributed());
+        assert_eq!(Backend::Threaded.ranks(), 1);
         assert_eq!(
             Backend::SimdScheme {
                 scheme: Scheme::FullPermute

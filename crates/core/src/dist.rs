@@ -57,6 +57,28 @@ impl LocalMesh {
     pub fn n_ghost_cells(&self) -> usize {
         self.mesh.n_cells() - self.n_owned_cells
     }
+
+    /// Per-local-edge halo classification: `true` for edges that touch a
+    /// ghost cell and therefore *read halo data* — the boundary elements
+    /// of the overlap schedule. Edges whose cells are both owned are
+    /// interior: their inputs are complete before any exchange finishes,
+    /// so fused executors run their blocks while halo messages are in
+    /// flight and defer only the `true` blocks until after
+    /// [`ExchangePlan::finish`](ump_minimpi::PendingExchange::finish).
+    ///
+    /// Local numbering puts owned cells first, so the test is one
+    /// comparison per edge endpoint.
+    pub fn boundary_edges(&self) -> Vec<bool> {
+        (0..self.mesh.n_edges())
+            .map(|e| {
+                self.mesh
+                    .edge2cell
+                    .row(e)
+                    .iter()
+                    .any(|&c| c as usize >= self.n_owned_cells)
+            })
+            .collect()
+    }
 }
 
 /// Split a mesh across the ranks of `partition` (a cell partition).
@@ -403,6 +425,26 @@ mod tests {
             .collect();
         let assembled = assemble_owned(&parts, mesh.n_cells(), 1);
         assert_eq!(assembled, reference);
+    }
+
+    #[test]
+    fn boundary_edges_are_exactly_the_ghost_touching_ones() {
+        let (mesh, partition, locals) = setup(11, 9, 4);
+        for lm in &locals {
+            let flags = lm.boundary_edges();
+            assert_eq!(flags.len(), lm.mesh.n_edges());
+            assert!(flags.iter().any(|&b| b), "every rank has a halo fringe");
+            assert!(flags.iter().any(|&b| !b), "and an interior");
+            for (le, &boundary) in flags.iter().enumerate() {
+                let ge = lm.edge_global[le] as usize;
+                let r = mesh.edge2cell.row(ge);
+                let crosses = partition.part[r[0] as usize] != partition.part[r[1] as usize];
+                assert_eq!(boundary, crosses, "local edge {le} (global {ge})");
+            }
+        }
+        // a single rank owns everything: no boundary edges at all
+        let single = setup(6, 4, 1).2;
+        assert!(single[0].boundary_edges().iter().all(|&b| !b));
     }
 
     #[test]

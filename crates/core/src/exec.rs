@@ -15,11 +15,11 @@
 //!   describes for sequential work-group execution).
 //!
 //! Both parallel engines are thin wrappers over the lazily-created
-//! process-wide [`ExecPool`](crate::pool::ExecPool) — the persistent
+//! process-wide [`ExecPool`] — the persistent
 //! worker team the paper's OpenMP `parallel` region corresponds to.
 //! Drivers that want an explicitly owned team (per-rank pools in the
 //! hybrid backends, benchmarks comparing team sizes) call the
-//! [`ExecPool`](crate::pool::ExecPool) methods directly.
+//! [`ExecPool`] methods directly.
 //!
 //! Mutation from multiple threads is funnelled through [`SharedDat`], a
 //! raw-pointer wrapper whose safety contract is the coloring invariant:

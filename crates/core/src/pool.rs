@@ -366,7 +366,25 @@ impl ExecPool {
         max_threads: usize,
         body: impl Fn(usize, Range<u32>) + Sync,
     ) {
-        for blocks in &plan.blocks_by_color {
+        self.colored_block_lists(plan, &plan.blocks_by_color, max_threads, &body);
+    }
+
+    /// As [`colored_blocks`](ExecPool::colored_blocks) over an explicit
+    /// per-color block-id list instead of the plan's full
+    /// `blocks_by_color` — the primitive behind the distributed overlap
+    /// schedule, which dispatches a plan's *interior* blocks while halo
+    /// messages are in flight and its *boundary* blocks after the
+    /// exchange completes. `lists[c]` must be a subset of
+    /// `plan.blocks_by_color[c]` (same color ⇒ same non-conflict
+    /// guarantee); empty colors dispatch no round.
+    pub fn colored_block_lists(
+        &self,
+        plan: &TwoLevelPlan,
+        lists: &[Vec<u32>],
+        max_threads: usize,
+        body: impl Fn(usize, Range<u32>) + Sync,
+    ) {
+        for blocks in lists {
             if blocks.is_empty() {
                 continue;
             }
@@ -670,6 +688,58 @@ mod tests {
             }
         });
         assert_eq!(out, reference);
+    }
+
+    /// Splitting a plan's blocks into two complementary per-color lists
+    /// and dispatching them back to back (the interior/boundary overlap
+    /// schedule) must cover every block exactly once and produce the
+    /// same result as the single dispatch — and two serialized passes
+    /// never co-schedule conflicting blocks, whatever the split.
+    #[test]
+    fn colored_block_lists_split_covers_like_single_dispatch() {
+        let m = quad_channel(16, 12).mesh;
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 32);
+        let plan = TwoLevelPlan::build(&inputs);
+
+        // arbitrary split: even block ids "interior", odd "boundary"
+        let mut first: Vec<Vec<u32>> = vec![Vec::new(); plan.blocks_by_color.len()];
+        let mut second = first.clone();
+        for (c, blocks) in plan.blocks_by_color.iter().enumerate() {
+            for &b in blocks {
+                let dst = if b % 2 == 0 { &mut first } else { &mut second };
+                dst[c].push(b);
+            }
+        }
+
+        let mut reference = vec![0.0f64; m.n_cells()];
+        for e in 0..m.n_edges() {
+            let c = m.edge2cell.row(e);
+            reference[c[0] as usize] += 1.0;
+            reference[c[1] as usize] += 1.0;
+        }
+
+        let pool = ExecPool::new(4);
+        let r0 = pool.dispatch_rounds();
+        let mut out = vec![0.0f64; m.n_cells()];
+        let shared = crate::exec::SharedDat::new(&mut out);
+        let body = |_b: usize, range: Range<u32>| {
+            for e in range {
+                let c = m.edge2cell.row(e as usize);
+                unsafe {
+                    shared.slice_mut(c[0] as usize, 1)[0] += 1.0;
+                    shared.slice_mut(c[1] as usize, 1)[0] += 1.0;
+                }
+            }
+        };
+        pool.colored_block_lists(&plan, &first, 0, body);
+        pool.colored_block_lists(&plan, &second, 0, body);
+        assert_eq!(out, reference);
+        // rounds dispatched = non-empty colors of each pass
+        let nonempty = |lists: &[Vec<u32>]| lists.iter().filter(|l| !l.is_empty()).count() as u64;
+        assert_eq!(
+            pool.dispatch_rounds() - r0,
+            nonempty(&first) + nonempty(&second)
+        );
     }
 
     #[test]

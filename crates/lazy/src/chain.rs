@@ -67,6 +67,24 @@ pub enum Shape {
 /// Block-level execution closure of a recorded loop.
 type BlockBody<'a> = Box<dyn Fn(&ump_color::TwoLevelPlan, Shape, usize, Range<u32>) + Sync + 'a>;
 
+/// Halo classification of a recorded loop — what the distributed
+/// executor may do with the loop while halo exchanges are in flight.
+#[derive(Clone, Copy)]
+enum HaloClass<'a> {
+    /// Nothing declared (every single-rank loop): conservatively treated
+    /// as if it might read halo data, so pending exchanges complete
+    /// before the loop runs.
+    Unknown,
+    /// The loop reads no halo data ([`Chain::mark_interior`]): it runs in
+    /// full while exchanges are in flight.
+    Interior,
+    /// `flags[e]` marks the elements that read halo data
+    /// ([`Chain::mark_boundary`]): the loop's group splits into an
+    /// interior pass (runs under pending exchanges), the exchange
+    /// completion, and a boundary pass.
+    Boundary(&'a [bool]),
+}
+
 /// Charge the SIMT shape's work-group scheduling cost for one
 /// (block, loop) dispatch — every pooled loop pays it, exactly like the
 /// unfused [`simt_colored`](ump_core::ExecPool::simt_colored) engine
@@ -86,12 +104,20 @@ enum Body<'a> {
     Blocks(BlockBody<'a>),
     /// Run serially on the dispatching thread (tiny sets).
     Seq(Box<dyn Fn() + Sync + 'a>),
+    /// A halo exchange: `start` posts the non-blocking sends, `finish`
+    /// receives and unpacks. Between the two the executor runs interior
+    /// work — the latency-hiding schedule of the distributed backend.
+    Exchange {
+        start: Box<dyn Fn() + Sync + 'a>,
+        finish: Box<dyn Fn() + Sync + 'a>,
+    },
 }
 
 struct RecordedLoop<'a> {
     desc: LoopDesc,
     written: Vec<&'a MapTable>,
     body: Body<'a>,
+    halo: HaloClass<'a>,
     epilogue: Option<Box<dyn Fn() + Sync + 'a>>,
 }
 
@@ -99,9 +125,9 @@ struct RecordedLoop<'a> {
 /// [`Recorder`] (as [`FusionStats`]) when one is supplied.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ChainReport {
-    /// Loops recorded.
+    /// Loops recorded (exchanges included).
     pub loops: usize,
-    /// Groups dispatched (fused + sequential).
+    /// Groups dispatched (fused + sequential + exchanges).
     pub groups: usize,
     /// Pool dispatch rounds issued.
     pub fused_rounds: usize,
@@ -109,6 +135,13 @@ pub struct ChainReport {
     pub unfused_rounds: usize,
     /// Read bytes not re-streamed thanks to fusion (paper counting).
     pub bytes_saved: f64,
+    /// Halo exchanges recorded in the chain.
+    pub exchanges: usize,
+    /// Pooled groups executed as an interior/boundary split.
+    pub split_groups: usize,
+    /// Seconds spent waiting in exchange `finish` calls — near zero when
+    /// interior compute hid the message latency.
+    pub halo_wait_s: f64,
 }
 
 impl ChainReport {
@@ -168,6 +201,7 @@ impl<'a> Chain<'a> {
             desc,
             written,
             body: Body::Blocks(body),
+            halo: HaloClass::Unknown,
             epilogue: None,
         });
     }
@@ -351,8 +385,103 @@ impl<'a> Chain<'a> {
             desc,
             written: Vec::new(),
             body: Body::Seq(Box::new(body)),
+            halo: HaloClass::Unknown,
             epilogue: None,
         });
+        self
+    }
+
+    /// Record a halo exchange at this point of the chain: `start` posts
+    /// the non-blocking sends (e.g.
+    /// `ump_minimpi::ExchangePlan::start`),
+    /// `finish` completes the receive side. An exchange never fuses; it
+    /// splits the chain exactly like a serial loop.
+    ///
+    /// Under the default **overlap** policy ([`Chain::execute`]) the
+    /// executor calls `start` in recorded order but defers `finish`
+    /// until the first later loop that *needs* halo data: loops marked
+    /// [`mark_interior`](Chain::mark_interior) run entirely while the
+    /// messages are in flight, and a group marked
+    /// [`mark_boundary`](Chain::mark_boundary) runs its interior blocks,
+    /// then the pending `finish`es, then its boundary blocks. Under the
+    /// **blocking** policy ([`Chain::execute_policy`] with
+    /// `ExchangePolicy::Blocking`) `finish` runs immediately after
+    /// `start` — same compute schedule, no latency hiding — which is the
+    /// baseline the halo bench compares against. When a [`Recorder`] is
+    /// supplied, the seconds spent waiting in each `finish` accumulate
+    /// under `name`.
+    pub fn record_exchange(
+        &mut self,
+        name: impl Into<String>,
+        start: impl Fn() + Sync + 'a,
+        finish: impl Fn() + Sync + 'a,
+    ) -> &mut Self {
+        let name = name.into();
+        let profile = ump_core::LoopProfile {
+            name: name.clone(),
+            set: "__halo".into(),
+            args: Vec::new(),
+            flops_per_elem: 0.0,
+            transcendentals_per_elem: 0.0,
+            description: "halo exchange".into(),
+        };
+        self.loops.push(RecordedLoop {
+            desc: LoopDesc::new(profile, 0),
+            written: Vec::new(),
+            body: Body::Exchange {
+                start: Box::new(start),
+                finish: Box::new(finish),
+            },
+            halo: HaloClass::Unknown,
+            epilogue: None,
+        });
+        self
+    }
+
+    /// Declare that the most recently recorded loop reads **no halo
+    /// data**: every element's inputs are complete before any exchange
+    /// finishes, so the loop may run in full while halo messages are in
+    /// flight. Typical for owned-cell direct loops of a rank-local
+    /// timestep. Loops without a marking are conservatively assumed to
+    /// need the halo (pending exchanges complete before they run).
+    pub fn mark_interior(&mut self) -> &mut Self {
+        let last = self
+            .loops
+            .last_mut()
+            .expect("mark_interior requires a recorded loop");
+        assert!(
+            !matches!(last.body, Body::Exchange { .. }),
+            "halo markings apply to loops, not exchanges"
+        );
+        last.halo = HaloClass::Interior;
+        self
+    }
+
+    /// Declare the halo-reading elements of the most recently recorded
+    /// loop: `flags[e]` is `true` for elements whose inputs include halo
+    /// (ghost) data — e.g. edges touching a ghost cell, from
+    /// [`LocalMesh::boundary_edges`](ump_core::LocalMesh::boundary_edges).
+    /// The loop's fused group then always executes as an **interior pass
+    /// → exchange completion → boundary pass** split (a block is
+    /// boundary when any member loop flags any of its elements), so the
+    /// compute order is identical under the overlap and blocking
+    /// policies — bit-reproducible across both.
+    pub fn mark_boundary(&mut self, flags: &'a [bool]) -> &mut Self {
+        let last = self
+            .loops
+            .last_mut()
+            .expect("mark_boundary requires a recorded loop");
+        assert!(
+            matches!(last.body, Body::Blocks(_)),
+            "boundary markings apply to pooled loops"
+        );
+        assert_eq!(
+            flags.len(),
+            last.desc.n_elems,
+            "{}: boundary flags must cover the iteration set",
+            last.desc.profile.name
+        );
+        last.halo = HaloClass::Boundary(flags);
         self
     }
 
@@ -370,12 +499,18 @@ impl<'a> Chain<'a> {
     }
 
     /// The fused-group partition of the recorded chain (exposed for
-    /// tests and diagnostics; `execute` computes the same).
+    /// tests and diagnostics; `execute` computes the same). Serial loops
+    /// and exchanges are singleton groups.
     pub fn groups(&self) -> Vec<GroupSpec> {
         let entries: Vec<(&LoopDesc, bool)> = self
             .loops
             .iter()
-            .map(|l| (&l.desc, matches!(l.body, Body::Seq(_))))
+            .map(|l| {
+                (
+                    &l.desc,
+                    matches!(l.body, Body::Seq(_) | Body::Exchange { .. }),
+                )
+            })
             .collect();
         fuse_groups(&entries)
     }
@@ -404,18 +539,97 @@ impl<'a> Chain<'a> {
         word_bytes: usize,
         rec: Option<&Recorder>,
     ) -> ChainReport {
+        self.execute_policy(
+            pool,
+            cache,
+            shape,
+            n_threads,
+            block_size,
+            word_bytes,
+            rec,
+            ExchangePolicy::Overlap,
+        )
+    }
+
+    /// As [`execute`](Chain::execute) with an explicit halo-exchange
+    /// policy. Chains without recorded exchanges behave identically
+    /// under both policies; chains with exchanges compute in the **same
+    /// order** under both (groups with boundary markings always run the
+    /// interior → boundary split), so overlap and blocking runs are
+    /// bit-identical — only the placement of the exchange `finish`
+    /// differs, which is what the halo bench isolates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_policy(
+        &self,
+        pool: &ExecPool,
+        cache: &PlanCache,
+        shape: Shape,
+        n_threads: usize,
+        block_size: usize,
+        word_bytes: usize,
+        rec: Option<&Recorder>,
+        policy: ExchangePolicy,
+    ) -> ChainReport {
         let groups = self.groups();
         let mut report = ChainReport {
             loops: self.loops.len(),
             groups: groups.len(),
             ..ChainReport::default()
         };
+        // finishes of started-but-incomplete exchanges, FIFO; flush
+        // returns the seconds it waited so group timers can exclude them
+        // (the wait is recorded under the exchange's own name)
+        let mut pending: Vec<(&str, &(dyn Fn() + Sync))> = Vec::new();
+        let flush =
+            |pending: &mut Vec<(&str, &(dyn Fn() + Sync))>, report: &mut ChainReport| -> f64 {
+                let mut waited = 0.0;
+                for (name, finish) in pending.drain(..) {
+                    let t0 = Instant::now();
+                    finish();
+                    let dt = t0.elapsed().as_secs_f64();
+                    waited += dt;
+                    report.halo_wait_s += dt;
+                    if let Some(r) = rec {
+                        r.record(name, dt, 0.0, 0.0);
+                    }
+                }
+                waited
+            };
         for group in &groups {
             let members = &self.loops[group.loops.clone()];
             let t0 = Instant::now();
+            // exchange waits that happened inside this group's span —
+            // subtracted from its recorded time, so per-group Recorder
+            // seconds stay comparable across the two policies
+            let mut waited_in_group = 0.0;
             if group.seq {
                 match &members[0].body {
-                    Body::Seq(f) => f(),
+                    Body::Seq(f) => {
+                        // serial loops without an interior marking may
+                        // read halo data: complete pending exchanges
+                        if !matches!(members[0].halo, HaloClass::Interior) {
+                            waited_in_group += flush(&mut pending, &mut report);
+                        }
+                        f();
+                    }
+                    Body::Exchange { start, finish } => {
+                        report.exchanges += 1;
+                        start();
+                        match policy {
+                            ExchangePolicy::Overlap => {
+                                pending.push((&members[0].desc.profile.name, finish.as_ref()));
+                            }
+                            ExchangePolicy::Blocking => {
+                                let tf = Instant::now();
+                                finish();
+                                let dt = tf.elapsed().as_secs_f64();
+                                report.halo_wait_s += dt;
+                                if let Some(r) = rec {
+                                    r.record(&members[0].desc.profile.name, dt, 0.0, 0.0);
+                                }
+                            }
+                        }
+                    }
                     Body::Blocks(_) => unreachable!("seq group with pooled body"),
                 }
             } else {
@@ -432,14 +646,36 @@ impl<'a> Chain<'a> {
                     .collect();
                 let plan = cache.get(Scheme::TwoLevel, &names, &inputs);
                 let plan = plan.two_level();
-                report.fused_rounds += active_rounds(plan);
-                pool.colored_blocks(plan, n_threads, |b, range| {
+                let body = |b: usize, range: Range<u32>| {
                     for l in members {
                         if let Body::Blocks(f) = &l.body {
                             f(plan, shape, b, range.clone());
                         }
                     }
-                });
+                };
+                // a member without a halo marking may read halo data
+                // anywhere: the group cannot run under pending exchanges
+                if members.iter().any(|l| matches!(l.halo, HaloClass::Unknown)) {
+                    waited_in_group += flush(&mut pending, &mut report);
+                }
+                match group_boundary_blocks(members, plan) {
+                    Some(flags) => {
+                        // the overlap schedule: interior blocks while
+                        // messages fly, then the finishes, then the
+                        // boundary blocks — same order under Blocking,
+                        // where `pending` is already empty
+                        report.split_groups += 1;
+                        let (interior, boundary) = split_blocks_by_color(plan, &flags);
+                        report.fused_rounds += active_lists(&interior) + active_lists(&boundary);
+                        pool.colored_block_lists(plan, &interior, n_threads, body);
+                        waited_in_group += flush(&mut pending, &mut report);
+                        pool.colored_block_lists(plan, &boundary, n_threads, body);
+                    }
+                    None => {
+                        report.fused_rounds += active_rounds(plan);
+                        pool.colored_blocks(plan, n_threads, body);
+                    }
+                }
             }
             for l in members {
                 if let Some(e) = &l.epilogue {
@@ -447,16 +683,18 @@ impl<'a> Chain<'a> {
                 }
             }
             if let Some(r) = rec {
-                let dt = t0.elapsed().as_secs_f64();
-                let bytes: f64 = members
-                    .iter()
-                    .map(|l| l.desc.profile.bytes_per_elem(word_bytes) * l.desc.n_elems as f64)
-                    .sum();
-                let flops: f64 = members
-                    .iter()
-                    .map(|l| l.desc.profile.flops_per_elem * l.desc.n_elems as f64)
-                    .sum();
-                r.record(&group_label(members), dt, bytes, flops);
+                if !matches!(members[0].body, Body::Exchange { .. }) {
+                    let dt = (t0.elapsed().as_secs_f64() - waited_in_group).max(0.0);
+                    let bytes: f64 = members
+                        .iter()
+                        .map(|l| l.desc.profile.bytes_per_elem(word_bytes) * l.desc.n_elems as f64)
+                        .sum();
+                    let flops: f64 = members
+                        .iter()
+                        .map(|l| l.desc.profile.flops_per_elem * l.desc.n_elems as f64)
+                        .sum();
+                    r.record(&group_label(members), dt, bytes, flops);
+                }
             }
             report.unfused_rounds += members
                 .iter()
@@ -464,6 +702,8 @@ impl<'a> Chain<'a> {
                 .sum::<usize>();
             report.bytes_saved += group_bytes_saved(members, word_bytes);
         }
+        // a trailing exchange with no consumer still completes
+        flush(&mut pending, &mut report);
         if let Some(r) = rec {
             r.record_fusion(
                 &self.name,
@@ -489,7 +729,7 @@ impl<'a> Chain<'a> {
         block_size: usize,
     ) -> usize {
         match l.body {
-            Body::Seq(_) => 0,
+            Body::Seq(_) | Body::Exchange { .. } => 0,
             Body::Blocks(_) => {
                 let inputs =
                     PlanInputs::merged(l.desc.n_elems, l.written.iter().copied(), block_size);
@@ -505,6 +745,20 @@ impl<'a> Chain<'a> {
     }
 }
 
+/// How [`Chain::execute_policy`] places the receive half of recorded
+/// exchanges relative to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangePolicy {
+    /// Latency hiding (the default of [`Chain::execute`]): exchanges
+    /// finish only when a later loop needs halo data; interior work runs
+    /// while messages are in flight.
+    Overlap,
+    /// Finish every exchange immediately after starting it — the
+    /// classical `op_mpi_halo_exchanges`-then-compute schedule, kept as
+    /// the measured baseline. Computes in the same order as `Overlap`.
+    Blocking,
+}
+
 /// Non-empty color rounds of a plan — the pool dispatches one round per
 /// non-empty color.
 fn active_rounds(plan: &ump_color::TwoLevelPlan) -> usize {
@@ -512,6 +766,61 @@ fn active_rounds(plan: &ump_color::TwoLevelPlan) -> usize {
         .iter()
         .filter(|blocks| !blocks.is_empty())
         .count()
+}
+
+/// Non-empty color rounds of an explicit per-color block list.
+fn active_lists(lists: &[Vec<u32>]) -> usize {
+    lists.iter().filter(|blocks| !blocks.is_empty()).count()
+}
+
+/// Per-block boundary flags of a fused group: block `b` is boundary when
+/// any member loop flags any element of `b`'s range as halo-reading.
+/// `None` when no member carries boundary markings (no split).
+///
+/// Recomputed per execution on purpose: the O(n_elems) flag scan is a
+/// few percent of one pass over the same elements' data, and caching it
+/// would need a key tying the plan to the flags' identity across
+/// borrows — not worth the coupling at current sizes.
+fn group_boundary_blocks(
+    members: &[RecordedLoop<'_>],
+    plan: &ump_color::TwoLevelPlan,
+) -> Option<Vec<bool>> {
+    let mut any = false;
+    let mut out = vec![false; plan.blocks.len()];
+    for l in members {
+        if let HaloClass::Boundary(flags) = l.halo {
+            any = true;
+            for (b, r) in plan.blocks.iter().enumerate() {
+                if !out[b] && r.clone().any(|e| flags[e as usize]) {
+                    out[b] = true;
+                }
+            }
+        }
+    }
+    any.then_some(out)
+}
+
+/// Split a plan's `blocks_by_color` into complementary (interior,
+/// boundary) per-color lists following per-block flags. Both halves keep
+/// the plan's color structure, so dispatching one after the other never
+/// co-schedules conflicting blocks.
+fn split_blocks_by_color(
+    plan: &ump_color::TwoLevelPlan,
+    boundary: &[bool],
+) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let mut interior: Vec<Vec<u32>> = vec![Vec::new(); plan.blocks_by_color.len()];
+    let mut fringe: Vec<Vec<u32>> = vec![Vec::new(); plan.blocks_by_color.len()];
+    for (c, blocks) in plan.blocks_by_color.iter().enumerate() {
+        for &b in blocks {
+            let dst = if boundary[b as usize] {
+                &mut fringe
+            } else {
+                &mut interior
+            };
+            dst[c].push(b);
+        }
+    }
+    (interior, fringe)
 }
 
 fn group_label(members: &[RecordedLoop<'_>]) -> String {
@@ -978,6 +1287,176 @@ mod tests {
             );
         }
         chain.execute(&pool, &cache, Shape::Simd { lanes: 8 }, 0, 16, 8, None);
+    }
+
+    /// The overlap schedule in event order: exchange start → interior
+    /// loops and interior blocks of a boundary-marked group → exchange
+    /// finish → boundary blocks. Under the blocking policy the finish
+    /// follows the start immediately, but the compute order (interior
+    /// pass before boundary pass) is identical.
+    #[test]
+    fn exchange_overlap_defers_finish_until_boundary_blocks() {
+        use std::sync::Mutex;
+
+        let n = 64usize;
+        let block = 16usize;
+        // elements of the last block read "halo" data
+        let flags: Vec<bool> = (0..n).map(|e| e >= 48).collect();
+
+        for policy in [ExchangePolicy::Overlap, ExchangePolicy::Blocking] {
+            let pool = ExecPool::new(1); // inline: deterministic event order
+            let cache = PlanCache::new();
+            let events: Mutex<Vec<String>> = Mutex::new(Vec::new());
+            let log = |s: String| events.lock().unwrap().push(s);
+
+            let report;
+            {
+                let mut chain = Chain::new("overlap");
+                chain.record_exchange("halo[q]", || log("start".into()), || log("finish".into()));
+                // a different set: must not fuse with the split group
+                chain.record(
+                    desc(
+                        "interior_only",
+                        "cells",
+                        32,
+                        vec![ArgInfo::direct("b", 1, Access::Write)],
+                    ),
+                    vec![],
+                    |e| {
+                        if e == 0 {
+                            log("interior_loop".into());
+                        }
+                    },
+                );
+                chain.mark_interior();
+                chain.record_blocks(
+                    desc(
+                        "split_me",
+                        "items",
+                        n,
+                        vec![ArgInfo::direct("a", 1, Access::Rw)],
+                    ),
+                    vec![],
+                    |b, _range| log(format!("block{b}")),
+                );
+                chain.mark_boundary(&flags);
+                report =
+                    chain.execute_policy(&pool, &cache, Shape::Threaded, 0, block, 8, None, policy);
+            }
+            assert_eq!(report.exchanges, 1);
+            assert_eq!(report.split_groups, 1);
+            // interior loop (1 round) + split group (interior pass 1
+            // round + boundary pass 1 round) = 3 rounds
+            assert_eq!(report.fused_rounds, 3);
+
+            let ev = events.into_inner().unwrap();
+            let pos = |s: &str| ev.iter().position(|e| e == s).unwrap();
+            match policy {
+                ExchangePolicy::Overlap => {
+                    // the interior-marked loop and the split group's
+                    // interior blocks both run under the pending
+                    // exchange; finish lands before the boundary pass
+                    assert!(pos("finish") > pos("interior_loop"), "{ev:?}");
+                    assert!(pos("finish") > pos("block2"), "{ev:?}");
+                    assert!(pos("finish") < pos("block3"), "{ev:?}");
+                }
+                ExchangePolicy::Blocking => {
+                    assert_eq!(&ev[..2], ["start", "finish"], "{ev:?}");
+                }
+            }
+            // both policies run interior blocks 0..3 before boundary block 3
+            assert!(pos("block3") > pos("block0").max(pos("block1")).max(pos("block2")));
+        }
+    }
+
+    /// A group whose members carry no halo marking must complete pending
+    /// exchanges before it runs (it may read halo data anywhere); a
+    /// chain ending in an exchange still finishes it.
+    #[test]
+    fn unknown_groups_flush_and_trailing_exchanges_complete() {
+        use std::sync::Mutex;
+
+        let pool = ExecPool::new(1);
+        let cache = PlanCache::new();
+        let events: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let log = |s: &'static str| events.lock().unwrap().push(s);
+
+        let n = 8usize;
+        let report;
+        {
+            let mut chain = Chain::new("flush");
+            chain.record_exchange("halo[a]", || log("start_a"), || log("finish_a"));
+            chain.record(desc("unknown", "items", n, vec![]), vec![], move |e| {
+                if e == 0 {
+                    log("unknown_loop");
+                }
+            });
+            chain.record_exchange("halo[b]", || log("start_b"), || log("finish_b"));
+            report = chain.execute(&pool, &cache, Shape::Threaded, 0, 4, 8, None);
+        }
+        assert_eq!(report.exchanges, 2);
+        let ev = events.into_inner().unwrap();
+        assert_eq!(
+            ev,
+            ["start_a", "finish_a", "unknown_loop", "start_b", "finish_b"]
+        );
+    }
+
+    /// Overlap and blocking policies must produce bit-identical numeric
+    /// results on an indirect-increment chain — the split schedule is
+    /// the same; only the exchange placement moves.
+    #[test]
+    fn overlap_and_blocking_are_bit_identical() {
+        let m = quad_channel(13, 9).mesh;
+        let (ne, nc) = (m.n_edges(), m.n_cells());
+        let flags: Vec<bool> = (0..ne).map(|e| e % 5 == 0).collect();
+
+        let run = |policy: ExchangePolicy| -> Vec<f64> {
+            let pool = ExecPool::new(3);
+            let cache = PlanCache::new();
+            let mut acc = vec![0.0f64; nc];
+            {
+                let accv = SharedDat::new(&mut acc);
+                let mut chain = Chain::new("bits");
+                chain.record_exchange("halo[acc]", || {}, || {});
+                {
+                    let (accv, m) = (&accv, &m);
+                    chain.record_two_phase(
+                        desc(
+                            "scatter",
+                            "edges",
+                            ne,
+                            vec![
+                                ArgInfo::indirect("acc", 1, Access::Inc, "edge2cell", 0),
+                                ArgInfo::indirect("acc", 1, Access::Inc, "edge2cell", 1),
+                            ],
+                        ),
+                        vec![&m.edge2cell],
+                        move |e| {
+                            let c = m.edge2cell.row(e);
+                            let v = 1.0 / (e as f64 + 1.0);
+                            (c[0] as usize, [v], c[1] as usize, [-v * 0.5])
+                        },
+                        move |_e, inc| unsafe { ump_core::apply_edge_inc(accv, inc) },
+                    );
+                    chain.mark_boundary(&flags);
+                }
+                let report =
+                    chain.execute_policy(&pool, &cache, Shape::Threaded, 0, 16, 8, None, policy);
+                assert_eq!(report.split_groups, 1);
+            }
+            acc
+        };
+
+        let overlap = run(ExchangePolicy::Overlap);
+        let blocking = run(ExchangePolicy::Blocking);
+        assert!(
+            overlap
+                .iter()
+                .zip(&blocking)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "overlap and blocking diverged"
+        );
     }
 
     /// Group timing and fusion stats land in the recorder.

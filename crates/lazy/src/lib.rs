@@ -76,10 +76,80 @@
 //! paper drops from analysis) run serially on the dispatching thread
 //! between groups and never fuse.
 //!
+//! # Distributed chains: halo/compute overlap
+//!
+//! The paper's full execution model is two-level: message-passing ranks
+//! own mesh partitions and exchange halos before indirect loops (§2,
+//! §6.5), while each rank runs the colored/fused shared-memory schedule
+//! above. A rank-local chain records its halo exchanges with
+//! [`Chain::record_exchange`] (start = non-blocking sends, finish =
+//! receive + unpack) and classifies its loops with
+//! [`Chain::mark_interior`] (reads no ghost data) and
+//! [`Chain::mark_boundary`] (per-element ghost-read flags, e.g.
+//! [`LocalMesh::boundary_edges`](ump_core::LocalMesh::boundary_edges)).
+//! The executor then runs the latency-hiding schedule: exchanges start
+//! in recorded order, interior loops and the **interior blocks** of
+//! boundary-marked groups execute while the messages are in flight, the
+//! pending finishes complete, and the **boundary blocks** run last.
+//! [`ExchangePolicy::Blocking`] finishes every exchange immediately
+//! instead (the classical schedule) while computing in the *same* order,
+//! so the two policies are bit-identical — the halo bench
+//! (`benches/halo.rs`, `BENCH_halo.json`) isolates pure latency hiding.
+//!
+//! # Example
+//!
+//! A direct-only chain fuses into one colored dispatch:
+//!
+//! ```
+//! use ump_core::{Access, ArgInfo, ExecPool, LoopProfile, PlanCache, SharedDat};
+//! use ump_lazy::{Chain, LoopDesc, Shape};
+//!
+//! let desc = |name: &str, args| {
+//!     LoopDesc::new(
+//!         LoopProfile {
+//!             name: name.into(),
+//!             set: "items".into(),
+//!             args,
+//!             flops_per_elem: 1.0,
+//!             transcendentals_per_elem: 0.0,
+//!             description: String::new(),
+//!         },
+//!         100,
+//!     )
+//! };
+//! let pool = ExecPool::new(2);
+//! let cache = PlanCache::new();
+//! let mut data = vec![0.0f64; 100];
+//! let report;
+//! {
+//!     let view = SharedDat::new(&mut data);
+//!     let v = &view;
+//!     let mut chain = Chain::new("example");
+//!     chain.record(
+//!         desc("fill", vec![ArgInfo::direct("a", 1, Access::Write)]),
+//!         vec![],
+//!         move |e| unsafe { v.slice_mut(e, 1)[0] = e as f64 },
+//!     );
+//!     chain.record(
+//!         desc("double", vec![ArgInfo::direct("a", 1, Access::Rw)]),
+//!         vec![],
+//!         move |e| unsafe { v.slice_mut(e, 1)[0] *= 2.0 },
+//!     );
+//!     assert_eq!(chain.groups().len(), 1, "direct-only chains always fuse");
+//!     report = chain.execute(&pool, &cache, Shape::Threaded, 0, 32, 8, None);
+//! }
+//! assert_eq!(report.fused_rounds, 1, "one colored dispatch for both loops");
+//! assert_eq!(data[7], 14.0);
+//! ```
+//!
 //! [`Chain::execute`]: chain::Chain::execute
 //! [`Chain::record_seq`]: chain::Chain::record_seq
 //! [`Chain::record_simd`]: chain::Chain::record_simd
 //! [`Chain::record_simd_two_phase`]: chain::Chain::record_simd_two_phase
+//! [`Chain::record_exchange`]: chain::Chain::record_exchange
+//! [`Chain::mark_interior`]: chain::Chain::mark_interior
+//! [`Chain::mark_boundary`]: chain::Chain::mark_boundary
+//! [`ExchangePolicy::Blocking`]: chain::ExchangePolicy::Blocking
 //! [`Shape::Threaded`]: chain::Shape::Threaded
 //! [`Shape::Simt`]: chain::Shape::Simt
 //! [`Shape::Simd`]: chain::Shape::Simd
@@ -89,5 +159,5 @@
 pub mod chain;
 pub mod desc;
 
-pub use chain::{Chain, ChainReport, Shape};
+pub use chain::{Chain, ChainReport, ExchangePolicy, Shape};
 pub use desc::{conflict, fuse_groups, GroupSpec, LoopDesc};

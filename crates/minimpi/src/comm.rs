@@ -2,9 +2,8 @@
 //! reductions.
 
 use std::any::Any;
-use std::cell::RefCell;
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -15,6 +14,9 @@ const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 struct Message {
     from: usize,
     tag: u64,
+    /// When the message becomes visible to the receiver — send time plus
+    /// the universe's modeled wire latency (= send time when zero).
+    deliver_at: Instant,
     data: Box<dyn Any + Send>,
 }
 
@@ -30,6 +32,7 @@ struct Shared {
 pub struct Universe {
     n_ranks: usize,
     timeout: Duration,
+    latency: Duration,
 }
 
 impl Universe {
@@ -39,12 +42,28 @@ impl Universe {
         Universe {
             n_ranks,
             timeout: DEFAULT_TIMEOUT,
+            latency: Duration::ZERO,
         }
     }
 
     /// Override the receive-watchdog timeout (tests use short values).
     pub fn with_timeout(mut self, timeout: Duration) -> Universe {
         self.timeout = timeout;
+        self
+    }
+
+    /// Model a wire latency per point-to-point message: a sent message
+    /// becomes *visible* to its receiver only `latency` after the send;
+    /// a receive that matches it earlier sleeps out the remainder
+    /// (yielding the core — on shared hardware other ranks compute
+    /// through the window, exactly like DMA progress under real MPI).
+    /// Zero (the default) keeps delivery instantaneous. The halo bench
+    /// uses this to measure what overlapped exchanges hide: with
+    /// latency `L`, a blocking schedule exposes `L` per exchange on the
+    /// critical path while the overlap schedule buries it under
+    /// interior compute.
+    pub fn with_message_latency(mut self, latency: Duration) -> Universe {
+        self.latency = latency;
         self
     }
 
@@ -68,6 +87,7 @@ impl Universe {
             rxs.push(rx);
         }
         let timeout = self.timeout;
+        let latency = self.latency;
         let f = &f;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -79,10 +99,11 @@ impl Universe {
                         rank,
                         size: n,
                         txs,
-                        rx,
-                        pending: RefCell::new(Vec::new()),
+                        rx: Mutex::new(rx),
+                        pending: Mutex::new(Vec::new()),
                         shared,
                         timeout,
+                        latency,
                     };
                     f(&comm)
                 }));
@@ -121,15 +142,21 @@ impl ReduceOp {
     }
 }
 
-/// Per-rank communicator handle (not `Sync`: each rank owns its own).
+/// Per-rank communicator handle. Each rank owns its own, but the handle
+/// is `Sync` (receive-side state sits behind a mutex) so rank-local
+/// runtimes — notably the fused-chain executors, whose recorded exchange
+/// closures must be `Sync` — can capture `&Comm` freely. Concurrent
+/// receives from one rank serialize on that mutex; the SPMD drivers
+/// never do that, they only need the *capability*.
 pub struct Comm {
     rank: usize,
     size: usize,
     txs: Vec<Sender<Message>>,
-    rx: Receiver<Message>,
-    pending: RefCell<Vec<Message>>,
+    rx: Mutex<Receiver<Message>>,
+    pending: Mutex<Vec<Message>>,
     shared: Arc<Shared>,
     timeout: Duration,
+    latency: Duration,
 }
 
 impl Comm {
@@ -150,6 +177,7 @@ impl Comm {
             .send(Message {
                 from: self.rank,
                 tag,
+                deliver_at: Instant::now() + self.latency,
                 data: Box::new(value),
             })
             .expect("peer rank hung up");
@@ -162,15 +190,16 @@ impl Comm {
     /// On watchdog timeout (likely deadlock) or when the matched message
     /// payload is not a `T` (protocol error).
     pub fn recv<T: Send + 'static>(&self, from: usize, tag: u64) -> T {
-        let mut pending = self.pending.borrow_mut();
+        let mut pending = self.pending.lock();
         if let Some(pos) = pending.iter().position(|m| m.from == from && m.tag == tag) {
             let msg = pending.remove(pos);
-            return Self::downcast(msg, from, tag);
+            return Self::deliver(msg, from, tag);
         }
+        let rx = self.rx.lock();
         loop {
-            match self.rx.recv_timeout(self.timeout) {
+            match rx.recv_timeout(self.timeout) {
                 Ok(msg) if msg.from == from && msg.tag == tag => {
-                    return Self::downcast(msg, from, tag);
+                    return Self::deliver(msg, from, tag);
                 }
                 Ok(msg) => pending.push(msg),
                 Err(_) => panic!(
@@ -182,6 +211,15 @@ impl Comm {
                 ),
             }
         }
+    }
+
+    /// Sleep out any remaining modeled wire latency, then unwrap.
+    fn deliver<T: Send + 'static>(msg: Message, from: usize, tag: u64) -> T {
+        let now = Instant::now();
+        if msg.deliver_at > now {
+            std::thread::sleep(msg.deliver_at - now);
+        }
+        Self::downcast(msg, from, tag)
     }
 
     fn downcast<T: Send + 'static>(msg: Message, from: usize, tag: u64) -> T {
@@ -361,6 +399,36 @@ mod tests {
             c.allreduce_sum(5.0)
         });
         assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    fn modeled_wire_latency_delays_delivery_not_sends() {
+        // generous margins: upper bounds compare against the *full*
+        // latency after sleeping 4×, so a scheduler blip on a loaded CI
+        // host has hundreds of milliseconds of slack before a flake
+        let lat = Duration::from_millis(200);
+        let out = Universe::new(2).with_message_latency(lat).run(|c| {
+            if c.rank() == 0 {
+                let t0 = Instant::now();
+                c.send(1, 1, 42i64); // non-blocking regardless of latency
+                assert!(t0.elapsed() < lat, "send must not block on the wire");
+                // compute that outlasts the wire: the matched recv then
+                // returns without sleeping out any remainder
+                std::thread::sleep(lat * 4);
+                let t1 = Instant::now();
+                let v: i64 = c.recv(1, 2);
+                assert!(t1.elapsed() < lat, "latency already elapsed");
+                v
+            } else {
+                let t0 = Instant::now();
+                c.send(0, 2, 7i64);
+                // immediate recv pays (close to) the full modeled latency
+                let v: i64 = c.recv(0, 1);
+                assert!(t0.elapsed() >= lat / 2, "wire latency not modeled");
+                v
+            }
+        });
+        assert_eq!(out, vec![7, 42]);
     }
 
     #[test]

@@ -43,6 +43,11 @@ impl ExchangePlan {
     /// Execute the exchange on a `dim`-component dataset: pack the export
     /// rows, send, receive, unpack into the halo rows. `tag` disambiguates
     /// concurrent exchanges (use the loop's dat index).
+    ///
+    /// Equivalent to [`start`](ExchangePlan::start) immediately followed
+    /// by [`PendingExchange::finish`] — the *blocking* shape. Latency-
+    /// hiding callers split the two and compute on interior data while
+    /// the messages are in flight.
     pub fn execute<T: Copy + Send + 'static>(
         &self,
         comm: &Comm,
@@ -50,9 +55,24 @@ impl ExchangePlan {
         dim: usize,
         tag: u64,
     ) {
+        self.start(comm, data, dim, tag).finish(comm, data);
+    }
+
+    /// Post the send half of the exchange without waiting for anything:
+    /// pack the export rows and ship them to every peer (buffered, like
+    /// `MPI_Isend`). The returned handle completes the exchange; between
+    /// `start` and [`finish`](PendingExchange::finish) the caller may
+    /// freely *read* owned rows and must not touch the halo rows the
+    /// finish will overwrite.
+    pub fn start<'p, T: Copy + Send + 'static>(
+        &'p self,
+        comm: &Comm,
+        data: &[T],
+        dim: usize,
+        tag: u64,
+    ) -> PendingExchange<'p> {
         let me = comm.rank();
         assert_eq!(self.sends.len(), comm.size(), "plan size mismatch");
-        // post all sends first (buffered — no deadlock)
         for (r, idxs) in self.sends.iter().enumerate() {
             if r == me || idxs.is_empty() {
                 continue;
@@ -64,16 +84,10 @@ impl ExchangePlan {
             }
             comm.send(r, tag, packet);
         }
-        for (r, idxs) in self.recvs.iter().enumerate() {
-            if r == me || idxs.is_empty() {
-                continue;
-            }
-            let packet: Vec<T> = comm.recv(r, tag);
-            assert_eq!(packet.len(), idxs.len() * dim, "halo packet size mismatch");
-            for (k, &i) in idxs.iter().enumerate() {
-                let base = i as usize * dim;
-                data[base..base + dim].copy_from_slice(&packet[k * dim..(k + 1) * dim]);
-            }
+        PendingExchange {
+            plan: self,
+            dim,
+            tag,
         }
     }
 
@@ -107,6 +121,46 @@ impl ExchangePlan {
                 }
             }
         }
+    }
+}
+
+/// The receive half of a split halo exchange, returned by
+/// [`ExchangePlan::start`]. Dropping it without calling
+/// [`finish`](PendingExchange::finish) would leave the peers' packets
+/// queued and poison later exchanges on the same tag — the handle is
+/// `#[must_use]` for that reason.
+#[must_use = "a started exchange must be finished or peers' packets leak into later receives"]
+pub struct PendingExchange<'p> {
+    plan: &'p ExchangePlan,
+    dim: usize,
+    tag: u64,
+}
+
+impl PendingExchange<'_> {
+    /// Receive every peer's packet and unpack it into the halo rows of
+    /// `data` (which must be the same dataset `start` packed from).
+    /// Blocks only for messages that have not yet arrived — the point of
+    /// the split is that compute overlapped since `start` usually means
+    /// they all have.
+    pub fn finish<T: Copy + Send + 'static>(self, comm: &Comm, data: &mut [T]) {
+        let me = comm.rank();
+        let (dim, tag) = (self.dim, self.tag);
+        for (r, idxs) in self.plan.recvs.iter().enumerate() {
+            if r == me || idxs.is_empty() {
+                continue;
+            }
+            let packet: Vec<T> = comm.recv(r, tag);
+            assert_eq!(packet.len(), idxs.len() * dim, "halo packet size mismatch");
+            for (k, &i) in idxs.iter().enumerate() {
+                let base = i as usize * dim;
+                data[base..base + dim].copy_from_slice(&packet[k * dim..(k + 1) * dim]);
+            }
+        }
+    }
+
+    /// Total elements this finish will import (halo recv volume).
+    pub fn recv_volume(&self) -> usize {
+        self.plan.recv_volume()
     }
 }
 
@@ -195,6 +249,42 @@ mod tests {
         assert_eq!(out[0], 12.0);
         // rank 1's row 1 receives rank 0's ghost (1.0): 10 + 1 = 11
         assert_eq!(out[1], 11.0);
+    }
+
+    /// The split start/finish path must move the same data as the
+    /// blocking execute — and tolerate arbitrary compute (here: local
+    /// mutation of owned rows) between the two halves.
+    #[test]
+    fn split_exchange_overlaps_compute_and_matches_blocking() {
+        let out = Universe::new(2).run(|c| {
+            let me = c.rank();
+            let other = 1 - me;
+            let mut data = vec![0.0f64; 4];
+            data[1] = (me * 10 + 1) as f64;
+            let mut plan = ExchangePlan::empty(2);
+            plan.sends[other] = vec![1];
+            plan.recvs[other] = vec![3];
+            let pending = plan.start(c, &data, 1, 7);
+            assert_eq!(pending.recv_volume(), 1);
+            // "interior compute" while the message is in flight: owned
+            // rows may change freely — the packet already holds the
+            // packed values
+            data[0] = 99.0;
+            data[1] = -1.0;
+            pending.finish(c, &mut data);
+            (data[3], data[1])
+        });
+        // ghosts hold the value at start() time, not the mutated one
+        assert_eq!(out[0], (11.0, -1.0));
+        assert_eq!(out[1], (1.0, -1.0));
+    }
+
+    #[test]
+    fn comm_handles_are_sync() {
+        // the fused-chain executors capture &Comm in Sync closures
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Comm>();
+        assert_sync::<ExchangePlan>();
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //! Reductions reduce in rank order, so results are bit-reproducible run to
 //! run — which the reproduction harness relies on when comparing backends.
 //!
+//! Halo exchanges ([`ExchangePlan`]) come in blocking
+//! ([`ExchangePlan::execute`]) and split non-blocking
+//! ([`ExchangePlan::start`] / [`PendingExchange::finish`]) forms — the
+//! latter is what the distributed fused backend overlaps with interior
+//! compute. [`Universe::with_message_latency`] optionally models a wire
+//! latency per message (delivery-time visibility, like DMA progress
+//! under real MPI), which is how the halo bench measures what the
+//! overlap hides.
+//!
 //! A receive that blocks longer than the configurable watchdog timeout
 //! panics with a diagnostic instead of deadlocking the test suite.
 
@@ -28,4 +37,4 @@ pub mod comm;
 pub mod exchange;
 
 pub use comm::{Comm, ReduceOp, Universe};
-pub use exchange::{all_to_all_indices, ExchangePlan};
+pub use exchange::{all_to_all_indices, ExchangePlan, PendingExchange};

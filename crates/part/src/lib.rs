@@ -48,6 +48,30 @@ impl Partition {
             .collect()
     }
 
+    /// Per-rank halo sets over `graph`: `halo_sets(g)[r]` lists, in
+    /// ascending order, the *foreign* vertices adjacent to rank `r`'s
+    /// part — exactly the ghost elements the distributed runtime must
+    /// import before every indirect loop, and the sets from which the
+    /// halo-exchange plans and the interior/boundary block
+    /// classification of the overlap backend are derived.
+    pub fn halo_sets(&self, graph: &Csr) -> Vec<Vec<u32>> {
+        assert_eq!(graph.rows(), self.part.len(), "graph/partition mismatch");
+        let mut halos: Vec<Vec<u32>> = vec![Vec::new(); self.n_parts as usize];
+        for v in 0..graph.rows() {
+            let home = self.part[v];
+            for &w in graph.row(v) {
+                if self.part[w as usize] != home {
+                    halos[home as usize].push(w as u32);
+                }
+            }
+        }
+        for h in &mut halos {
+            h.sort_unstable();
+            h.dedup();
+        }
+        halos
+    }
+
     /// Validate: every owner is in range and every part is non-empty
     /// (empty parts break the rank runtime).
     pub fn validate(&self) -> Result<(), String> {
@@ -267,23 +291,8 @@ impl PartitionQuality {
         let sizes = partition.sizes();
         let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         let imbalance = sizes.iter().copied().max().unwrap_or(0) as f64 / avg.max(1e-300);
-        // halo: foreign neighbors per part, dedup'd
-        let mut halo_volume = 0usize;
-        let mut seen = std::collections::HashSet::new();
-        for p in 0..partition.n_parts {
-            seen.clear();
-            for v in 0..graph.rows() {
-                if partition.part[v] != p {
-                    continue;
-                }
-                for &w in graph.row(v) {
-                    if partition.part[w as usize] != p {
-                        seen.insert(w);
-                    }
-                }
-            }
-            halo_volume += seen.len();
-        }
+        // halo: the per-rank ghost sets, summed
+        let halo_volume = partition.halo_sets(graph).iter().map(Vec::len).sum();
         PartitionQuality {
             edge_cut,
             imbalance,
@@ -393,6 +402,36 @@ mod tests {
             n_parts: 2,
         };
         assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn halo_sets_are_foreign_adjacent_and_sorted() {
+        let m = quad_channel(10, 6).mesh;
+        let dual = cell_dual(&m);
+        let p = rcb(&centroids(&m), 4);
+        let halos = p.halo_sets(&dual);
+        assert_eq!(halos.len(), 4);
+        for (r, halo) in halos.iter().enumerate() {
+            assert!(!halo.is_empty(), "every rank of a connected mesh borders");
+            for w in halo.windows(2) {
+                assert!(w[0] < w[1], "sorted, deduped");
+            }
+            for &g in halo {
+                // foreign...
+                assert_ne!(p.part[g as usize], r as u32);
+                // ...and adjacent to an owned cell
+                assert!(dual
+                    .row(g as usize)
+                    .iter()
+                    .any(|&n| p.part[n as usize] == r as u32));
+            }
+        }
+        // total halo volume is what PartitionQuality reports
+        let q = PartitionQuality::measure(&dual, &p);
+        assert_eq!(q.halo_volume, halos.iter().map(Vec::len).sum::<usize>());
+        // single part: no halos anywhere
+        let one = rcb(&centroids(&m), 1);
+        assert!(one.halo_sets(&dual).iter().all(Vec::is_empty));
     }
 
     #[test]
