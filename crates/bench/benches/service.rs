@@ -1,0 +1,156 @@
+//! Service-layer throughput: jobs per second through `ump_serve` at
+//! 1 / 4 / 16 concurrent jobs over 4 shared pools, on a small and a
+//! medium mesh pair. Each batch alternates Airfoil and Volna across a
+//! mixed backend set, so the numbers reflect the multiplexed steady
+//! state (shared plan cache warm, round-robin slicing) rather than a
+//! single job's step rate. Results land in `BENCH_service.json` at the
+//! repo root.
+
+use std::time::Instant;
+
+use ump_core::Backend;
+use ump_serve::{App, JobSpec, JobStatus, Service, ServiceConfig};
+
+const POOLS: usize = 4;
+const TEAM: usize = 2;
+const SLICE: u64 = 8;
+const STEPS: u64 = 10;
+const REPEATS: usize = 3;
+
+struct Scenario {
+    mesh: &'static str,
+    airfoil: (usize, usize),
+    volna: (usize, usize),
+}
+
+struct Row {
+    mesh: &'static str,
+    concurrency: usize,
+    jobs_per_sec: f64,
+    steps_per_sec: f64,
+    seconds: f64,
+}
+
+fn batch_specs(s: &Scenario, n: usize, seed0: u64) -> Vec<JobSpec> {
+    let backends = [
+        Backend::Threaded,
+        Backend::Fused,
+        Backend::Simd { lanes: 4 },
+    ];
+    (0..n)
+        .map(|j| {
+            let backend = backends[j % backends.len()];
+            let spec = if j % 2 == 0 {
+                JobSpec::new(App::Airfoil, s.airfoil.0, s.airfoil.1, backend, STEPS)
+            } else {
+                JobSpec::new(App::Volna, s.volna.0, s.volna.1, backend, STEPS)
+            };
+            spec.with_seed(seed0 + j as u64)
+        })
+        .collect()
+}
+
+/// Submit a whole batch, wait for every outcome, return wall seconds.
+fn run_batch(service: &Service, specs: &[JobSpec]) -> f64 {
+    let t0 = Instant::now();
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|&spec| {
+            service
+                .submit(spec)
+                .expect("batch fits the admission bound")
+        })
+        .collect();
+    for h in &handles {
+        assert_eq!(h.wait().status, JobStatus::Completed);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let scenarios = [
+        Scenario {
+            mesh: "small",
+            airfoil: (48, 24),
+            volna: (20, 14),
+        },
+        Scenario {
+            mesh: "medium",
+            airfoil: (150, 75),
+            volna: (60, 42),
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        let service = Service::new(ServiceConfig {
+            pools: POOLS,
+            team: TEAM,
+            admission_capacity: 64,
+            slice_steps: SLICE,
+            ..ServiceConfig::default()
+        });
+        // warm the shared plan cache so every measured batch plans from it
+        run_batch(&service, &batch_specs(s, 4, 1));
+
+        for &concurrency in &[1usize, 4, 16] {
+            let mut times = Vec::with_capacity(REPEATS);
+            for rep in 0..REPEATS {
+                let seed0 = 1000 + (rep as u64) * 100;
+                times.push(run_batch(&service, &batch_specs(s, concurrency, seed0)));
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let seconds = times[times.len() / 2];
+            rows.push(Row {
+                mesh: s.mesh,
+                concurrency,
+                jobs_per_sec: concurrency as f64 / seconds,
+                steps_per_sec: (concurrency as u64 * STEPS) as f64 / seconds,
+                seconds,
+            });
+            println!(
+                "# {} mesh, {:>2} concurrent: {:.1} jobs/s ({:.4}s per batch)",
+                s.mesh,
+                concurrency,
+                concurrency as f64 / seconds,
+                seconds
+            );
+        }
+
+        let stats = service.stats();
+        println!(
+            "# {} mesh: plan cache {} hits / {} builds across {} jobs",
+            s.mesh, stats.plan_hits, stats.plan_builds, stats.completed
+        );
+        assert!(
+            stats.plan_hits > stats.plan_builds,
+            "warm batches must plan from the shared cache"
+        );
+    }
+
+    write_json(&rows);
+}
+
+/// Serialize to `BENCH_service.json` at the repo root.
+fn write_json(rows: &[Row]) {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mesh\": \"{}\", \"concurrent_jobs\": {}, \"jobs_per_sec\": {:.2}, \
+                 \"steps_per_sec\": {:.1}, \"batch_seconds\": {:.5}}}",
+                r.mesh, r.concurrency, r.jobs_per_sec, r.steps_per_sec, r.seconds
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"service_job_throughput\",\n  \"pools\": {POOLS},\n  \
+         \"team\": {TEAM},\n  \"slice_steps\": {SLICE},\n  \"steps_per_job\": {STEPS},\n  \
+         \"host_cpus\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, &json).expect("writing BENCH_service.json");
+    println!("# wrote {path}");
+}

@@ -36,6 +36,7 @@ fn print_help() {
     println!();
     println!("usage: repro <experiment>|all [--scale small|paper]");
     println!("       repro --smoke [--backends all|name,name,…]");
+    println!("       repro serve-smoke");
     println!();
     println!("experiments:");
     println!("  {}", EXPERIMENTS.join(" "));
@@ -78,6 +79,10 @@ fn main() {
                 scale = Scale::parse(v).expect("scale is small|paper");
             }
             "--smoke" => smoke_run = true,
+            "serve-smoke" | "--serve-smoke" => {
+                serve_smoke();
+                return;
+            }
             "--backends" => {
                 let v = it
                     .next()
@@ -1034,6 +1039,154 @@ fn smoke(backends: &[ExecBackend]) {
     }
 
     println!("smoke ok ({} backends)", backends.len());
+}
+
+/// `repro serve-smoke` — the service-layer acceptance client: a 16-job
+/// mixed batch (both apps, the whole backend registry) multiplexed over
+/// 4 shared pools, every outcome verified against the sequential
+/// reference driver to 1e-12, plus a kill/restore cycle asserted
+/// bit-identical and a shared-plan-cache reuse check. Any divergence
+/// panics (non-zero exit) — CI runs this next to `--smoke`.
+fn serve_smoke() {
+    use ump_serve::{App, JobSpec, JobState, JobStatus, Service, ServiceConfig};
+
+    header("serve smoke — 16 mixed jobs over 4 shared pools (ump_serve)");
+    let team = 2usize;
+    let service = Service::new(ServiceConfig {
+        pools: 4,
+        team,
+        admission_capacity: 32,
+        slice_steps: 3,
+        ..ServiceConfig::default()
+    });
+
+    // one job per registry backend (17 shapes, 16 jobs: cycles through
+    // all but one), alternating apps, distinct seeds
+    let registry = ExecBackend::all();
+    let steps = 4u64;
+    let mut handles = Vec::new();
+    for j in 0..16u64 {
+        let backend = registry[j as usize % registry.len()];
+        let spec = if j % 2 == 0 {
+            JobSpec::new(App::Airfoil, 48, 24, backend, steps)
+        } else {
+            JobSpec::new(App::Volna, 20, 14, backend, steps)
+        }
+        .with_seed(100 + j);
+        handles.push(service.submit(spec).expect("batch under capacity"));
+    }
+
+    for h in &handles {
+        let out = h.wait();
+        assert_eq!(out.status, JobStatus::Completed, "job {}", h.id);
+        let spec = out.spec;
+        // sequential reference for the same spec
+        let ref_pool = ExecPool::new(1);
+        let ref_cache = PlanCache::new();
+        let mut reference = JobState::new(JobSpec {
+            backend: ExecBackend::Seq,
+            ..spec
+        });
+        for _ in 0..steps {
+            reference.step(&ref_pool, &ref_cache, None);
+        }
+        let final_state = out.final_state();
+        let d = final_state.max_abs_diff(&reference);
+        assert!(
+            d <= 1e-12,
+            "{} {} diverged: {d:e} > 1e-12",
+            spec.app,
+            spec.backend
+        );
+        for (i, (got, want)) in out.history.iter().zip(reference.history()).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "{} {} step {i}: {got} vs {want}",
+                spec.app,
+                spec.backend
+            );
+        }
+        println!(
+            "job {:>2} {:<8} {:<26} max|Δ| = {d:.2e}  ok",
+            out.id,
+            spec.app.name(),
+            spec.backend.name()
+        );
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.completed, 16, "all 16 jobs complete");
+    assert_eq!(stats.failed, 0);
+    assert!(
+        stats.plan_hits > 0,
+        "shared meshes must reuse plans (hits {}, builds {})",
+        stats.plan_hits,
+        stats.plan_builds
+    );
+    println!(
+        "service: {} completed, plan cache {} hits / {} builds",
+        stats.completed, stats.plan_hits, stats.plan_builds
+    );
+
+    // kill/restore: cancel a threaded Volna job mid-flight, resume the
+    // snapshot, and require bit-identity with an uninterrupted run
+    let kr_steps = 60u64;
+    let kr_spec = JobSpec::new(App::Volna, 16, 12, ExecBackend::Threaded, kr_steps).with_seed(7);
+    let kr_pool = ExecPool::new(team);
+    let kr_cache = PlanCache::new();
+    let mut uninterrupted = JobState::new(kr_spec);
+    for _ in 0..kr_steps {
+        uninterrupted.step(&kr_pool, &kr_cache, None);
+    }
+    // deterministic half: kill at exactly step 30 by snapshotting a
+    // local run, then restore *into the service* for the back half
+    let mut front = JobState::new(kr_spec);
+    for _ in 0..30 {
+        front.step(&kr_pool, &kr_cache, None);
+    }
+    let resumed = service
+        .resume(&front.snapshot())
+        .expect("snapshot resumable");
+    let back = resumed.wait();
+    assert_eq!(back.status, JobStatus::Completed);
+    assert_eq!(back.steps_done, kr_steps);
+    assert!(
+        back.final_state().bits_eq(&uninterrupted),
+        "restore at step 30 must finish bit-identical"
+    );
+    println!("kill/restore: snapshot at step 30 resumed on the service, bit-identical  ok");
+
+    // racy half: a live cancel (best-effort — the job can outrun it)
+    let h = service.submit(kr_spec).expect("admitted");
+    let first = h.frames().recv().expect("first frame");
+    assert_eq!(first.step, 1);
+    let _ = service.cancel(h.id);
+    let out = h.wait();
+    let final_state = match out.status {
+        JobStatus::Cancelled => {
+            println!(
+                "kill/restore: cancelled at step {}/{kr_steps}, resuming snapshot ({} bytes)",
+                out.steps_done,
+                out.snapshot.len()
+            );
+            let resumed = service.resume(&out.snapshot).expect("snapshot resumable");
+            let out2 = resumed.wait();
+            assert_eq!(out2.status, JobStatus::Completed);
+            assert_eq!(out2.steps_done, kr_steps);
+            out2.final_state()
+        }
+        JobStatus::Completed => {
+            println!("kill/restore: job outran the cancel; checking bit-identity directly");
+            out.final_state()
+        }
+        JobStatus::Failed(why) => panic!("kill/restore job failed: {why}"),
+    };
+    assert!(
+        final_state.bits_eq(&uninterrupted),
+        "killed-and-restored run must be bit-identical to uninterrupted"
+    );
+    println!("kill/restore: bit-identical after restart  ok");
+    println!("serve smoke ok (16 jobs / 4 pools, kill/restore bit-exact)");
 }
 
 fn fig9(scale: Scale) {

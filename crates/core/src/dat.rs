@@ -1,6 +1,34 @@
-//! Data on sets: the `op_dat`.
+//! Data on sets: the `op_dat`, plus its versioned binary snapshot
+//! format (the persistence layer under `ump_serve`'s deterministic
+//! checkpoint/restart).
+
+use std::io::{self, Read, Write};
 
 use ump_simd::Real;
+
+/// Magic prefix of the [`OpDat::save`] binary format.
+pub const DAT_SNAPSHOT_MAGIC: [u8; 4] = *b"UMPD";
+
+/// Current version of the [`OpDat::save`] binary format. Bump on any
+/// layout change; [`OpDat::load`] rejects other versions instead of
+/// guessing.
+pub const DAT_SNAPSHOT_VERSION: u32 = 1;
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
 
 /// A dataset over a set: `dim` components of type `R` per element,
 /// AoS layout (`data[e*dim + c]`) as the paper's CPU backends use.
@@ -98,6 +126,84 @@ impl<R: Real> OpDat<R> {
         self.data.iter().all(|v| v.is_finite())
     }
 
+    /// Serialize to a versioned binary snapshot.
+    ///
+    /// Values are stored as the bit pattern of their exact `f64`
+    /// widening: for `f64` dats that *is* the value, and every finite
+    /// `f32` widens and narrows back to the identical bits, so a
+    /// save/load round trip is bit-exact at either precision — the
+    /// property `ump_serve`'s checkpoint/restart golden tests assert.
+    ///
+    /// ```
+    /// use ump_core::OpDat;
+    ///
+    /// let dat: OpDat<f64> = OpDat::from_vec("q", 2, 2, vec![1.0, -2.5, 0.125, 3.0]);
+    /// let mut buf = Vec::new();
+    /// dat.save(&mut buf).unwrap();
+    /// let back = OpDat::<f64>::load(&mut buf.as_slice()).unwrap();
+    /// assert_eq!(dat, back);
+    /// ```
+    pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&DAT_SNAPSHOT_MAGIC)?;
+        w.write_all(&DAT_SNAPSHOT_VERSION.to_le_bytes())?;
+        w.write_all(&(R::BYTES as u32).to_le_bytes())?;
+        let name = self.name.as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&(self.set_size as u64).to_le_bytes())?;
+        w.write_all(&(self.dim as u64).to_le_bytes())?;
+        // one buffered pass over the payload: 8 bytes per value
+        let mut buf = Vec::with_capacity(self.data.len() * 8);
+        for &v in &self.data {
+            buf.extend_from_slice(&v.to_f64().to_bits().to_le_bytes());
+        }
+        w.write_all(&buf)
+    }
+
+    /// Deserialize a snapshot written by [`OpDat::save`]. Fails with
+    /// `InvalidData` on a wrong magic, version, or element width (an
+    /// `f32` snapshot is not silently widened into an `f64` dat).
+    pub fn load<Rd: Read>(r: &mut Rd) -> io::Result<OpDat<R>> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != DAT_SNAPSHOT_MAGIC {
+            return Err(bad_data(format!("not an OpDat snapshot: magic {magic:?}")));
+        }
+        let version = read_u32(r)?;
+        if version != DAT_SNAPSHOT_VERSION {
+            return Err(bad_data(format!(
+                "OpDat snapshot version {version}, expected {DAT_SNAPSHOT_VERSION}"
+            )));
+        }
+        let word = read_u32(r)? as usize;
+        if word != R::BYTES {
+            return Err(bad_data(format!(
+                "OpDat snapshot holds {word}-byte words, loading as {}-byte {}",
+                R::BYTES,
+                R::NAME
+            )));
+        }
+        let name_len = read_u32(r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|e| bad_data(format!("dat name: {e}")))?;
+        let set_size = read_u64(r)? as usize;
+        let dim = read_u64(r)? as usize;
+        let n = set_size
+            .checked_mul(dim)
+            .ok_or_else(|| bad_data("dat shape overflow".into()))?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(R::from_f64(f64::from_bits(read_u64(r)?)));
+        }
+        Ok(OpDat {
+            name,
+            set_size,
+            dim,
+            data,
+        })
+    }
+
     /// Convert precision (used to set up SP runs from DP initial data).
     pub fn convert<T: Real>(&self) -> OpDat<T> {
         OpDat {
@@ -156,5 +262,54 @@ mod tests {
     #[should_panic(expected = "storage size mismatch")]
     fn from_vec_validates_shape() {
         let _: OpDat<f64> = OpDat::from_vec("bad", 3, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact_dp() {
+        let d: OpDat<f64> = OpDat::from_fn("q", 7, 3, |e| {
+            vec![e as f64 * 0.1, -(e as f64).sqrt(), 1.0 / (e as f64 + 1.0)]
+        });
+        let mut buf = Vec::new();
+        d.save(&mut buf).unwrap();
+        let back = OpDat::<f64>::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.name, "q");
+        assert_eq!((back.set_size, back.dim), (7, 3));
+        for (a, b) in d.data.iter().zip(&back.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact_sp() {
+        let d: OpDat<f32> = OpDat::from_fn("w", 5, 4, |e| {
+            vec![e as f32 * 0.3, -1.5, f32::MIN_POSITIVE, (e as f32).exp()]
+        });
+        let mut buf = Vec::new();
+        d.save(&mut buf).unwrap();
+        let back = OpDat::<f32>::load(&mut buf.as_slice()).unwrap();
+        for (a, b) in d.data.iter().zip(&back.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_foreign_bytes() {
+        let d: OpDat<f32> = OpDat::zeros("w", 2, 1);
+        let mut buf = Vec::new();
+        d.save(&mut buf).unwrap();
+        // wrong precision
+        let err = OpDat::<f64>::load(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("4-byte words"), "{err}");
+        // wrong magic
+        let err = OpDat::<f32>::load(&mut b"XXXX\0\0\0\0".as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        // wrong version
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        let err = OpDat::<f32>::load(&mut bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        // truncated payload
+        let err = OpDat::<f32>::load(&mut buf[..buf.len() - 3].as_ref()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 }

@@ -62,6 +62,9 @@ impl AnyPlan {
 
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
+    /// Scope of the handle that issued the `get` (see
+    /// [`PlanCache::scoped`]); `""` for the root handle.
+    namespace: Arc<str>,
     set_size: usize,
     written_maps: Vec<String>,
     block_size: usize,
@@ -91,9 +94,17 @@ struct CacheInner {
 /// builds at most once per *resident* key and evicts the
 /// least-recently-used plan beyond the capacity (handles already cloned
 /// out stay alive — eviction only drops the cache's reference).
+///
+/// A `PlanCache` value is itself a cheap handle onto shared storage:
+/// cloning it (or deriving a [`scoped`](PlanCache::scoped) view) shares
+/// the plans, the LRU state, and the hit/build counters. The service
+/// layer leans on this to reuse one cache across thousands of
+/// concurrent jobs.
+#[derive(Clone)]
 pub struct PlanCache {
-    inner: Mutex<CacheInner>,
+    inner: Arc<Mutex<CacheInner>>,
     capacity: usize,
+    namespace: Arc<str>,
 }
 
 impl Default for PlanCache {
@@ -111,8 +122,41 @@ impl PlanCache {
     /// Cache holding at most `capacity` plans (min 1).
     pub fn with_capacity(capacity: usize) -> PlanCache {
         PlanCache {
-            inner: Mutex::new(CacheInner::default()),
+            inner: Arc::new(Mutex::new(CacheInner::default())),
             capacity: capacity.max(1),
+            namespace: Arc::from(""),
+        }
+    }
+
+    /// A view onto the same cache whose keys live under `namespace`.
+    ///
+    /// The plan key covers the loop *shape* — set size, written-map
+    /// names, block size, scheme — but not the map contents, which is
+    /// sound while one process runs one mesh. A service multiplexing
+    /// *different* meshes over one cache could collide two topologies
+    /// that happen to share a set size and a map name ("edge2cell"
+    /// says nothing about whose edges). Scoping the handle per mesh
+    /// identity (e.g. `"airfoil:48x24"`) keeps sharing within a scope —
+    /// every job of the same shape hits the same plans — while making
+    /// cross-mesh collisions structurally impossible. Storage, LRU
+    /// order, and the [`hits`](PlanCache::hits)/[`builds`](PlanCache::builds)
+    /// counters remain shared across all views.
+    ///
+    /// ```
+    /// use ump_core::PlanCache;
+    ///
+    /// let root = PlanCache::new();
+    /// let a = root.scoped("airfoil:48x24");
+    /// let b = root.scoped("volna:20x14");
+    /// // same storage: counters visible from every handle
+    /// assert_eq!(root.builds(), 0);
+    /// drop((a, b));
+    /// ```
+    pub fn scoped(&self, namespace: &str) -> PlanCache {
+        PlanCache {
+            inner: Arc::clone(&self.inner),
+            capacity: self.capacity,
+            namespace: Arc::from(namespace),
         }
     }
 
@@ -127,6 +171,7 @@ impl PlanCache {
         inputs: &PlanInputs<'_>,
     ) -> Arc<AnyPlan> {
         let key = PlanKey {
+            namespace: Arc::clone(&self.namespace),
             set_size: inputs.n_elems,
             written_maps: written_map_names.iter().map(|s| s.to_string()).collect(),
             block_size: inputs.block_size,
@@ -260,6 +305,26 @@ mod tests {
         let builds_before = cache.builds();
         cache.get(Scheme::TwoLevel, &["edge2cell"], &inputs(16));
         assert_eq!(cache.builds(), builds_before, "16 should still be resident");
+    }
+
+    #[test]
+    fn scoped_views_share_storage_but_not_keys() {
+        let m = quad_channel(8, 8).mesh;
+        let root = PlanCache::new();
+        let a = root.scoped("airfoil:8x8");
+        let b = root.scoped("volna:8x8");
+        let inputs = PlanInputs::new(m.n_edges(), vec![&m.edge2cell], 64);
+        // identical shape in two scopes builds twice: no cross-mesh reuse
+        let pa = a.get(Scheme::TwoLevel, &["edge2cell"], &inputs);
+        let pb = b.get(Scheme::TwoLevel, &["edge2cell"], &inputs);
+        assert!(!Arc::ptr_eq(&pa, &pb));
+        assert_eq!((root.builds(), root.hits()), (2, 0));
+        // within a scope (and across clones of it) the plan is shared
+        let pa2 = a.clone().get(Scheme::TwoLevel, &["edge2cell"], &inputs);
+        assert!(Arc::ptr_eq(&pa, &pa2));
+        // counters are one surface, visible through every handle
+        assert_eq!((b.builds(), b.hits()), (2, 1));
+        assert_eq!(root.len(), 2);
     }
 
     #[test]

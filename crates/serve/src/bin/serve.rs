@@ -1,0 +1,217 @@
+//! `serve` — run a batch of mesh-simulation jobs through the service.
+//!
+//! ```text
+//! serve [--pools N] [--team N] [--queue N] [--slice N]
+//!       [--jobs N] [--steps N] [--mesh small|medium]
+//!       [--backends a,b,...] [--seed N] [--checkpoint-every N]
+//! ```
+//!
+//! Submits `--jobs` jobs round-robin over the backend list, alternating
+//! Airfoil and Volna, streams progress, and prints per-job outcomes
+//! plus the final [`ServiceStats`] table. Exits nonzero if any job does
+//! not complete.
+
+use std::process::ExitCode;
+
+use ump_core::Backend;
+use ump_serve::{App, JobSpec, JobStatus, Service, ServiceConfig, ServiceStats};
+
+struct Args {
+    config: ServiceConfig,
+    jobs: usize,
+    steps: u64,
+    mesh: (usize, usize, usize, usize), // airfoil nx,ny / volna nx,ny
+    backends: Vec<Backend>,
+    seed: u64,
+    checkpoint_every: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = ServiceConfig::default();
+    let mut jobs = 8usize;
+    let mut steps = 20u64;
+    let mut mesh = (48, 24, 20, 14);
+    let mut backends = vec![
+        Backend::Seq,
+        Backend::Threaded,
+        Backend::Simd { lanes: 4 },
+        Backend::Fused,
+    ];
+    let mut seed = 1u64;
+    let mut checkpoint_every = 0u64;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || -> Result<&str, String> {
+            i += 1;
+            argv.get(i)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--pools" => config.pools = value()?.parse().map_err(|e| format!("--pools: {e}"))?,
+            "--team" => config.team = value()?.parse().map_err(|e| format!("--team: {e}"))?,
+            "--queue" => {
+                config.admission_capacity = value()?.parse().map_err(|e| format!("--queue: {e}"))?
+            }
+            "--slice" => {
+                config.slice_steps = value()?.parse().map_err(|e| format!("--slice: {e}"))?
+            }
+            "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--steps" => steps = value()?.parse().map_err(|e| format!("--steps: {e}"))?,
+            "--seed" => seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--checkpoint-every" => {
+                checkpoint_every = value()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--mesh" => {
+                mesh = match value()? {
+                    "small" => (48, 24, 20, 14),
+                    "medium" => (96, 48, 40, 28),
+                    other => return Err(format!("--mesh {other}: expected small|medium")),
+                }
+            }
+            "--backends" => {
+                backends = value()?
+                    .split(',')
+                    .map(|s| {
+                        Backend::parse(s.trim()).ok_or_else(|| format!("unknown backend {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "serve: run a batch of mesh-simulation jobs through ump_serve\n\
+                     options: --pools N --team N --queue N --slice N --jobs N --steps N\n\
+                     \x20        --mesh small|medium --backends a,b,... --seed N --checkpoint-every N\n\
+                     backends: {}",
+                    Backend::all()
+                        .into_iter()
+                        .map(|b| b.name())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if backends.is_empty() {
+        return Err("--backends list is empty".into());
+    }
+    Ok(Args {
+        config,
+        jobs,
+        steps,
+        mesh,
+        backends,
+        seed,
+        checkpoint_every,
+    })
+}
+
+fn print_stats(stats: &ServiceStats) {
+    println!(
+        "\nstats: submitted={} rejected={} completed={} cancelled={} failed={}",
+        stats.submitted, stats.rejected, stats.completed, stats.cancelled, stats.failed
+    );
+    println!(
+        "plan cache: {} hits / {} builds",
+        stats.plan_hits, stats.plan_builds
+    );
+    println!(
+        "{:<18} {:>10} {:>12} {:>14}",
+        "backend", "steps", "pool-sec", "steps/sec"
+    );
+    for b in &stats.per_backend {
+        println!(
+            "{:<18} {:>10} {:>12.4} {:>14.1}",
+            b.backend,
+            b.steps,
+            b.seconds,
+            b.steps_per_sec()
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "serve: {} jobs x {} steps over {} pools (team {}), slice {} steps, queue {}",
+        args.jobs,
+        args.steps,
+        args.config.pools,
+        args.config.team,
+        args.config.slice_steps,
+        args.config.admission_capacity
+    );
+
+    let service = Service::new(args.config);
+    let (anx, any, vnx, vny) = args.mesh;
+    let mut handles = Vec::with_capacity(args.jobs);
+    for j in 0..args.jobs {
+        let backend = args.backends[j % args.backends.len()];
+        let spec = if j % 2 == 0 {
+            JobSpec::new(App::Airfoil, anx, any, backend, args.steps)
+        } else {
+            JobSpec::new(App::Volna, vnx, vny, backend, args.steps)
+        }
+        .with_seed(args.seed.wrapping_add(j as u64))
+        .with_checkpoint_every(args.checkpoint_every);
+        match service.submit(spec) {
+            Ok(h) => handles.push(h),
+            Err(why) => {
+                eprintln!("job {j}: rejected: {why}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut ok = true;
+    for h in &handles {
+        let out = h.wait();
+        let spec = &out.spec;
+        let last = out.history.last().copied().unwrap_or(f64::NAN);
+        let status = match &out.status {
+            JobStatus::Completed => "completed".to_string(),
+            JobStatus::Cancelled => {
+                ok = false;
+                "cancelled".to_string()
+            }
+            JobStatus::Failed(why) => {
+                ok = false;
+                format!("FAILED: {why}")
+            }
+        };
+        println!(
+            "job {:>3} {:<8} {:>3}x{:<3} {:<16} {:>4} steps  last={:+.6e}  busy={:.3}s  {}",
+            out.id,
+            spec.app.name(),
+            spec.nx,
+            spec.ny,
+            spec.backend.name(),
+            out.steps_done,
+            last,
+            out.busy_seconds,
+            status
+        );
+    }
+
+    print_stats(&service.stats());
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

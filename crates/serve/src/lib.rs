@@ -1,0 +1,61 @@
+//! `ump_serve` — mesh-simulation-as-a-service on the unified backend
+//! registry.
+//!
+//! The runtime underneath (`ump_core` + `ump_apps`) executes one
+//! simulation on one set of pools. This crate turns it into a
+//! *service*: many [`JobSpec`]s multiplexed over a few shared
+//! [`ExecPool`](ump_core::ExecPool)s, with
+//!
+//! - **bounded admission** — [`Service::submit`] either admits a job or
+//!   rejects it immediately with a typed [`Rejection`] (saturation or
+//!   validation); it never blocks the caller on queue space;
+//! - **fair scheduling** — round-robin time slicing over one FIFO ready
+//!   queue (see [`service`] for the policy and why it is fair);
+//! - **deterministic checkpoint/restart** — [`JobState::snapshot`]
+//!   serializes the evolving state as exact `f64` bit patterns in a
+//!   versioned format ([`snapshot`]), and a job killed and resumed from
+//!   a snapshot finishes *bit-identical* to an uninterrupted run;
+//! - **streamed results** — per-step reduction values arrive as
+//!   [`Frame`]s over a channel while the job runs, and [`ServiceStats`]
+//!   snapshots queue depths, terminal counts, per-backend throughput,
+//!   and plan-cache hit/build counters at any time.
+//!
+//! ```
+//! use ump_core::Backend;
+//! use ump_serve::{App, JobSpec, JobStatus, Service, ServiceConfig};
+//!
+//! let service = Service::new(ServiceConfig {
+//!     pools: 2,
+//!     team: 1,
+//!     ..ServiceConfig::default()
+//! });
+//!
+//! // a tiny mixed batch over shared pools
+//! let jobs = [
+//!     JobSpec::new(App::Airfoil, 12, 6, Backend::Seq, 4).with_seed(1),
+//!     JobSpec::new(App::Volna, 8, 6, Backend::Threaded, 4).with_seed(2),
+//! ];
+//! let handles: Vec<_> = jobs
+//!     .iter()
+//!     .map(|&spec| service.submit(spec).expect("admitted"))
+//!     .collect();
+//! for h in &handles {
+//!     let out = h.wait();
+//!     assert_eq!(out.status, JobStatus::Completed);
+//!     assert_eq!(out.history.len(), 4); // one reduction value per step
+//! }
+//! assert_eq!(service.stats().completed, 2);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod job;
+pub mod service;
+pub mod snapshot;
+
+pub use job::{App, JobSpec, JobState};
+pub use service::{
+    BackendThroughput, Frame, JobHandle, JobOutcome, JobStatus, Rejection, Service, ServiceConfig,
+    ServiceStats,
+};
+pub use snapshot::{JOB_SNAPSHOT_MAGIC, JOB_SNAPSHOT_VERSION};

@@ -1,0 +1,641 @@
+//! The simulation service: bounded admission, shared-pool scheduling,
+//! streamed frames, cancellation, and checkpoint-based resume.
+//!
+//! # Scheduling policy
+//!
+//! The service owns `pools` worker threads, each with its own persistent
+//! [`ExecPool`] of `team` threads. Admitted jobs sit in one FIFO *ready
+//! queue*; a worker leases the head job, runs at most `slice_steps`
+//! timesteps, and — if the job is unfinished — requeues it at the
+//! *tail*. This is plain round-robin time slicing: with `J` runnable
+//! jobs, every job receives a slice within `J − 1` lease turns of its
+//! last one, so N jobs make fair progress over M ≪ N pools with no
+//! priorities, no work stealing, and no job-side cooperation. A slice
+//! is steps, not wall time, so heavier meshes get proportionally longer
+//! turns; slices never migrate a job mid-step, and because every
+//! backend is deterministic for a fixed team size, *which* pool runs a
+//! slice never affects the bits it produces.
+//!
+//! # Admission and backpressure
+//!
+//! `admission_capacity` bounds jobs in flight (queued + leased).
+//! [`Service::submit`] rejects — immediately, with a
+//! [`Rejection`] naming the reason — rather than blocking the caller:
+//! a saturated service sheds load at the door instead of queueing
+//! unboundedly. Requeued slices are already admitted and bypass the
+//! bound.
+//!
+//! # Determinism
+//!
+//! A job's results depend only on its [`JobSpec`] and the service's
+//! `team` size — never on pool count, queue order, slice length, or
+//! contention. The checkpoint/restart tests assert the strongest form:
+//! a job cancelled mid-flight and resumed from its snapshot finishes
+//! bit-identical to an uninterrupted run.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use ump_core::{ExecPool, PlanCache};
+
+use crate::job::{JobSpec, JobState};
+
+/// Service sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads, each owning one shared `ExecPool` (jobs are
+    /// multiplexed over these — the ≤ 4 pools of the acceptance run).
+    pub pools: usize,
+    /// Threads per pool. Part of the determinism contract: resuming a
+    /// snapshot under a different team size is allowed but only the
+    /// same team size guarantees bit-identity for threaded backends.
+    pub team: usize,
+    /// Maximum jobs in flight (queued + running); submissions beyond
+    /// this are rejected with [`Rejection::Saturated`].
+    pub admission_capacity: usize,
+    /// Timesteps per lease before an unfinished job is requeued.
+    pub slice_steps: u64,
+    /// Capacity of the shared cross-job plan cache.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            pools: 4,
+            team: 2,
+            admission_capacity: 64,
+            slice_steps: 8,
+            plan_cache_capacity: 256,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// The in-flight bound is reached; retry after jobs complete.
+    Saturated {
+        /// Jobs currently in flight.
+        in_flight: usize,
+        /// The configured admission bound.
+        capacity: usize,
+    },
+    /// The spec (or snapshot) failed validation; the string names the
+    /// offending field.
+    Invalid(String),
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::Saturated {
+                in_flight,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "service saturated: {in_flight}/{capacity} jobs in flight"
+                )
+            }
+            Rejection::Invalid(why) => write!(f, "invalid job: {why}"),
+        }
+    }
+}
+
+/// One per-step result streamed while a job runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Frame {
+    /// 1-based step index within the job.
+    pub step: u64,
+    /// The step's reduction value (Airfoil RMS / Volna Δt).
+    pub value: f64,
+}
+
+/// Terminal state of a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran all `spec.steps` steps.
+    Completed,
+    /// Cancelled via [`Service::cancel`]; the outcome snapshot holds
+    /// the state at the point of cancellation, ready for
+    /// [`Service::resume`].
+    Cancelled,
+    /// A step panicked; the payload is the panic message.
+    Failed(String),
+}
+
+/// Everything a job leaves behind.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The service-assigned job id.
+    pub id: u64,
+    /// The job's spec (embedded in `snapshot` too).
+    pub spec: JobSpec,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// Steps completed.
+    pub steps_done: u64,
+    /// Per-step reduction values of every completed step.
+    pub history: Vec<f64>,
+    /// Final state in the versioned snapshot format — decode with
+    /// [`JobState::restore`], or feed to [`Service::resume`] to
+    /// continue a cancelled job.
+    pub snapshot: Vec<u8>,
+    /// Pool-seconds spent executing this job's slices.
+    pub busy_seconds: f64,
+}
+
+impl JobOutcome {
+    /// Rebuild the final [`JobState`] from the outcome snapshot.
+    pub fn final_state(&self) -> JobState {
+        JobState::restore(&self.snapshot).expect("service snapshots are self-consistent")
+    }
+}
+
+/// Client handle: per-step frames plus the terminal outcome.
+pub struct JobHandle {
+    /// The service-assigned job id (also on every outcome).
+    pub id: u64,
+    /// The admitted spec.
+    pub spec: JobSpec,
+    frames: Receiver<Frame>,
+    outcome: Receiver<JobOutcome>,
+}
+
+impl JobHandle {
+    /// Block until the job reaches a terminal state.
+    ///
+    /// # Panics
+    /// If the service was dropped before the job finished.
+    pub fn wait(&self) -> JobOutcome {
+        self.outcome
+            .recv()
+            .expect("service dropped before the job completed")
+    }
+
+    /// The stream of per-step frames. Frames are buffered unboundedly
+    /// until read, so they can also be drained after
+    /// [`wait`](JobHandle::wait) returns.
+    pub fn frames(&self) -> &Receiver<Frame> {
+        &self.frames
+    }
+}
+
+/// How a queued entry materializes its state at first lease. Building
+/// meshes on the worker keeps `submit` cheap (admission is a queue
+/// push) and overlaps setup with other jobs' execution.
+enum Init {
+    Fresh(JobSpec),
+    Snapshot(Vec<u8>),
+}
+
+/// A job owned by the ready queue or a worker.
+struct Active {
+    id: u64,
+    spec: JobSpec,
+    init: Option<Init>,
+    state: Option<JobState>,
+    /// Scoped view of the shared plan cache (`JobSpec::cache_scope`).
+    cache: PlanCache,
+    frames: Sender<Frame>,
+    outcome: Sender<JobOutcome>,
+    cancel: Arc<AtomicBool>,
+    busy_seconds: f64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    cancelled: u64,
+    failed: u64,
+    /// Leased right now (≤ pools).
+    running: usize,
+    /// name → (steps, busy seconds) per backend.
+    per_backend: HashMap<String, (u64, f64)>,
+}
+
+/// A point-in-time view of service health (the `ServiceStats` snapshot
+/// of the issue): queue depths, terminal counts, per-backend step
+/// throughput, and the shared plan cache's hit/build counters.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Jobs admitted so far.
+    pub submitted: u64,
+    /// Submissions rejected (saturation or validation).
+    pub rejected: u64,
+    /// Jobs waiting in the ready queue.
+    pub queued: usize,
+    /// Jobs currently leased to a pool.
+    pub running: usize,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs that panicked.
+    pub failed: u64,
+    /// Plan-cache hits across all jobs (shared LRU cache).
+    pub plan_hits: usize,
+    /// Plans actually built across all jobs.
+    pub plan_builds: usize,
+    /// Per-backend execution totals.
+    pub per_backend: Vec<BackendThroughput>,
+}
+
+/// Execution totals for one backend across all jobs.
+#[derive(Clone, Debug)]
+pub struct BackendThroughput {
+    /// Canonical backend name.
+    pub backend: String,
+    /// Timesteps executed on this backend.
+    pub steps: u64,
+    /// Pool-seconds spent on those steps.
+    pub seconds: f64,
+}
+
+impl BackendThroughput {
+    /// Steps per pool-second (0 when nothing ran).
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.steps as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+struct Shared {
+    ready: Mutex<VecDeque<Active>>,
+    ready_cv: Condvar,
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    counters: Mutex<Counters>,
+    cache: PlanCache,
+    slice_steps: u64,
+    /// Latest periodic checkpoint per job id (also the final snapshot
+    /// once the job ends), kept after completion for resume/forensics.
+    checkpoints: Mutex<HashMap<u64, Vec<u8>>>,
+    /// Cancellation flags for every in-flight job.
+    cancels: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+}
+
+/// The mesh-simulation service. See the module docs for the policies;
+/// see [`Service::submit`] for the client entry point.
+///
+/// ```
+/// use ump_core::Backend;
+/// use ump_serve::{App, JobSpec, JobStatus, Service, ServiceConfig};
+///
+/// let service = Service::new(ServiceConfig {
+///     pools: 2,
+///     team: 1,
+///     ..ServiceConfig::default()
+/// });
+/// let h = service
+///     .submit(JobSpec::new(App::Airfoil, 12, 6, Backend::Seq, 3).with_seed(5))
+///     .unwrap();
+/// let out = h.wait();
+/// assert_eq!(out.status, JobStatus::Completed);
+/// assert_eq!(out.history.len(), 3);
+/// // one frame per step was streamed while the job ran
+/// assert_eq!(h.frames().try_iter().count(), 3);
+/// ```
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    capacity: usize,
+}
+
+impl Service {
+    /// Start the worker pools and the scheduler state.
+    pub fn new(config: ServiceConfig) -> Service {
+        let shared = Arc::new(Shared {
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            counters: Mutex::new(Counters::default()),
+            cache: PlanCache::with_capacity(config.plan_cache_capacity.max(1)),
+            slice_steps: config.slice_steps.max(1),
+            checkpoints: Mutex::new(HashMap::new()),
+            cancels: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..config.pools.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let team = config.team.max(1);
+                std::thread::Builder::new()
+                    .name(format!("ump-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, team))
+                    .expect("spawning service worker")
+            })
+            .collect();
+        Service {
+            shared,
+            workers,
+            next_id: AtomicU64::new(1),
+            capacity: config.admission_capacity.max(1),
+        }
+    }
+
+    /// Submit a fresh job. Admission either succeeds immediately with a
+    /// [`JobHandle`] or fails immediately with the reason — it never
+    /// blocks on queue space.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, Rejection> {
+        if let Err(why) = spec.validate() {
+            self.shared.counters.lock().rejected += 1;
+            return Err(Rejection::Invalid(why));
+        }
+        self.admit(spec, Init::Fresh(spec))
+    }
+
+    /// Resume a job from a snapshot (typically a cancelled job's
+    /// [`JobOutcome::snapshot`] or a [`Service::checkpoint`]). The job
+    /// continues from its recorded step toward `spec.steps`; a snapshot
+    /// that already reached its step count is rejected as invalid.
+    pub fn resume(&self, snapshot: &[u8]) -> Result<JobHandle, Rejection> {
+        let (spec, steps_done) = JobState::peek(snapshot).map_err(|e| {
+            self.shared.counters.lock().rejected += 1;
+            Rejection::Invalid(e.to_string())
+        })?;
+        if steps_done >= spec.steps {
+            self.shared.counters.lock().rejected += 1;
+            return Err(Rejection::Invalid(format!(
+                "snapshot already complete: {steps_done}/{} steps",
+                spec.steps
+            )));
+        }
+        self.admit(spec, Init::Snapshot(snapshot.to_vec()))
+    }
+
+    fn admit(&self, spec: JobSpec, init: Init) -> Result<JobHandle, Rejection> {
+        // reserve an in-flight slot or reject; CAS so concurrent
+        // submitters cannot overshoot the bound
+        let mut current = self.shared.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.capacity {
+                self.shared.counters.lock().rejected += 1;
+                return Err(Rejection::Saturated {
+                    in_flight: current,
+                    capacity: self.capacity,
+                });
+            }
+            match self.shared.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (frame_tx, frame_rx) = channel();
+        let (outcome_tx, outcome_rx) = channel();
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.shared.cancels.lock().insert(id, Arc::clone(&cancel));
+        let job = Active {
+            id,
+            spec,
+            init: Some(init),
+            state: None,
+            cache: self.shared.cache.scoped(&spec.cache_scope()),
+            frames: frame_tx,
+            outcome: outcome_tx,
+            cancel,
+            busy_seconds: 0.0,
+        };
+        {
+            let mut counters = self.shared.counters.lock();
+            counters.submitted += 1;
+        }
+        self.shared.ready.lock().push_back(job);
+        self.shared.ready_cv.notify_one();
+        Ok(JobHandle {
+            id,
+            spec,
+            frames: frame_rx,
+            outcome: outcome_rx,
+        })
+    }
+
+    /// Request cancellation of a job. Returns `false` for unknown ids.
+    /// The job stops at its next step boundary; its outcome carries
+    /// status [`JobStatus::Cancelled`] and a resumable snapshot.
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.shared.cancels.lock().get(&id) {
+            Some(flag) => {
+                flag.store(true, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The latest stored snapshot of a job: periodic checkpoints while
+    /// it runs (cadence `spec.checkpoint_every`), the final state once
+    /// it ends.
+    pub fn checkpoint(&self, id: u64) -> Option<Vec<u8>> {
+        self.shared.checkpoints.lock().get(&id).cloned()
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let queued = self.shared.ready.lock().len();
+        let counters = self.shared.counters.lock();
+        let mut per_backend: Vec<BackendThroughput> = counters
+            .per_backend
+            .iter()
+            .map(|(name, &(steps, seconds))| BackendThroughput {
+                backend: name.clone(),
+                steps,
+                seconds,
+            })
+            .collect();
+        per_backend.sort_by(|a, b| a.backend.cmp(&b.backend));
+        ServiceStats {
+            submitted: counters.submitted,
+            rejected: counters.rejected,
+            queued,
+            running: counters.running,
+            completed: counters.completed,
+            cancelled: counters.cancelled,
+            failed: counters.failed,
+            plan_hits: self.shared.cache.hits(),
+            plan_builds: self.shared.cache.builds(),
+            per_backend,
+        }
+    }
+
+    /// Jobs in flight right now (queued + running).
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Service {
+    /// Graceful drain: workers finish every admitted job, then exit.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One pool worker: lease → slice → requeue/finalize, until shutdown
+/// *and* an empty queue (drain semantics).
+fn worker_loop(shared: &Shared, team: usize) {
+    let pool = ExecPool::new(team);
+    loop {
+        let mut job = {
+            let mut ready = shared.ready.lock();
+            loop {
+                if let Some(job) = ready.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.ready_cv.wait(&mut ready);
+            }
+        };
+        shared.counters.lock().running += 1;
+        let disposition = run_slice(shared, &pool, &mut job);
+        shared.counters.lock().running -= 1;
+        match disposition {
+            Disposition::Requeue => {
+                shared.ready.lock().push_back(job);
+                shared.ready_cv.notify_one();
+            }
+            Disposition::Finished(status) => finalize(shared, job, status),
+        }
+    }
+}
+
+enum Disposition {
+    Requeue,
+    Finished(JobStatus),
+}
+
+/// Run one lease: materialize the state if needed, then up to
+/// `slice_steps` timesteps with frame streaming, periodic
+/// checkpointing, and cancellation checks at step boundaries.
+fn run_slice(shared: &Shared, pool: &ExecPool, job: &mut Active) -> Disposition {
+    // first lease: build from spec or decode the resume snapshot
+    if job.state.is_none() {
+        let init = job.init.take().expect("unmaterialized job has an init");
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match init {
+            Init::Fresh(spec) => Ok(JobState::new(spec)),
+            Init::Snapshot(bytes) => JobState::restore(&bytes),
+        }));
+        match built {
+            Ok(Ok(state)) => job.state = Some(state),
+            Ok(Err(e)) => return Disposition::Finished(JobStatus::Failed(e.to_string())),
+            Err(p) => return Disposition::Finished(JobStatus::Failed(panic_msg(&p))),
+        }
+    }
+    let state = job.state.as_mut().expect("state just materialized");
+    let spec = *state.spec();
+    let t0 = Instant::now();
+    let mut steps_this_slice = 0u64;
+    let status = loop {
+        if job.cancel.load(Ordering::Acquire) {
+            break Some(JobStatus::Cancelled);
+        }
+        if state.is_done() {
+            break Some(JobStatus::Completed);
+        }
+        if steps_this_slice >= shared.slice_steps {
+            break None;
+        }
+        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.step(pool, &job.cache, None)
+        }));
+        let value = match stepped {
+            Ok(v) => v,
+            Err(p) => break Some(JobStatus::Failed(panic_msg(&p))),
+        };
+        steps_this_slice += 1;
+        let step = state.steps_done();
+        // receivers may be gone (client dropped the handle) — keep going
+        let _ = job.frames.send(Frame { step, value });
+        if spec.checkpoint_every > 0 && step.is_multiple_of(spec.checkpoint_every) {
+            shared.checkpoints.lock().insert(job.id, state.snapshot());
+        }
+        if state.is_done() {
+            break Some(JobStatus::Completed);
+        }
+    };
+    let busy = t0.elapsed().as_secs_f64();
+    job.busy_seconds += busy;
+    {
+        let mut counters = shared.counters.lock();
+        let entry = counters
+            .per_backend
+            .entry(spec.backend.name())
+            .or_insert((0, 0.0));
+        entry.0 += steps_this_slice;
+        entry.1 += busy;
+    }
+    match status {
+        None => Disposition::Requeue,
+        Some(s) => Disposition::Finished(s),
+    }
+}
+
+/// Record the terminal state, store the final snapshot, release the
+/// admission slot, and deliver the outcome.
+fn finalize(shared: &Shared, job: Active, status: JobStatus) {
+    let (steps_done, history, snapshot) = match &job.state {
+        Some(state) => (
+            state.steps_done(),
+            state.history().to_vec(),
+            state.snapshot(),
+        ),
+        // failed before materializing: nothing to snapshot
+        None => (0, Vec::new(), Vec::new()),
+    };
+    {
+        let mut counters = shared.counters.lock();
+        match &status {
+            JobStatus::Completed => counters.completed += 1,
+            JobStatus::Cancelled => counters.cancelled += 1,
+            JobStatus::Failed(_) => counters.failed += 1,
+        }
+    }
+    if !snapshot.is_empty() {
+        shared.checkpoints.lock().insert(job.id, snapshot.clone());
+    }
+    shared.cancels.lock().remove(&job.id);
+    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    let _ = job.outcome.send(JobOutcome {
+        id: job.id,
+        spec: job.spec,
+        status,
+        steps_done,
+        history,
+        snapshot,
+        busy_seconds: job.busy_seconds,
+    });
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".into()
+    }
+}

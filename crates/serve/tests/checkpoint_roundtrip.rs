@@ -1,0 +1,65 @@
+//! Property test: snapshot at a random step k, restore, run to the
+//! end — the Δt/RMS history and every evolving dat must be
+//! bit-identical to the uninterrupted run, for both applications.
+
+use proptest::prelude::*;
+use ump_core::{Backend, ExecPool, PlanCache};
+use ump_serve::{App, JobSpec, JobState};
+
+fn run_roundtrip(app: App, nx: usize, ny: usize, seed: u64, steps: u64, k: u64) {
+    let backend = if seed.is_multiple_of(2) {
+        Backend::Seq
+    } else {
+        Backend::Threaded
+    };
+    let spec = JobSpec::new(app, nx, ny, backend, steps).with_seed(seed);
+    let pool = ExecPool::new(2);
+    let cache = PlanCache::new();
+
+    let mut uninterrupted = JobState::new(spec);
+    for _ in 0..steps {
+        uninterrupted.step(&pool, &cache, None);
+    }
+
+    let mut interrupted = JobState::new(spec);
+    for _ in 0..k {
+        interrupted.step(&pool, &cache, None);
+    }
+    let snap = interrupted.snapshot();
+    drop(interrupted); // the original is gone; only the bytes survive
+    let mut resumed = JobState::restore(&snap).expect("own snapshots restore");
+    assert_eq!(resumed.steps_done(), k);
+    for _ in k..steps {
+        resumed.step(&pool, &cache, None);
+    }
+
+    assert!(resumed.is_done());
+    assert!(
+        resumed.bits_eq(&uninterrupted),
+        "{app} {nx}x{ny} seed {seed}: restart at step {k}/{steps} diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn airfoil_restart_is_bit_identical(
+        seed in 0u64..1_000_000,
+        nx in 8usize..20,
+        ny in 4usize..12,
+        k in 1u64..5,
+    ) {
+        run_roundtrip(App::Airfoil, nx, ny, seed, 5, k);
+    }
+
+    #[test]
+    fn volna_restart_is_bit_identical(
+        seed in 0u64..1_000_000,
+        nx in 8usize..20,
+        ny in 6usize..14,
+        k in 1u64..5,
+    ) {
+        run_roundtrip(App::Volna, nx, ny, seed, 5, k);
+    }
+}

@@ -7,8 +7,10 @@
 //! scalar, threaded (colored blocks), explicitly-SIMD, SIMT-emulated,
 //! message-passing and fused lazy-execution ([`lazy`]) backends, plus
 //! the two benchmark applications
-//! (Airfoil CFD and the Volna tsunami code) and an analytic model of the
-//! paper's four machines.
+//! (Airfoil CFD and the Volna tsunami code), an analytic model of the
+//! paper's four machines, and a job-queue service layer ([`serve`])
+//! multiplexing simulations over shared pools with deterministic
+//! checkpoint/restart.
 //!
 //! ```
 //! use ump::apps::airfoil::{drivers, Airfoil};
@@ -35,4 +37,5 @@ pub use ump_lazy as lazy;
 pub use ump_mesh as mesh;
 pub use ump_minimpi as minimpi;
 pub use ump_part as part;
+pub use ump_serve as serve;
 pub use ump_simd as simd;
