@@ -31,16 +31,20 @@
 //! bench compares wall time). The scalar [`RankState::step`] and hybrid
 //! [`RankState::step_hybrid`] remain as references.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use ump_core::{
     distribute, extract_rows, ExecPool, LocalMesh, OpDat, PlanCache, Recorder, SharedDat,
 };
+use ump_fault::FaultInjector;
 use ump_lazy::{Chain, ExchangePolicy, LoopDesc, Shape};
 use ump_mesh::generators::AirfoilCase;
-use ump_minimpi::{Comm, PendingExchange, Universe};
+use ump_minimpi::{Comm, ExchangeGuard, PendingExchange, Universe};
 use ump_part::{rcb, Partition};
 use ump_simd::{Real, VecR};
+
+use crate::resilience::{resilient_loop, ResilientReport};
 
 use super::drivers; // scalar kernels reused through the local meshes
 use super::kernels::{adt_calc, bres_calc, res_calc, save_soln, update};
@@ -453,6 +457,13 @@ impl<R: Real> RankState<R> {
     /// overlapped or blocking exchanges — both compute in the same
     /// order, so their results are bit-identical. Returns the global
     /// normalized RMS via the rank-ordered (bit-reproducible) allreduce.
+    ///
+    /// With `guard: Some(_)` the exchange finishes route through the
+    /// [`ExchangeGuard`]: a halo receive that misses the guard's deadline
+    /// latches a typed timeout and the step completes on stale ghost
+    /// data instead of blocking forever — the resilient driver rolls the
+    /// step back at the next health vote. With `None`, a missing packet
+    /// panics after the universe watchdog (the fail-fast default).
     #[allow(clippy::too_many_arguments)]
     pub fn step_fused_chain<const L: usize>(
         &mut self,
@@ -464,6 +475,7 @@ impl<R: Real> RankState<R> {
         total_cells: usize,
         policy: ExchangePolicy,
         rec: Option<&Recorder>,
+        guard: Option<&ExchangeGuard>,
     ) -> f64 {
         let RankState {
             local,
@@ -569,7 +581,12 @@ impl<R: Real> RankState<R> {
                         },
                         move || {
                             let started = slot.lock().unwrap().take().expect("q exchange started");
-                            started.finish(comm, unsafe { qs.slice_mut(0, qs.len()) });
+                            match guard {
+                                Some(g) => {
+                                    g.finish(started, comm, unsafe { qs.slice_mut(0, qs.len()) })
+                                }
+                                None => started.finish(comm, unsafe { qs.slice_mut(0, qs.len()) }),
+                            }
                         },
                     );
                 }
@@ -589,7 +606,14 @@ impl<R: Real> RankState<R> {
                         move || {
                             let started =
                                 slot.lock().unwrap().take().expect("adt exchange started");
-                            started.finish(comm, unsafe { adts.slice_mut(0, adts.len()) });
+                            match guard {
+                                Some(g) => g.finish(started, comm, unsafe {
+                                    adts.slice_mut(0, adts.len())
+                                }),
+                                None => {
+                                    started.finish(comm, unsafe { adts.slice_mut(0, adts.len()) })
+                                }
+                            }
                         },
                     );
                 }
@@ -795,6 +819,7 @@ pub fn run_mpi_fused_with_partition<R: Real, const L: usize>(
                 total_cells,
                 policy,
                 None,
+                None,
             ));
         }
         (
@@ -856,6 +881,7 @@ pub fn step_mpi_fused<R: Real, const L: usize>(
                 total_cells,
                 ExchangePolicy::Overlap,
                 rec,
+                None,
             );
             (
                 (st.q.data, st.qold.data, st.adt.data, st.res.data),
@@ -893,6 +919,136 @@ pub fn rank_state_from_global<R: Real>(
     st.adt.data = extract_rows(&global.adt.data, 1, &st.local.cell_global);
     st.res.data = extract_rows(&global.res.data, 4, &st.local.cell_global);
     st
+}
+
+impl<R: Real> RankState<R> {
+    /// Serialize the rank's evolving dats (`q`, `qold`, `adt`, `res`)
+    /// as exact bit patterns — the rank-level coordinated-checkpoint
+    /// payload. Mesh topology, geometry, and constants are deterministic
+    /// functions of the case and partition, so they are rebuilt on
+    /// restart rather than stored.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((self.q.data.len() * 3 + self.adt.data.len()) * 8 + 256);
+        for dat in [&self.q, &self.qold, &self.adt, &self.res] {
+            dat.save(&mut out).expect("Vec<u8> writes are infallible");
+        }
+        out
+    }
+
+    /// Restore the evolving dats from [`RankState::snapshot`] bytes.
+    /// All-or-nothing: the state is untouched unless every dat decodes
+    /// and matches this rank's shape (typed error, never a panic).
+    pub fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut r = bytes;
+        let mut loaded = Vec::with_capacity(4);
+        for dat in [&self.q, &self.qold, &self.adt, &self.res] {
+            let got = OpDat::<R>::load(&mut r)?;
+            if got.set_size != dat.set_size || got.dim != dat.dim {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "snapshot dat {} is {}x{}, rank expects {}x{}",
+                        got.name, got.set_size, got.dim, dat.set_size, dat.dim
+                    ),
+                ));
+            }
+            loaded.push(got.data);
+        }
+        let mut it = loaded.into_iter();
+        self.q.data = it.next().unwrap();
+        self.qold.data = it.next().unwrap();
+        self.adt.data = it.next().unwrap();
+        self.res.data = it.next().unwrap();
+        Ok(())
+    }
+}
+
+/// As [`run_mpi_fused`], but fault-tolerant: each rank checkpoints its
+/// evolving dats every `checkpoint_every` steps (0 = initial state only)
+/// and the ranks run the coordinated health-vote/rollback protocol of
+/// [`resilient_loop`]. `injector` supplies deterministic faults (rank
+/// kills, dropped/delayed halo packets); `io_timeout` bounds every halo
+/// wait via an [`ExchangeGuard`], so an injected loss surfaces as a
+/// typed timeout and a rollback rather than a hang. Under any such plan
+/// the returned state and history are bit-identical to a fault-free run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mpi_fused_resilient<R: Real, const L: usize>(
+    case: &AirfoilCase,
+    n_ranks: usize,
+    threads_per_rank: usize,
+    block_size: usize,
+    iters: usize,
+    shape: Shape,
+    policy: ExchangePolicy,
+    checkpoint_every: usize,
+    injector: Option<Arc<FaultInjector>>,
+    io_timeout: Duration,
+) -> (OpDat<R>, Vec<f64>, ResilientReport) {
+    let mesh = &case.mesh;
+    let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+    let partition = rcb(&pts, n_ranks as u32);
+    let locals = distribute(mesh, &partition);
+    let total_cells = mesh.n_cells();
+
+    let mut universe = Universe::new(n_ranks);
+    if let Some(inj) = injector.clone() {
+        universe = universe.with_fault(inj);
+    }
+    let results = universe.run(|comm| {
+        let cache = PlanCache::new();
+        let pool = ExecPool::new(threads_per_rank);
+        let guard = ExchangeGuard::new(io_timeout);
+        let local = locals[comm.rank()].clone();
+        let mut state = RankState::<R>::new(case, local.clone());
+        let (history, report) = resilient_loop(
+            comm,
+            &guard,
+            injector.as_ref(),
+            iters,
+            checkpoint_every,
+            &mut state,
+            || RankState::<R>::new(case, local.clone()),
+            |st| st.snapshot(),
+            |st, bytes| st.restore(bytes).expect("rank checkpoint restore"),
+            |st, g| {
+                st.step_fused_chain::<L>(
+                    comm,
+                    &cache,
+                    &pool,
+                    shape,
+                    block_size,
+                    total_cells,
+                    policy,
+                    None,
+                    Some(g),
+                )
+            },
+        );
+        (
+            state.q.data,
+            state.local.cell_global.clone(),
+            state.local.n_owned_cells,
+            history,
+            report,
+        )
+    });
+
+    let history = results[0].3.clone();
+    let mut report = ResilientReport::default();
+    for (_, _, _, _, r) in &results {
+        report.merge(r);
+    }
+    let parts: Vec<(&[R], &[u32], usize)> = results
+        .iter()
+        .map(|(data, ids, n_owned, _, _)| (data.as_slice(), ids.as_slice(), *n_owned))
+        .collect();
+    let q = OpDat::from_vec(
+        "q",
+        total_cells,
+        4,
+        ump_core::dist::assemble_owned(&parts, total_cells, 4),
+    );
+    (q, history, report)
 }
 
 /// Convenience: SIMD lanes used by the hybrid rank drivers; re-exported

@@ -20,4 +20,7 @@
 #![deny(missing_docs)]
 
 pub mod airfoil;
+pub mod resilience;
 pub mod volna;
+
+pub use resilience::{resilient_loop, ResilientReport};

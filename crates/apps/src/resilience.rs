@@ -1,0 +1,136 @@
+//! Coordinated checkpoint/rollback for the distributed fused backends.
+//!
+//! The SPMD ranks of `run_mpi_fused` run in lockstep, so resilience is a
+//! *collective* protocol layered over the per-step loop:
+//!
+//! ```text
+//! per step:  health vote (allgather)          — any rank unhealthy?
+//!            yes → drain stale messages, restore the coordinated
+//!                  checkpoint on EVERY rank, truncate history, replay
+//!            no  → coordinated checkpoint at the cadence boundary,
+//!                  then one fused-chain step (halo timeouts latch into
+//!                  the rank's ExchangeGuard instead of blocking forever)
+//! ```
+//!
+//! A *killed* rank loses its in-memory state entirely and rebuilds from
+//! its mesh piece before restoring the checkpoint bytes — the bytes stand
+//! in for stable storage that survives the death. A rank whose halo
+//! exchange *timed out* finishes the step on stale ghost data (garbage,
+//! but no hang: every collective still completes) and reports unhealthy
+//! at the next vote, dragging every rank back to the checkpoint with it.
+//!
+//! Because every backend is deterministic for a fixed team size and
+//! injected faults are one-shot, the replay after recovery is the run
+//! that would have happened without the fault — the final state and the
+//! reduction history are **bit-identical** to a fault-free run, which is
+//! exactly what `tests/resilience.rs` sweeps.
+
+use std::sync::Arc;
+
+use ump_fault::FaultInjector;
+use ump_minimpi::{Comm, ExchangeGuard};
+
+/// What a resilient distributed run had to do to finish.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilientReport {
+    /// Coordinated rollbacks (all ranks agree on this count).
+    pub recoveries: usize,
+    /// Halo-exchange timeouts latched by any rank's guard (summed over
+    /// ranks by the drivers).
+    pub exchange_timeouts: u32,
+    /// Steps re-executed after rollbacks (per rank; identical on all).
+    pub replayed_steps: usize,
+}
+
+impl ResilientReport {
+    /// Fold another rank's report in (recoveries/replays are collective
+    /// and identical, timeouts are per-rank and add up).
+    pub fn merge(&mut self, other: &ResilientReport) {
+        self.recoveries = self.recoveries.max(other.recoveries);
+        self.exchange_timeouts += other.exchange_timeouts;
+        self.replayed_steps = self.replayed_steps.max(other.replayed_steps);
+    }
+}
+
+/// Drive `iters` steps of a rank-local simulation with coordinated
+/// checkpoint/rollback. Generic over the rank state `S` so Airfoil and
+/// Volna share one protocol:
+///
+/// * `reinit` — rebuild `S` from scratch (a killed rank's restart path),
+/// * `snapshot`/`restore` — the rank's evolving dats as bytes
+///   (bit-exact, [`ump_core::OpDat::save`] format),
+/// * `step` — one fused-chain step routing exchange finishes through the
+///   provided [`ExchangeGuard`]; returns the step's global reduction.
+///
+/// Returns the reduction history and the rank's [`ResilientReport`].
+#[allow(clippy::too_many_arguments)]
+pub fn resilient_loop<S>(
+    comm: &Comm,
+    guard: &ExchangeGuard,
+    injector: Option<&Arc<FaultInjector>>,
+    iters: usize,
+    checkpoint_every: usize,
+    state: &mut S,
+    reinit: impl Fn() -> S,
+    snapshot: impl Fn(&S) -> Vec<u8>,
+    restore: impl Fn(&mut S, &[u8]),
+    mut step: impl FnMut(&mut S, &ExchangeGuard) -> f64,
+) -> (Vec<f64>, ResilientReport) {
+    let mut history: Vec<f64> = Vec::with_capacity(iters);
+    let mut ckpt_step = 0usize;
+    let mut ckpt_bytes = snapshot(state);
+    let mut ckpt_history: Vec<f64> = Vec::new();
+    let mut report = ResilientReport::default();
+    let mut step_idx = 0usize;
+
+    while step_idx < iters {
+        let killed = injector.is_some_and(|inj| inj.on_rank_step(comm.rank(), step_idx as u64));
+        let unhealthy = killed || guard.failed();
+        // collective health vote: every rank sees every vote, so the
+        // recovery decision below is taken (or skipped) by all ranks
+        // together — the protocol can never leave ranks at different
+        // steps
+        let votes = comm.allgather(u8::from(unhealthy));
+        if votes.iter().any(|&v| v != 0) {
+            // stale halo packets from the failed step (including ones a
+            // timed-out guard left queued) must not leak into the replay
+            let _ = comm.drain_messages();
+            report.exchange_timeouts += guard.timeouts();
+            guard.reset();
+            if killed {
+                // process death: the in-memory state is gone; only the
+                // checkpoint bytes (stable storage) survive
+                *state = reinit();
+            }
+            restore(state, &ckpt_bytes);
+            history.clear();
+            history.extend_from_slice(&ckpt_history);
+            report.replayed_steps += step_idx - ckpt_step;
+            report.recoveries += 1;
+            step_idx = ckpt_step;
+            // note: the per-edge message-ordinal clock is NOT reset here —
+            // ranks leave recovery at different wall times, so a shared
+            // reset would race with early ranks' resumed sends; monotonic
+            // ordinals stay schedule-deterministic because the lockstep
+            // protocol makes the whole send sequence a pure function of
+            // the fault plan
+            continue;
+        }
+        // all ranks healthy and at the same step: a cadence boundary is
+        // a *coordinated* checkpoint (never taken on a faulted step —
+        // the vote above already cleared it)
+        if checkpoint_every > 0
+            && step_idx > 0
+            && step_idx.is_multiple_of(checkpoint_every)
+            && step_idx != ckpt_step
+        {
+            ckpt_step = step_idx;
+            ckpt_bytes = snapshot(state);
+            ckpt_history.clone_from(&history);
+        }
+        let rms = step(state, guard);
+        history.push(rms);
+        step_idx += 1;
+    }
+    (history, report)
+}

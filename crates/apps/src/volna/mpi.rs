@@ -23,15 +23,19 @@
 //! [`RankState::step`] and threaded [`RankState::step_threaded`] remain
 //! as references.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use ump_color::PlanInputs;
 use ump_core::{distribute, ExecPool, LocalMesh, OpDat, PlanCache, Recorder, Scheme, SharedDat};
+use ump_fault::FaultInjector;
 use ump_lazy::{Chain, ExchangePolicy, LoopDesc, Shape};
 use ump_mesh::generators::CoastalCase;
-use ump_minimpi::{Comm, PendingExchange, Universe};
+use ump_minimpi::{Comm, ExchangeGuard, PendingExchange, Universe};
 use ump_part::{rcb, Partition};
 use ump_simd::{Real, VecR};
+
+use crate::resilience::{resilient_loop, ResilientReport};
 
 use super::drivers;
 use super::kernels::{bc_flux, compute_flux, numerical_flux, rk_1, rk_2, sim_1, space_disc};
@@ -421,6 +425,11 @@ impl<R: Real> RankState<R> {
     /// Phi for: it merges deterministically (block order within the
     /// rank, rank order across ranks) inside the flux group's epilogue,
     /// before `RK_1` consumes it. Returns the globally-agreed Δt.
+    ///
+    /// With `guard: Some(_)` the `w`/`w1` exchange finishes route
+    /// through the [`ExchangeGuard`] — a missed halo deadline latches a
+    /// typed timeout and the step completes on stale ghost data (the
+    /// resilient driver rolls it back) instead of blocking forever.
     #[allow(clippy::too_many_arguments)]
     pub fn step_fused_chain<const L: usize>(
         &mut self,
@@ -431,6 +440,7 @@ impl<R: Real> RankState<R> {
         block_size: usize,
         policy: ExchangePolicy,
         rec: Option<&Recorder>,
+        guard: Option<&ExchangeGuard>,
     ) -> f64 {
         let g = R::from_f64(GRAVITY);
         let h_min = R::from_f64(H_MIN);
@@ -494,7 +504,12 @@ impl<R: Real> RankState<R> {
                     },
                     move || {
                         let started = slot.lock().unwrap().take().expect("w exchange started");
-                        started.finish(comm, unsafe { ws.slice_mut(0, ws.len()) });
+                        match guard {
+                            Some(g) => {
+                                g.finish(started, comm, unsafe { ws.slice_mut(0, ws.len()) })
+                            }
+                            None => started.finish(comm, unsafe { ws.slice_mut(0, ws.len()) }),
+                        }
                     },
                 );
             }
@@ -530,7 +545,14 @@ impl<R: Real> RankState<R> {
                         },
                         move || {
                             let started = slot.lock().unwrap().take().expect("w1 exchange started");
-                            started.finish(comm, unsafe { w1s.slice_mut(0, w1s.len()) });
+                            match guard {
+                                Some(g) => {
+                                    g.finish(started, comm, unsafe { w1s.slice_mut(0, w1s.len()) })
+                                }
+                                None => {
+                                    started.finish(comm, unsafe { w1s.slice_mut(0, w1s.len()) })
+                                }
+                            }
                         },
                     );
                 }
@@ -823,23 +845,24 @@ pub fn run_mpi_fused_with_partition<R: Real, const L: usize>(
     let total_cells = mesh.n_cells();
     let n_ranks = partition.n_parts as usize;
 
-    let results = Universe::new(n_ranks).run(|comm| {
-        let cache = PlanCache::new();
-        let pool = ExecPool::new(threads_per_rank);
-        let mut state = RankState::<R>::new(case, locals[comm.rank()].clone());
-        let mut history = Vec::with_capacity(steps);
-        for _ in 0..steps {
-            history.push(
-                state.step_fused_chain::<L>(comm, &cache, &pool, shape, block_size, policy, None),
-            );
-        }
-        (
-            state.w.data,
-            state.local.cell_global.clone(),
-            state.local.n_owned_cells,
-            history,
-        )
-    });
+    let results =
+        Universe::new(n_ranks).run(|comm| {
+            let cache = PlanCache::new();
+            let pool = ExecPool::new(threads_per_rank);
+            let mut state = RankState::<R>::new(case, locals[comm.rank()].clone());
+            let mut history = Vec::with_capacity(steps);
+            for _ in 0..steps {
+                history.push(state.step_fused_chain::<L>(
+                    comm, &cache, &pool, shape, block_size, policy, None, None,
+                ));
+            }
+            (
+                state.w.data,
+                state.local.cell_global.clone(),
+                state.local.n_owned_cells,
+                history,
+            )
+        });
 
     let history = results[0].3.clone();
     let parts: Vec<(&[R], &[u32], usize)> = results
@@ -853,6 +876,134 @@ pub fn run_mpi_fused_with_partition<R: Real, const L: usize>(
         ump_core::dist::assemble_owned(&parts, total_cells, 4),
     );
     (w, history)
+}
+
+impl<R: Real> RankState<R> {
+    /// Serialize the rank's evolving dats (`w`, `w_old`, `w1`, `res`,
+    /// `eflux`) as exact bit patterns — the rank-level
+    /// coordinated-checkpoint payload. Geometry (`area`, `egeom`,
+    /// `bgeom`) is a deterministic function of the case and partition
+    /// and is rebuilt on restart.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((self.w.data.len() * 4 + self.eflux.data.len()) * 8 + 320);
+        for dat in [&self.w, &self.w_old, &self.w1, &self.res, &self.eflux] {
+            dat.save(&mut out).expect("Vec<u8> writes are infallible");
+        }
+        out
+    }
+
+    /// Restore the evolving dats from [`RankState::snapshot`] bytes.
+    /// All-or-nothing: the state is untouched unless every dat decodes
+    /// and matches this rank's shape (typed error, never a panic).
+    pub fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut r = bytes;
+        let mut loaded = Vec::with_capacity(5);
+        for dat in [&self.w, &self.w_old, &self.w1, &self.res, &self.eflux] {
+            let got = OpDat::<R>::load(&mut r)?;
+            if got.set_size != dat.set_size || got.dim != dat.dim {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "snapshot dat {} is {}x{}, rank expects {}x{}",
+                        got.name, got.set_size, got.dim, dat.set_size, dat.dim
+                    ),
+                ));
+            }
+            loaded.push(got.data);
+        }
+        let mut it = loaded.into_iter();
+        self.w.data = it.next().unwrap();
+        self.w_old.data = it.next().unwrap();
+        self.w1.data = it.next().unwrap();
+        self.res.data = it.next().unwrap();
+        self.eflux.data = it.next().unwrap();
+        Ok(())
+    }
+}
+
+/// As [`run_mpi_fused`], but fault-tolerant: coordinated per-rank
+/// checkpoints every `checkpoint_every` steps (0 = initial state only)
+/// plus the health-vote/rollback protocol of [`resilient_loop`].
+/// `injector` supplies deterministic faults; `io_timeout` bounds every
+/// halo wait via an [`ExchangeGuard`]. Under any injected plan the
+/// returned state and Δt history are bit-identical to a fault-free run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mpi_fused_resilient<R: Real, const L: usize>(
+    case: &CoastalCase,
+    n_ranks: usize,
+    threads_per_rank: usize,
+    block_size: usize,
+    steps: usize,
+    shape: Shape,
+    policy: ExchangePolicy,
+    checkpoint_every: usize,
+    injector: Option<Arc<FaultInjector>>,
+    io_timeout: Duration,
+) -> (OpDat<R>, Vec<f64>, ResilientReport) {
+    let mesh = &case.mesh;
+    let pts: Vec<[f64; 2]> = (0..mesh.n_cells()).map(|c| mesh.cell_centroid(c)).collect();
+    let partition = rcb(&pts, n_ranks as u32);
+    let locals = distribute(mesh, &partition);
+    let total_cells = mesh.n_cells();
+
+    let mut universe = Universe::new(n_ranks);
+    if let Some(inj) = injector.clone() {
+        universe = universe.with_fault(inj);
+    }
+    let results = universe.run(|comm| {
+        let cache = PlanCache::new();
+        let pool = ExecPool::new(threads_per_rank);
+        let guard = ExchangeGuard::new(io_timeout);
+        let local = locals[comm.rank()].clone();
+        let mut state = RankState::<R>::new(case, local.clone());
+        let (history, report) = resilient_loop(
+            comm,
+            &guard,
+            injector.as_ref(),
+            steps,
+            checkpoint_every,
+            &mut state,
+            || RankState::<R>::new(case, local.clone()),
+            |st| st.snapshot(),
+            |st, bytes| st.restore(bytes).expect("rank checkpoint restore"),
+            |st, g| {
+                st.step_fused_chain::<L>(
+                    comm,
+                    &cache,
+                    &pool,
+                    shape,
+                    block_size,
+                    policy,
+                    None,
+                    Some(g),
+                )
+            },
+        );
+        (
+            state.w.data,
+            state.local.cell_global.clone(),
+            state.local.n_owned_cells,
+            history,
+            report,
+        )
+    });
+
+    let history = results[0].3.clone();
+    let mut report = ResilientReport::default();
+    for (_, _, _, _, r) in &results {
+        report.merge(r);
+    }
+    let parts: Vec<(&[R], &[u32], usize)> = results
+        .iter()
+        .map(|(data, ids, n_owned, _, _)| (data.as_slice(), ids.as_slice(), *n_owned))
+        .collect();
+    let w = OpDat::from_vec(
+        "w",
+        total_cells,
+        4,
+        ump_core::dist::assemble_owned(&parts, total_cells, 4),
+    );
+    (w, history, report)
 }
 
 /// Initialize a rank state from a *mid-simulation* global state (the
@@ -906,6 +1057,7 @@ pub fn step_mpi_fused<R: Real, const L: usize>(
                 block_size,
                 ExchangePolicy::Overlap,
                 rec,
+                None,
             );
             (
                 (st.w.data, st.w_old.data, st.w1.data, st.res.data),

@@ -86,6 +86,7 @@ fn main() {
                                     total_cells,
                                     policy,
                                     None,
+                                    None,
                                 );
                             }
                             comm.barrier();
@@ -100,6 +101,7 @@ fn main() {
                                     total_cells,
                                     policy,
                                     Some(rec),
+                                    None,
                                 );
                             }
                             comm.barrier();

@@ -36,7 +36,7 @@ fn print_help() {
     println!();
     println!("usage: repro <experiment>|all [--scale small|paper]");
     println!("       repro --smoke [--backends all|name,name,…]");
-    println!("       repro serve-smoke");
+    println!("       repro serve-smoke [--inject <seed>]");
     println!();
     println!("experiments:");
     println!("  {}", EXPERIMENTS.join(" "));
@@ -61,51 +61,85 @@ fn print_help() {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn main() -> std::process::ExitCode {
+    match parse_and_run(std::env::args().skip(1).collect()) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            eprintln!("repro: run with --help for usage");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
+
+/// Parse the CLI and dispatch. Every user-input error is a typed
+/// `Err` (exit code 2), never a panic — divergence inside an
+/// experiment still panics (exit code 101), which is what CI keys on.
+fn parse_and_run(args: Vec<String>) -> Result<(), String> {
     let mut scale = Scale::Small;
     let mut cmd = String::from("all");
     let mut smoke_run = false;
+    let mut serve_run = false;
+    let mut inject: Option<u64> = None;
     let mut backends: Vec<ExecBackend> = ExecBackend::all();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--help" | "-h" => {
                 print_help();
-                return;
+                return Ok(());
             }
             "--scale" => {
-                let v = it.next().expect("--scale needs a value");
-                scale = Scale::parse(v).expect("scale is small|paper");
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale =
+                    Scale::parse(v).ok_or_else(|| format!("bad scale {v} (want small|paper)"))?;
             }
             "--smoke" => smoke_run = true,
-            "serve-smoke" | "--serve-smoke" => {
-                serve_smoke();
-                return;
+            "serve-smoke" | "--serve-smoke" => serve_run = true,
+            "--inject" => {
+                let v = it.next().ok_or("--inject needs a seed")?;
+                inject = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --inject seed {v}: {e}"))?,
+                );
             }
             "--backends" => {
                 let v = it
                     .next()
-                    .expect("--backends needs a value (all|name,name,…)");
+                    .ok_or("--backends needs a value (all|name,name,…)")?;
                 if v != "all" {
                     backends = v
                         .split(',')
                         .map(|name| {
-                            ExecBackend::parse(name).unwrap_or_else(|| {
+                            ExecBackend::parse(name).ok_or_else(|| {
                                 let known: Vec<String> =
                                     ExecBackend::all().iter().map(|b| b.name()).collect();
-                                panic!("unknown backend {name}; registry: {}", known.join(" "))
+                                format!("unknown backend {name}; registry: {}", known.join(" "))
                             })
                         })
-                        .collect();
+                        .collect::<Result<_, _>>()?;
                 }
             }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => cmd = other.to_string(),
         }
     }
+    if serve_run {
+        serve_smoke(inject);
+        return Ok(());
+    }
+    if let Some(seed) = inject {
+        return Err(format!("--inject {seed} only applies to serve-smoke"));
+    }
     if smoke_run {
         smoke(&backends);
-        return;
+        return Ok(());
+    }
+    if cmd != "all" && !EXPERIMENTS.contains(&cmd.as_str()) {
+        return Err(format!(
+            "unknown experiment {cmd}; known: {}",
+            EXPERIMENTS.join(" ")
+        ));
     }
     let run = |c: &str| match c {
         "table1" => table1(),
@@ -124,10 +158,7 @@ fn main() {
         "fig8b" => fig8b(scale),
         "fig9" => fig9(scale),
         "fusion" => fusion(scale),
-        other => {
-            eprintln!("unknown experiment {other}");
-            print_help();
-        }
+        other => unreachable!("experiment {other} validated above"),
     };
     if cmd == "all" {
         for c in EXPERIMENTS {
@@ -136,6 +167,7 @@ fn main() {
     } else {
         run(&cmd);
     }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -1047,7 +1079,12 @@ fn smoke(backends: &[ExecBackend]) {
 /// reference driver to 1e-12, plus a kill/restore cycle asserted
 /// bit-identical and a shared-plan-cache reuse check. Any divergence
 /// panics (non-zero exit) — CI runs this next to `--smoke`.
-fn serve_smoke() {
+///
+/// With `--inject <seed>` a deterministic fault campaign derived from
+/// the seed (worker kill, kernel panic, lease stall, checkpoint
+/// corruption) runs on top, asserting every job recovers under its
+/// retry policy and still finishes bit-identical to a fault-free run.
+fn serve_smoke(inject: Option<u64>) {
     use ump_serve::{App, JobSpec, JobState, JobStatus, Service, ServiceConfig};
 
     header("serve smoke — 16 mixed jobs over 4 shared pools (ump_serve)");
@@ -1187,6 +1224,97 @@ fn serve_smoke() {
     );
     println!("kill/restore: bit-identical after restart  ok");
     println!("serve smoke ok (16 jobs / 4 pools, kill/restore bit-exact)");
+
+    if let Some(seed) = inject {
+        inject_smoke(seed);
+    }
+}
+
+/// The `--inject <seed>` campaign: four deterministic fault scenarios
+/// (kill, kernel panic, lease stall, checkpoint corruption) whose
+/// parameters are pure functions of the seed — the same seed always
+/// injects the same faults at the same steps. Each scenario runs on a
+/// fresh service (so the fault plan targets job id 1), must recover
+/// under the retry policy, and must finish bit-identical to the
+/// fault-free run of the same spec.
+fn inject_smoke(seed: u64) {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use ump_fault::FaultPlan;
+    use ump_serve::{App, JobSpec, JobState, JobStatus, RetryPolicy, Service, ServiceConfig};
+
+    header(&format!("serve fault injection — seed {seed}"));
+    let steps = 8u64;
+    let fault_step = 2 + seed % (steps - 2); // 1-based step in [2, steps-1]
+    let ckpt = 2 + seed % 3;
+    let scenarios: [(&str, FaultPlan); 4] = [
+        ("kill", FaultPlan::new().with_kill_job(1, fault_step)),
+        ("panic", FaultPlan::new().with_panic_step(1, fault_step)),
+        (
+            "stall",
+            FaultPlan::new().with_stall_step(1, fault_step, 60_000),
+        ),
+        (
+            "corrupt",
+            FaultPlan::new()
+                .with_corrupt_checkpoint(1, 0)
+                .with_kill_job(1, fault_step),
+        ),
+    ];
+    for (i, (name, plan)) in scenarios.into_iter().enumerate() {
+        let spec = if (seed + i as u64).is_multiple_of(2) {
+            JobSpec::new(App::Airfoil, 20, 10, ExecBackend::Fused, steps)
+        } else {
+            JobSpec::new(App::Volna, 14, 10, ExecBackend::Threaded, steps)
+        }
+        .with_seed(seed ^ i as u64)
+        .with_checkpoint_every(ckpt);
+
+        // fault-free golden run of the same spec
+        let pool = ExecPool::new(2);
+        let cache = PlanCache::new();
+        let mut golden = JobState::new(spec);
+        for _ in 0..steps {
+            golden.step(&pool, &cache, None);
+        }
+
+        let injector = Arc::new(plan.injector());
+        let service = Service::new(ServiceConfig {
+            pools: 1,
+            team: 2,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff: Duration::from_millis(2),
+            },
+            lease_timeout: Duration::from_millis(80),
+            fault: Some(injector.clone()),
+            ..ServiceConfig::default()
+        });
+        let out = service
+            .submit(spec)
+            .unwrap_or_else(|r| panic!("{name}: rejected: {r:?}"))
+            .wait();
+        assert_eq!(out.status, JobStatus::Completed, "{name} did not recover");
+        assert!(
+            out.final_state().bits_eq(&golden),
+            "{name}: recovered run diverged from fault-free run"
+        );
+        let stats = service.stats();
+        assert!(injector.injected() >= 1, "{name}: fault never fired");
+        assert!(stats.retried >= 1, "{name}: recovery did not use a retry");
+        for line in injector.fired() {
+            println!("  [{name}] {line}");
+        }
+        println!(
+            "  [{name}] {} {}: recovered after {} retr{} (watchdog {}), bit-identical  ok",
+            spec.app,
+            spec.backend,
+            stats.retried,
+            if stats.retried == 1 { "y" } else { "ies" },
+            stats.watchdog_fired,
+        );
+    }
+    println!("fault injection ok (4 scenarios, seed {seed}, all bit-exact)");
 }
 
 fn fig9(scale: Scale) {

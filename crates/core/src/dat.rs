@@ -184,6 +184,12 @@ impl<R: Real> OpDat<R> {
             )));
         }
         let name_len = read_u32(r)? as usize;
+        // length fields are untrusted (a corrupt snapshot can hold any
+        // bits): bound them so damage surfaces as InvalidData, not as a
+        // multi-gigabyte allocation
+        if name_len > 4096 {
+            return Err(bad_data(format!("dat name length {name_len} implausible")));
+        }
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
         let name = String::from_utf8(name).map_err(|e| bad_data(format!("dat name: {e}")))?;
@@ -192,7 +198,9 @@ impl<R: Real> OpDat<R> {
         let n = set_size
             .checked_mul(dim)
             .ok_or_else(|| bad_data("dat shape overflow".into()))?;
-        let mut data = Vec::with_capacity(n);
+        // grow-on-demand past a sane pre-size: a truncated stream then
+        // fails in read_u64 long before a bogus `n` can exhaust memory
+        let mut data = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
             data.push(R::from_f64(f64::from_bits(read_u64(r)?)));
         }

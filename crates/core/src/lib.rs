@@ -54,5 +54,5 @@ pub use exec::{
 };
 pub use instrument::{FusionStats, LoopStats, Recorder};
 pub use plan::{PlanCache, Scheme};
-pub use pool::{simd_block_sweep, simt_block_sweep, ExecPool};
+pub use pool::{simd_block_sweep, simt_block_sweep, ExecPool, PoolPanic};
 pub use profile::LoopProfile;

@@ -145,6 +145,10 @@ struct Shared {
     /// Most workers a round admits (set per round, read by entrants).
     max_entrants: AtomicUsize,
     panicked: AtomicBool,
+    /// Message of the first worker panic of the current round — carried
+    /// to the dispatcher so the re-raised error names the actual
+    /// failure instead of a generic "a worker panicked".
+    panic_note: Mutex<Option<String>>,
     shutdown: AtomicBool,
     /// Workers currently parked on `cv` (maintained under `wake`).
     parked: AtomicUsize,
@@ -177,6 +181,39 @@ pub struct ExecPool {
     /// Lifetime count of dispatched rounds (see
     /// [`dispatch_rounds`](ExecPool::dispatch_rounds)).
     rounds: AtomicU64,
+    /// Fast gate for the fault hook: one relaxed load per round when
+    /// unarmed, so fault-free runs pay nothing measurable.
+    fault_armed: AtomicBool,
+    fault: Mutex<Option<Arc<ump_fault::FaultInjector>>>,
+}
+
+/// Typed form of a panic that escaped a color round — what
+/// [`ExecPool::try_run_round`] returns instead of unwinding, so a
+/// service worker can fail one job without tearing anything else down.
+#[derive(Clone, Debug)]
+pub struct PoolPanic {
+    /// The panic payload's message (panic location metadata is not
+    /// recoverable from a payload; string payloads are carried whole).
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool round panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for PoolPanic {}
+
+/// Best-effort message extraction from a panic payload.
+pub fn panic_payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl ExecPool {
@@ -195,6 +232,7 @@ impl ExecPool {
             round_state: AtomicUsize::new(CLOSED),
             max_entrants: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            panic_note: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             parked: AtomicUsize::new(0),
             wake: Mutex::new(0),
@@ -215,7 +253,25 @@ impl ExecPool {
             workers,
             team,
             rounds: AtomicU64::new(0),
+            fault_armed: AtomicBool::new(false),
+            fault: Mutex::new(None),
         }
+    }
+
+    /// Arm a fault injector: each subsequent round's lifetime index
+    /// (the [`dispatch_rounds`](ExecPool::dispatch_rounds) counter) is
+    /// offered to [`ump_fault::FaultInjector::on_round`], and a match
+    /// panics inside that round's kernel body — on whichever thread
+    /// pulls the first chunk, exercising the real containment path.
+    pub fn arm_fault(&self, inj: Arc<ump_fault::FaultInjector>) {
+        *self.fault.lock() = Some(inj);
+        self.fault_armed.store(true, Ordering::Release);
+    }
+
+    /// Remove the armed fault injector, restoring the zero-cost path.
+    pub fn disarm_fault(&self) {
+        self.fault.lock().take();
+        self.fault_armed.store(false, Ordering::Release);
     }
 
     /// Team size (dispatching caller + persistent workers).
@@ -276,7 +332,22 @@ impl ExecPool {
         chunk: usize,
         body: &(dyn Fn(usize) + Sync),
     ) {
-        self.rounds.fetch_add(1, Ordering::Relaxed);
+        let round_idx = self.rounds.fetch_add(1, Ordering::Relaxed);
+        let injected_body;
+        let body: &(dyn Fn(usize) + Sync) = if self.fault_armed.load(Ordering::Acquire)
+            && self
+                .fault
+                .lock()
+                .as_ref()
+                .is_some_and(|inj| inj.on_round(round_idx))
+        {
+            injected_body = move |_i: usize| {
+                panic!("injected fault: kernel body panic in pool round {round_idx}")
+            };
+            &injected_body
+        } else {
+            body
+        };
         let cap = self.cap(max_threads);
         // Inline paths: trivial rounds, single-thread caps, and nested
         // dispatch from inside a round body (which would deadlock on the
@@ -348,11 +419,37 @@ impl ExecPool {
 
         if let Err(payload) = result {
             shared.panicked.store(false, Ordering::Relaxed);
+            shared.panic_note.lock().take();
             std::panic::resume_unwind(payload);
         }
         if shared.panicked.swap(false, Ordering::Relaxed) {
-            panic!("ExecPool: a worker panicked during a color round");
+            match shared.panic_note.lock().take() {
+                Some(note) => {
+                    panic!("ExecPool: a worker panicked during a color round: {note}")
+                }
+                None => panic!("ExecPool: a worker panicked during a color round"),
+            }
         }
+    }
+
+    /// [`run_round`](ExecPool::run_round) with the escaped panic
+    /// returned as a typed [`PoolPanic`] instead of unwinding. The
+    /// round still quiesces fully before this returns (drained cursor,
+    /// released claims), so the pool remains usable — the property the
+    /// service workers rely on to fail one job and keep serving.
+    pub fn try_run_round(
+        &self,
+        n_items: usize,
+        max_threads: usize,
+        chunk: usize,
+        body: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), PoolPanic> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.run_round(n_items, max_threads, chunk, body)
+        }))
+        .map_err(|payload| PoolPanic {
+            message: panic_payload_msg(payload.as_ref()),
+        })
     }
 
     /// Colored-block execution on this pool (the OpenMP backend's shape):
@@ -607,7 +704,12 @@ fn worker_loop(shared: &Shared) {
             IN_ROUND.with(|f| f.set(true));
             let result = catch_unwind(AssertUnwindSafe(|| round.pull()));
             IN_ROUND.with(|f| f.set(false));
-            if result.is_err() {
+            if let Err(payload) = &result {
+                let mut note = shared.panic_note.lock();
+                if note.is_none() {
+                    *note = Some(panic_payload_msg(payload.as_ref()));
+                }
+                drop(note);
                 shared.panicked.store(true, Ordering::Relaxed);
                 round.drain();
             }

@@ -1,0 +1,516 @@
+//! # ump-fault — seeded, schedule-deterministic fault injection
+//!
+//! The resilience layer's contract is a *golden guarantee*: under any
+//! injected fault plan, a recovered run must finish bit-identical to the
+//! fault-free run. Testing that requires faults that are themselves
+//! reproducible — a fault keyed to wall-clock time fires at a different
+//! logical point every run and turns every recovery test into a flake.
+//!
+//! Every fault here is therefore keyed to a **logical coordinate** of
+//! the execution schedule, never to time:
+//!
+//! * service faults fire at `(job id, 1-based step index)`;
+//! * distributed faults fire at `(rank, step)` or at the *nth*
+//!   point-to-point message on a `(from, to)` edge — each rank's sends
+//!   are totally ordered by its own program order, so the nth message is
+//!   the same message on every run;
+//! * pool faults fire at the nth dispatched color round;
+//! * snapshot corruption flips a fixed byte of a named job's next
+//!   checkpoint.
+//!
+//! A [`FaultPlan`] is the declarative list (built explicitly or derived
+//! from a seed via [`FaultRng`] — same seed ⇒ same plan ⇒ same fault
+//! sequence); a [`FaultInjector`] is its runtime form, consulted through
+//! cheap hooks in `ExecPool`, `ump_minimpi::Comm`, and `ump_serve`'s
+//! step loop. Hooks cost one branch (and for messages one counter bump)
+//! when armed and nothing at all when no injector is installed. Every
+//! fault is **one-shot**: it fires once and is consumed, so the replay
+//! after a recovery does not re-trip the same fault forever.
+
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One injectable fault, keyed by logical schedule coordinates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Kill the worker leasing `job` at the start of its `step`th
+    /// timestep (1-based): the slice aborts as if the executing worker
+    /// died, leaving the job failed and eligible for retry.
+    KillJob {
+        /// Service-assigned job id.
+        job: u64,
+        /// 1-based step index at which the kill fires.
+        step: u64,
+    },
+    /// Panic inside the kernel body of `job`'s `step`th timestep —
+    /// exercises the service's panic containment rather than a clean
+    /// abort.
+    PanicStep {
+        /// Service-assigned job id.
+        job: u64,
+        /// 1-based step index at which the panic fires.
+        step: u64,
+    },
+    /// Stall `job` at its `step`th timestep for `millis` (cooperatively
+    /// interruptible) — the stuck-job shape the lease watchdog must
+    /// catch.
+    StallStep {
+        /// Service-assigned job id.
+        job: u64,
+        /// 1-based step index at which the stall begins.
+        step: u64,
+        /// Stall length in milliseconds (pick ≫ the lease timeout).
+        millis: u64,
+    },
+    /// XOR `0xff` into byte `byte % len` of `job`'s next stored
+    /// checkpoint — the retry path must detect the damage (typed decode
+    /// error, never a panic) and fall back.
+    CorruptCheckpoint {
+        /// Service-assigned job id.
+        job: u64,
+        /// Byte offset (reduced modulo the snapshot length).
+        byte: u64,
+    },
+    /// Kill rank `rank` at the start of distributed step `step`
+    /// (0-based): the rank loses its in-memory state and must rebuild
+    /// from the coordinated checkpoint.
+    KillRank {
+        /// Rank id in `[0, size)`.
+        rank: usize,
+        /// 0-based step index at which the rank dies.
+        step: u64,
+    },
+    /// Drop the `nth` (1-based) point-to-point message sent from rank
+    /// `from` to rank `to`.
+    DropMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 1-based per-`(from, to)` send ordinal.
+        nth: u64,
+    },
+    /// Delay the `nth` message on `(from, to)` by `millis` — pick a
+    /// delay past the receive deadline to force a typed timeout.
+    DelayMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 1-based per-`(from, to)` send ordinal.
+        nth: u64,
+        /// Added wire latency in milliseconds.
+        millis: u64,
+    },
+    /// Deliver the `nth` message on `(from, to)` twice — the transport
+    /// must deduplicate (sequence numbers) or the stale copy poisons a
+    /// later receive on the same tag.
+    DuplicateMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// 1-based per-`(from, to)` send ordinal.
+        nth: u64,
+    },
+    /// Panic at the start of the `round`th color round dispatched on an
+    /// armed `ExecPool` (0-based over the pool's lifetime) — the kernel
+    /// body panic of the pool-containment tests.
+    PanicRound {
+        /// 0-based lifetime round index on the armed pool.
+        round: u64,
+    },
+}
+
+impl Fault {
+    fn describe(&self) -> String {
+        match self {
+            Fault::KillJob { job, step } => format!("kill job {job} at step {step}"),
+            Fault::PanicStep { job, step } => format!("panic job {job} at step {step}"),
+            Fault::StallStep { job, step, millis } => {
+                format!("stall job {job} at step {step} for {millis}ms")
+            }
+            Fault::CorruptCheckpoint { job, byte } => {
+                format!("corrupt checkpoint of job {job} at byte {byte}")
+            }
+            Fault::KillRank { rank, step } => format!("kill rank {rank} at step {step}"),
+            Fault::DropMessage { from, to, nth } => {
+                format!("drop message {from}->{to} #{nth}")
+            }
+            Fault::DelayMessage {
+                from,
+                to,
+                nth,
+                millis,
+            } => format!("delay message {from}->{to} #{nth} by {millis}ms"),
+            Fault::DuplicateMessage { from, to, nth } => {
+                format!("duplicate message {from}->{to} #{nth}")
+            }
+            Fault::PanicRound { round } => format!("panic pool round {round}"),
+        }
+    }
+}
+
+/// A declarative list of faults. Build one explicitly with the
+/// `with_*` methods, or derive coordinates from a seed through
+/// [`FaultRng`] — either way the plan is a pure value: printing it
+/// tells you exactly what will break and where.
+///
+/// ```
+/// use ump_fault::{Fault, FaultPlan};
+///
+/// let plan = FaultPlan::new()
+///     .with_kill_job(3, 5)
+///     .with_drop_message(0, 1, 2);
+/// assert_eq!(plan.faults().len(), 2);
+/// assert_eq!(plan.faults()[0], Fault::KillJob { job: 3, step: 5 });
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The planned faults, in declaration order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Add an arbitrary fault.
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Kill the worker running `job` at its `step`th timestep.
+    pub fn with_kill_job(self, job: u64, step: u64) -> FaultPlan {
+        self.with(Fault::KillJob { job, step })
+    }
+
+    /// Panic inside `job`'s `step`th kernel body.
+    pub fn with_panic_step(self, job: u64, step: u64) -> FaultPlan {
+        self.with(Fault::PanicStep { job, step })
+    }
+
+    /// Stall `job` at `step` for `millis` milliseconds.
+    pub fn with_stall_step(self, job: u64, step: u64, millis: u64) -> FaultPlan {
+        self.with(Fault::StallStep { job, step, millis })
+    }
+
+    /// Corrupt a byte of `job`'s next stored checkpoint.
+    pub fn with_corrupt_checkpoint(self, job: u64, byte: u64) -> FaultPlan {
+        self.with(Fault::CorruptCheckpoint { job, byte })
+    }
+
+    /// Kill `rank` at distributed step `step`.
+    pub fn with_kill_rank(self, rank: usize, step: u64) -> FaultPlan {
+        self.with(Fault::KillRank { rank, step })
+    }
+
+    /// Drop the `nth` message from `from` to `to`.
+    pub fn with_drop_message(self, from: usize, to: usize, nth: u64) -> FaultPlan {
+        self.with(Fault::DropMessage { from, to, nth })
+    }
+
+    /// Delay the `nth` message from `from` to `to` by `millis`.
+    pub fn with_delay_message(self, from: usize, to: usize, nth: u64, millis: u64) -> FaultPlan {
+        self.with(Fault::DelayMessage {
+            from,
+            to,
+            nth,
+            millis,
+        })
+    }
+
+    /// Duplicate the `nth` message from `from` to `to`.
+    pub fn with_duplicate_message(self, from: usize, to: usize, nth: u64) -> FaultPlan {
+        self.with(Fault::DuplicateMessage { from, to, nth })
+    }
+
+    /// Panic at the pool's `round`th dispatched color round.
+    pub fn with_panic_round(self, round: u64) -> FaultPlan {
+        self.with(Fault::PanicRound { round })
+    }
+
+    /// Arm the plan: build its runtime injector.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(self.clone())
+    }
+}
+
+/// A tiny deterministic generator (xorshift64*) for deriving fault
+/// coordinates from a seed — same seed, same stream, no global state.
+/// Not a statistical RNG; it only has to spread kill points around.
+#[derive(Clone, Debug)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// Seed the stream (a zero seed is remapped — xorshift fixes 0).
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng(if seed == 0 { 0x9e3779b97f4a7c15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform-ish value in `[lo, hi)` (`hi > lo`).
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// What the service step hook asks a job to do at a step boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobFault {
+    /// Abort the slice as if the worker died.
+    Kill,
+    /// Panic inside the step (exercises catch-unwind containment).
+    Panic,
+    /// Sleep (interruptibly) — the watchdog's prey.
+    Stall(Duration),
+}
+
+/// What the transport should do with one outgoing message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageAction {
+    /// Send normally.
+    Deliver,
+    /// Silently discard (the receiver's deadline must catch it).
+    Drop,
+    /// Add wire latency before the message becomes visible.
+    Delay(Duration),
+    /// Enqueue the message twice (same sequence number).
+    Duplicate,
+}
+
+/// The armed, runtime form of a [`FaultPlan`]: hook points consult it
+/// with logical coordinates and it answers with the matching one-shot
+/// fault, atomically consuming it. Shared via `Arc` between a service /
+/// universe and the test that asserts on [`fired`](FaultInjector::fired).
+#[derive(Debug)]
+pub struct FaultInjector {
+    faults: Vec<(Fault, AtomicBool)>,
+    /// Messages sent so far per `(from, to)` edge — the schedule clock
+    /// for message faults.
+    send_counts: Mutex<HashMap<(usize, usize), u64>>,
+    fired: Mutex<Vec<String>>,
+}
+
+impl FaultInjector {
+    /// Arm a plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            faults: plan
+                .faults
+                .into_iter()
+                .map(|f| (f, AtomicBool::new(false)))
+                .collect(),
+            send_counts: Mutex::new(HashMap::new()),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Consume the first unconsumed fault matched by `pick`.
+    fn take(&self, pick: impl Fn(&Fault) -> bool) -> Option<&Fault> {
+        for (fault, consumed) in &self.faults {
+            if pick(fault) && !consumed.swap(true, Ordering::AcqRel) {
+                self.fired.lock().unwrap().push(fault.describe());
+                return Some(fault);
+            }
+        }
+        None
+    }
+
+    /// Service hook: consulted at the start of `job`'s `step`th
+    /// timestep (1-based).
+    pub fn on_job_step(&self, job: u64, step: u64) -> Option<JobFault> {
+        self.take(|f| {
+            matches!(f,
+                Fault::KillJob { job: j, step: s }
+                | Fault::PanicStep { job: j, step: s }
+                | Fault::StallStep { job: j, step: s, .. } if *j == job && *s == step)
+        })
+        .map(|f| match f {
+            Fault::KillJob { .. } => JobFault::Kill,
+            Fault::PanicStep { .. } => JobFault::Panic,
+            Fault::StallStep { millis, .. } => JobFault::Stall(Duration::from_millis(*millis)),
+            _ => unreachable!("take matched a job fault"),
+        })
+    }
+
+    /// Service hook: byte to corrupt in `job`'s next stored checkpoint,
+    /// if planned.
+    pub fn corrupt_checkpoint(&self, job: u64) -> Option<u64> {
+        match self.take(|f| matches!(f, Fault::CorruptCheckpoint { job: j, .. } if *j == job)) {
+            Some(Fault::CorruptCheckpoint { byte, .. }) => Some(*byte),
+            _ => None,
+        }
+    }
+
+    /// Distributed hook: does `rank` die at the start of `step`?
+    pub fn on_rank_step(&self, rank: usize, step: u64) -> bool {
+        self.take(|f| matches!(f, Fault::KillRank { rank: r, step: s } if *r == rank && *s == step))
+            .is_some()
+    }
+
+    /// Transport hook: called once per send on the `(from, to)` edge,
+    /// in the sender's program order. Bumps the edge's send ordinal and
+    /// answers what to do with this message.
+    pub fn on_send(&self, from: usize, to: usize) -> MessageAction {
+        let nth = {
+            let mut counts = self.send_counts.lock().unwrap();
+            let c = counts.entry((from, to)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let matched = self.take(|f| {
+            matches!(f,
+                Fault::DropMessage { from: a, to: b, nth: n }
+                | Fault::DelayMessage { from: a, to: b, nth: n, .. }
+                | Fault::DuplicateMessage { from: a, to: b, nth: n }
+                    if *a == from && *b == to && *n == nth)
+        });
+        match matched {
+            Some(Fault::DropMessage { .. }) => MessageAction::Drop,
+            Some(Fault::DelayMessage { millis, .. }) => {
+                MessageAction::Delay(Duration::from_millis(*millis))
+            }
+            Some(Fault::DuplicateMessage { .. }) => MessageAction::Duplicate,
+            _ => MessageAction::Deliver,
+        }
+    }
+
+    /// Pool hook: does the `round`th dispatched color round panic?
+    pub fn on_round(&self, round: u64) -> bool {
+        self.take(|f| matches!(f, Fault::PanicRound { round: r } if *r == round))
+            .is_some()
+    }
+
+    /// Reset the per-edge send ordinals (a recovery rollback replays
+    /// the communication schedule from the checkpoint; consumed faults
+    /// stay consumed, so the replay runs clean).
+    pub fn reset_send_counts(&self) {
+        self.send_counts.lock().unwrap().clear();
+    }
+
+    /// Human-readable log of every fault that fired, in firing order.
+    pub fn fired(&self) -> Vec<String> {
+        self.fired.lock().unwrap().clone()
+    }
+
+    /// Number of faults that have fired so far.
+    pub fn injected(&self) -> usize {
+        self.fired.lock().unwrap().len()
+    }
+
+    /// `true` once every planned fault has fired — the "did the test
+    /// actually exercise recovery" assertion.
+    pub fn exhausted(&self) -> bool {
+        self.faults
+            .iter()
+            .all(|(_, consumed)| consumed.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_faults_fire_once_at_their_coordinate() {
+        let inj = FaultPlan::new()
+            .with_kill_job(2, 3)
+            .with_panic_step(2, 5)
+            .injector();
+        assert_eq!(inj.on_job_step(2, 1), None);
+        assert_eq!(inj.on_job_step(1, 3), None);
+        assert_eq!(inj.on_job_step(2, 3), Some(JobFault::Kill));
+        // one-shot: the replayed step sails through
+        assert_eq!(inj.on_job_step(2, 3), None);
+        assert_eq!(inj.on_job_step(2, 5), Some(JobFault::Panic));
+        assert!(inj.exhausted());
+        assert_eq!(inj.fired().len(), 2);
+    }
+
+    #[test]
+    fn message_faults_key_on_per_edge_send_order() {
+        let inj = FaultPlan::new()
+            .with_drop_message(0, 1, 2)
+            .with_delay_message(1, 0, 1, 50)
+            .injector();
+        // edge (0,1): first send clean, second dropped, third clean
+        assert_eq!(inj.on_send(0, 1), MessageAction::Deliver);
+        assert_eq!(inj.on_send(0, 1), MessageAction::Drop);
+        assert_eq!(inj.on_send(0, 1), MessageAction::Deliver);
+        // edge (1,0) counts independently
+        assert_eq!(
+            inj.on_send(1, 0),
+            MessageAction::Delay(Duration::from_millis(50))
+        );
+        assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn reset_send_counts_replays_the_schedule_clock() {
+        let inj = FaultPlan::new().with_drop_message(0, 1, 1).injector();
+        assert_eq!(inj.on_send(0, 1), MessageAction::Drop);
+        inj.reset_send_counts();
+        // ordinal 1 again, but the fault is consumed: clean replay
+        assert_eq!(inj.on_send(0, 1), MessageAction::Deliver);
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let a: Vec<u64> = {
+            let mut r = FaultRng::new(42);
+            (0..8).map(|_| r.gen_range(0, 1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = FaultRng::new(42);
+            (0..8).map(|_| r.gen_range(0, 1000)).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = FaultRng::new(43);
+            (0..8).map(|_| r.gen_range(0, 1000)).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn rank_and_round_faults() {
+        let inj = FaultPlan::new()
+            .with_kill_rank(1, 4)
+            .with_panic_round(7)
+            .with_corrupt_checkpoint(9, 13)
+            .injector();
+        assert!(!inj.on_rank_step(1, 3));
+        assert!(!inj.on_rank_step(0, 4));
+        assert!(inj.on_rank_step(1, 4));
+        assert!(!inj.on_rank_step(1, 4));
+        assert!(!inj.on_round(6));
+        assert!(inj.on_round(7));
+        assert!(!inj.on_round(7));
+        assert_eq!(inj.corrupt_checkpoint(8), None);
+        assert_eq!(inj.corrupt_checkpoint(9), Some(13));
+        assert_eq!(inj.injected(), 3);
+    }
+}

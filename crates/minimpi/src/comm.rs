@@ -2,11 +2,14 @@
 //! reductions.
 
 use std::any::Any;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use ump_fault::{FaultInjector, MessageAction};
 
 /// Default receive-watchdog timeout.
 const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
@@ -14,11 +17,44 @@ const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 struct Message {
     from: usize,
     tag: u64,
+    /// Per-`(from, to)` send sequence number. Stamped on every send so
+    /// the receiver can discard an injected duplicate — tags are reused
+    /// across steps, so without this a stale copy would silently poison
+    /// a *later* receive on the same `(from, tag)`.
+    seq: u64,
     /// When the message becomes visible to the receiver — send time plus
     /// the universe's modeled wire latency (= send time when zero).
     deliver_at: Instant,
     data: Box<dyn Any + Send>,
 }
+
+/// Typed receive failure: the watchdog deadline elapsed with no
+/// matching message visible. Returned by [`Comm::recv_deadline`];
+/// [`Comm::recv`] converts it into the classic watchdog panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecvError {
+    /// Rank the receive was matching on.
+    pub from: usize,
+    /// Tag the receive was matching on.
+    pub tag: u64,
+    /// Deadline that elapsed.
+    pub waited: Duration,
+    /// Unmatched messages buffered on the receiver when it gave up.
+    pub pending: usize,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recv(from={}, tag={}) timed out after {:?} — deadlock? \
+             {} unmatched message(s) pending",
+            self.from, self.tag, self.waited, self.pending
+        )
+    }
+}
+
+impl std::error::Error for RecvError {}
 
 /// Shared collective state: one barrier + a slot array for
 /// gather-style collectives.
@@ -33,6 +69,7 @@ pub struct Universe {
     n_ranks: usize,
     timeout: Duration,
     latency: Duration,
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl Universe {
@@ -43,6 +80,7 @@ impl Universe {
             n_ranks,
             timeout: DEFAULT_TIMEOUT,
             latency: Duration::ZERO,
+            fault: None,
         }
     }
 
@@ -67,6 +105,16 @@ impl Universe {
         self
     }
 
+    /// Arm a fault injector on every rank's transport: each send
+    /// consults it (drop / delay / duplicate by per-edge send ordinal)
+    /// and receivers deduplicate injected copies by sequence number.
+    /// Without an injector the transport's only overhead is the one
+    /// relaxed counter bump per send that stamps the sequence number.
+    pub fn with_fault(mut self, fault: Arc<FaultInjector>) -> Universe {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Run the SPMD closure on every rank; returns the per-rank results
     /// in rank order. Panics propagate (a failing rank fails the run).
     pub fn run<T, F>(&self, f: F) -> Vec<T>
@@ -88,12 +136,14 @@ impl Universe {
         }
         let timeout = self.timeout;
         let latency = self.latency;
+        let fault = self.fault.clone();
         let f = &f;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, rx) in rxs.into_iter().enumerate() {
                 let txs = txs.clone();
                 let shared = Arc::clone(&shared);
+                let fault = fault.clone();
                 handles.push(scope.spawn(move || {
                     let comm = Comm {
                         rank,
@@ -104,6 +154,9 @@ impl Universe {
                         shared,
                         timeout,
                         latency,
+                        fault,
+                        send_seqs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                        delivered: Mutex::new(vec![HashSet::new(); n]),
                     };
                     f(&comm)
                 }));
@@ -157,6 +210,13 @@ pub struct Comm {
     shared: Arc<Shared>,
     timeout: Duration,
     latency: Duration,
+    fault: Option<Arc<FaultInjector>>,
+    /// Per-destination send sequence counters (stamp [`Message::seq`]).
+    send_seqs: Vec<AtomicU64>,
+    /// Per-sender sets of delivered sequence numbers — consulted and
+    /// grown only while a fault injector is armed (duplicates can only
+    /// be injected), so fault-free runs pay nothing here.
+    delivered: Mutex<Vec<HashSet<u64>>>,
 }
 
 impl Comm {
@@ -170,15 +230,52 @@ impl Comm {
         self.size
     }
 
+    /// The configured receive-watchdog timeout ([`Comm::recv`]'s
+    /// deadline; exchange `finish` uses it as the per-peer budget).
+    pub fn watchdog(&self) -> Duration {
+        self.timeout
+    }
+
     /// Send `value` to rank `to` with a user `tag`. Non-blocking
     /// (buffered, like `MPI_Isend` + background progress).
-    pub fn send<T: Send + 'static>(&self, to: usize, tag: u64, value: T) {
+    ///
+    /// With a fault injector armed ([`Universe::with_fault`]) the send
+    /// may be dropped, delayed, or duplicated according to the plan;
+    /// the `Clone` bound exists for the duplicate path.
+    pub fn send<T: Clone + Send + 'static>(&self, to: usize, tag: u64, value: T) {
+        let seq = self.send_seqs[to].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut extra = Duration::ZERO;
+        let mut duplicate = false;
+        if let Some(inj) = &self.fault {
+            match inj.on_send(self.rank, to) {
+                MessageAction::Deliver => {}
+                MessageAction::Drop => return,
+                MessageAction::Delay(d) => extra = d,
+                MessageAction::Duplicate => duplicate = true,
+            }
+        }
+        let deliver_at = Instant::now() + self.latency + extra;
+        if duplicate {
+            self.enqueue(to, tag, seq, deliver_at, Box::new(value.clone()));
+        }
+        self.enqueue(to, tag, seq, deliver_at, Box::new(value));
+    }
+
+    fn enqueue(
+        &self,
+        to: usize,
+        tag: u64,
+        seq: u64,
+        deliver_at: Instant,
+        data: Box<dyn Any + Send>,
+    ) {
         self.txs[to]
             .send(Message {
                 from: self.rank,
                 tag,
-                deliver_at: Instant::now() + self.latency,
-                data: Box::new(value),
+                seq,
+                deliver_at,
+                data,
             })
             .expect("peer rank hung up");
     }
@@ -190,26 +287,91 @@ impl Comm {
     /// On watchdog timeout (likely deadlock) or when the matched message
     /// payload is not a `T` (protocol error).
     pub fn recv<T: Send + 'static>(&self, from: usize, tag: u64) -> T {
-        let mut pending = self.pending.lock();
-        if let Some(pos) = pending.iter().position(|m| m.from == from && m.tag == tag) {
-            let msg = pending.remove(pos);
-            return Self::deliver(msg, from, tag);
+        match self.recv_deadline(from, tag, self.timeout) {
+            Ok(v) => v,
+            Err(e) => panic!("rank {}: {e}", self.rank),
         }
-        let rx = self.rx.lock();
+    }
+
+    /// Receive with an explicit deadline, returning a typed
+    /// [`RecvError`] instead of panicking when no matching message
+    /// becomes *visible* in time. Visibility honors the modeled wire
+    /// latency: a matched message whose delivery time lies beyond the
+    /// deadline is left buffered (a later, more patient receive can
+    /// still take it) and reported as a timeout — an injected delay
+    /// cannot smuggle a stall past the deadline by sleeping inside the
+    /// delivery path. Injected duplicates are discarded by sequence
+    /// number before matching.
+    pub fn recv_deadline<T: Send + 'static>(
+        &self,
+        from: usize,
+        tag: u64,
+        deadline: Duration,
+    ) -> Result<T, RecvError> {
+        let deadline_at = Instant::now() + deadline;
+        let mut pending = self.pending.lock();
         loop {
-            match rx.recv_timeout(self.timeout) {
-                Ok(msg) if msg.from == from && msg.tag == tag => {
-                    return Self::deliver(msg, from, tag);
+            while let Some(pos) = pending.iter().position(|m| m.from == from && m.tag == tag) {
+                let msg = pending.remove(pos);
+                if self.already_delivered(&msg) {
+                    continue; // stale injected duplicate: discard
                 }
-                Ok(msg) => pending.push(msg),
-                Err(_) => panic!(
-                    "rank {}: recv(from={from}, tag={tag}) timed out after {:?} — deadlock? \
-                     {} unmatched message(s) pending",
-                    self.rank,
-                    self.timeout,
-                    pending.len()
-                ),
+                if msg.deliver_at > deadline_at {
+                    pending.push(msg);
+                    return Err(self.timeout_err(from, tag, deadline, pending.len()));
+                }
+                self.mark_delivered(&msg);
+                drop(pending);
+                return Ok(Self::deliver(msg, from, tag));
             }
+            let now = Instant::now();
+            if now >= deadline_at {
+                return Err(self.timeout_err(from, tag, deadline, pending.len()));
+            }
+            let rx = self.rx.lock();
+            match rx.recv_timeout(deadline_at - now) {
+                Ok(msg) => {
+                    drop(rx);
+                    pending.push(msg);
+                }
+                Err(_) => {
+                    return Err(self.timeout_err(from, tag, deadline, pending.len()));
+                }
+            }
+        }
+    }
+
+    /// Discard every buffered and queued inbound message, returning how
+    /// many were thrown away. Recovery rollbacks call this on every
+    /// rank (between barriers) so packets of the abandoned step cannot
+    /// poison the replay's receives.
+    pub fn drain_messages(&self) -> usize {
+        let mut pending = self.pending.lock();
+        let mut n = pending.len();
+        pending.clear();
+        let rx = self.rx.lock();
+        while rx.try_recv().is_ok() {
+            n += 1;
+        }
+        n
+    }
+
+    fn timeout_err(&self, from: usize, tag: u64, waited: Duration, pending: usize) -> RecvError {
+        RecvError {
+            from,
+            tag,
+            waited,
+            pending,
+        }
+    }
+
+    fn already_delivered(&self, msg: &Message) -> bool {
+        self.fault.is_some() && self.delivered.lock()[msg.from].contains(&msg.seq)
+    }
+
+    fn mark_delivered(&self, msg: &Message) {
+        if self.fault.is_some() {
+            self.delivered.lock()[msg.from].insert(msg.seq);
         }
     }
 
@@ -444,6 +606,119 @@ mod tests {
                     0
                 }
             });
+    }
+
+    #[test]
+    fn recv_deadline_returns_typed_timeout() {
+        let out = Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                let err = c
+                    .recv_deadline::<i32>(1, 99, Duration::from_millis(30))
+                    .unwrap_err();
+                assert_eq!((err.from, err.tag), (1, 99));
+                assert!(err.to_string().contains("timed out"));
+                1
+            } else {
+                0
+            }
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn dropped_message_times_out_instead_of_hanging() {
+        let inj = Arc::new(
+            ump_fault::FaultPlan::new()
+                .with_drop_message(0, 1, 1)
+                .injector(),
+        );
+        let fired = Arc::clone(&inj);
+        let out = Universe::new(2).with_fault(inj).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 5, 42i64);
+                true
+            } else {
+                c.recv_deadline::<i64>(0, 5, Duration::from_millis(30))
+                    .is_err()
+            }
+        });
+        assert_eq!(out, vec![true, true]);
+        assert!(fired.exhausted());
+    }
+
+    #[test]
+    fn delayed_message_is_a_timeout_not_a_stall() {
+        // the injected delay pushes visibility past the deadline: the
+        // bounded receive must fail *within its budget*, not sleep out
+        // the delay inside delivery; a later patient receive still gets
+        // the message.
+        let inj = Arc::new(
+            ump_fault::FaultPlan::new()
+                .with_delay_message(0, 1, 1, 300)
+                .injector(),
+        );
+        let out = Universe::new(2).with_fault(inj).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 5, 7i64);
+                0
+            } else {
+                let t0 = Instant::now();
+                let err = c.recv_deadline::<i64>(0, 5, Duration::from_millis(40));
+                assert!(err.is_err(), "delayed message leaked past the deadline");
+                assert!(
+                    t0.elapsed() < Duration::from_millis(250),
+                    "deadline did not bound the wait"
+                );
+                c.recv::<i64>(0, 5)
+            }
+        });
+        assert_eq!(out[1], 7);
+    }
+
+    #[test]
+    fn duplicated_message_is_discarded_by_seq() {
+        // without dedup the duplicate of tag-5 #1 would satisfy the
+        // *second* recv on the same (from, tag) and shadow the real 43.
+        let inj = Arc::new(
+            ump_fault::FaultPlan::new()
+                .with_duplicate_message(0, 1, 1)
+                .injector(),
+        );
+        let out = Universe::new(2).with_fault(inj).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 5, 42i64);
+                c.send(1, 5, 43i64);
+                (0, 0)
+            } else {
+                let a = c.recv::<i64>(0, 5);
+                let b = c.recv::<i64>(0, 5);
+                (a, b)
+            }
+        });
+        assert_eq!(out[1], (42, 43));
+    }
+
+    #[test]
+    fn drain_messages_clears_stale_packets() {
+        let out = Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 10i64);
+                c.send(1, 2, 20i64);
+                c.barrier();
+                0
+            } else {
+                c.barrier(); // both packets are en route or queued
+                             // buffer one into pending by matching the other tag first
+                let _ = c.recv::<i64>(0, 2);
+                let n = c.drain_messages();
+                assert_eq!(n, 1, "one stale packet should be drained");
+                assert!(c
+                    .recv_deadline::<i64>(0, 1, Duration::from_millis(20))
+                    .is_err());
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
     }
 
     #[test]

@@ -6,7 +6,61 @@
 //! This module is the transport half of that machinery: the ownership
 //! logic that decides *what* to exchange lives in `ump-core::dist`.
 
-use crate::comm::Comm;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::comm::{Comm, RecvError};
+
+/// Typed failure of a bounded halo exchange: a peer's packet did not
+/// become visible within the deadline (lost, or delayed past it).
+/// Returned by [`PendingExchange::finish_timeout`] instead of blocking
+/// forever — the no-hang half of the resilience contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// The receive from `from` on `tag` timed out.
+    Timeout {
+        /// Peer rank whose packet never arrived.
+        from: usize,
+        /// Exchange tag of the missing packet.
+        tag: u64,
+        /// Per-peer deadline that elapsed.
+        waited: Duration,
+        /// Unmatched messages buffered on the receiver when it gave up.
+        pending: usize,
+    },
+}
+
+impl From<RecvError> for ExchangeError {
+    fn from(e: RecvError) -> ExchangeError {
+        ExchangeError::Timeout {
+            from: e.from,
+            tag: e.tag,
+            waited: e.waited,
+            pending: e.pending,
+        }
+    }
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::Timeout {
+                from,
+                tag,
+                waited,
+                pending,
+            } => write!(
+                f,
+                "halo exchange timed out waiting for rank {from} (tag {tag}) after {waited:?}; \
+                 {pending} unmatched message(s) pending"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
 
 /// A reusable halo-exchange plan for one dataset layout.
 ///
@@ -143,24 +197,119 @@ impl PendingExchange<'_> {
     /// the split is that compute overlapped since `start` usually means
     /// they all have.
     pub fn finish<T: Copy + Send + 'static>(self, comm: &Comm, data: &mut [T]) {
+        let rank = comm.rank();
+        let watchdog = comm.watchdog();
+        if let Err(e) = self.finish_timeout(comm, data, watchdog) {
+            panic!("rank {rank}: {e}");
+        }
+    }
+
+    /// [`finish`](PendingExchange::finish) with an explicit per-peer
+    /// deadline and a typed error instead of the watchdog panic: if any
+    /// peer's packet does not become visible within `deadline`, returns
+    /// [`ExchangeError::Timeout`] naming that peer. Peers processed
+    /// before the failure have already been unpacked into `data` — a
+    /// caller that sees an error must treat the whole dataset's halo as
+    /// poisoned and roll back (the resilient drivers restore from the
+    /// coordinated checkpoint and drain stale packets).
+    pub fn finish_timeout<T: Copy + Send + 'static>(
+        self,
+        comm: &Comm,
+        data: &mut [T],
+        deadline: Duration,
+    ) -> Result<(), ExchangeError> {
         let me = comm.rank();
         let (dim, tag) = (self.dim, self.tag);
         for (r, idxs) in self.plan.recvs.iter().enumerate() {
             if r == me || idxs.is_empty() {
                 continue;
             }
-            let packet: Vec<T> = comm.recv(r, tag);
+            let packet: Vec<T> = comm.recv_deadline(r, tag, deadline)?;
             assert_eq!(packet.len(), idxs.len() * dim, "halo packet size mismatch");
             for (k, &i) in idxs.iter().enumerate() {
                 let base = i as usize * dim;
                 data[base..base + dim].copy_from_slice(&packet[k * dim..(k + 1) * dim]);
             }
         }
+        Ok(())
     }
 
     /// Total elements this finish will import (halo recv volume).
     pub fn recv_volume(&self) -> usize {
         self.plan.recv_volume()
+    }
+}
+
+/// Deadline-and-failure policy for a *sequence* of exchange finishes,
+/// shaped for the fused chain's recorded closures: those are plain
+/// `Fn()` with no return channel, so errors travel through this guard
+/// as a side-channel instead. The first timeout latches
+/// [`failed`](ExchangeGuard::failed); every later finish routed through
+/// the guard is skipped outright (its packets stay queued — the
+/// rollback drains them), so one lost halo can't cascade into a full
+/// watchdog stall per remaining exchange.
+pub struct ExchangeGuard {
+    deadline: Duration,
+    failed: AtomicBool,
+    timeouts: AtomicU32,
+    errors: Mutex<Vec<ExchangeError>>,
+}
+
+impl ExchangeGuard {
+    /// A guard applying `deadline` to each peer receive it finishes.
+    pub fn new(deadline: Duration) -> ExchangeGuard {
+        ExchangeGuard {
+            deadline,
+            failed: AtomicBool::new(false),
+            timeouts: AtomicU32::new(0),
+            errors: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The per-peer receive deadline this guard enforces.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Finish `pending` under the guard's deadline. On timeout, records
+    /// the error and latches the failed flag; once failed, subsequent
+    /// calls drop their pending exchange without receiving anything.
+    pub fn finish<T: Copy + Send + 'static>(
+        &self,
+        pending: PendingExchange<'_>,
+        comm: &Comm,
+        data: &mut [T],
+    ) {
+        if self.failed.load(Ordering::Acquire) {
+            let _ = pending; // skipped: the rollback will drain its packets
+            return;
+        }
+        if let Err(e) = pending.finish_timeout(comm, data, self.deadline) {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.errors.lock().push(e);
+            self.failed.store(true, Ordering::Release);
+        }
+    }
+
+    /// Has any finish timed out since the last [`reset`](ExchangeGuard::reset)?
+    pub fn failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Cumulative number of timed-out finishes over the guard's life.
+    pub fn timeouts(&self) -> u32 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Drain the recorded errors (in occurrence order).
+    pub fn take_errors(&self) -> Vec<ExchangeError> {
+        std::mem::take(&mut *self.errors.lock())
+    }
+
+    /// Clear the failed latch for the next step (after the caller has
+    /// rolled back and drained the transport).
+    pub fn reset(&self) {
+        self.failed.store(false, Ordering::Release);
     }
 }
 
@@ -277,6 +426,75 @@ mod tests {
         // ghosts hold the value at start() time, not the mutated one
         assert_eq!(out[0], (11.0, -1.0));
         assert_eq!(out[1], (1.0, -1.0));
+    }
+
+    #[test]
+    fn finish_timeout_surfaces_lost_packet_as_typed_error() {
+        use std::sync::Arc;
+        let inj = Arc::new(
+            ump_fault::FaultPlan::new()
+                .with_drop_message(0, 1, 1)
+                .injector(),
+        );
+        let out = Universe::new(2).with_fault(inj).run(|c| {
+            let me = c.rank();
+            let other = 1 - me;
+            let mut data = vec![me as f64, 0.0];
+            let mut plan = ExchangePlan::empty(2);
+            plan.sends[other] = vec![0];
+            plan.recvs[other] = vec![1];
+            let pending = plan.start(c, &data, 1, 0);
+            let t0 = std::time::Instant::now();
+            let res = pending.finish_timeout(c, &mut data, Duration::from_millis(40));
+            assert!(t0.elapsed() < Duration::from_secs(5), "no-hang bound blown");
+            (res.is_err(), data[1])
+        });
+        // rank 1's inbound packet was dropped: typed timeout, halo untouched
+        assert_eq!(out[1], (true, 0.0));
+        // rank 0's exchange was untouched and completed
+        assert_eq!(out[0], (false, 1.0));
+    }
+
+    #[test]
+    fn exchange_guard_latches_and_skips_after_first_timeout() {
+        use std::sync::Arc;
+        let inj = Arc::new(
+            ump_fault::FaultPlan::new()
+                .with_drop_message(0, 1, 1)
+                .injector(),
+        );
+        let out = Universe::new(2).with_fault(inj).run(|c| {
+            let me = c.rank();
+            let other = 1 - me;
+            let mut a = vec![me as f64 + 1.0, 0.0];
+            let mut b = vec![(me as f64 + 1.0) * 10.0, 0.0];
+            let mut plan = ExchangePlan::empty(2);
+            plan.sends[other] = vec![0];
+            plan.recvs[other] = vec![1];
+            let guard = ExchangeGuard::new(Duration::from_millis(40));
+            let p1 = plan.start(c, &a, 1, 1);
+            let p2 = plan.start(c, &b, 1, 2);
+            let t0 = std::time::Instant::now();
+            guard.finish(p1, c, &mut a);
+            guard.finish(p2, c, &mut b);
+            let elapsed = t0.elapsed();
+            if guard.failed() {
+                // the second finish must have been skipped, not waited out
+                assert!(elapsed < Duration::from_millis(200), "guard did not skip");
+                assert_eq!(guard.timeouts(), 1);
+                assert_eq!(guard.take_errors().len(), 1);
+                let drained = c.drain_messages();
+                assert!(drained >= 1, "skipped packets should still be queued");
+                guard.reset();
+                assert!(!guard.failed());
+            }
+            (guard.timeouts(), a[1], b[1])
+        });
+        // rank 1 lost the tag-1 packet from rank 0: one timeout, halos stale
+        assert_eq!(out[1].0, 1);
+        assert_eq!(out[1].1, 0.0);
+        // rank 0 saw clean exchanges
+        assert_eq!(out[0], (0, 2.0, 20.0));
     }
 
     #[test]

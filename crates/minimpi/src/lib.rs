@@ -29,12 +29,21 @@
 //! overlap hides.
 //!
 //! A receive that blocks longer than the configurable watchdog timeout
-//! panics with a diagnostic instead of deadlocking the test suite.
+//! panics with a diagnostic instead of deadlocking the test suite; the
+//! bounded forms ([`Comm::recv_deadline`],
+//! [`PendingExchange::finish_timeout`], [`ExchangeGuard`]) return typed
+//! errors ([`RecvError`], [`ExchangeError`]) instead, which is what the
+//! resilient distributed drivers build their no-hang guarantee on. A
+//! [`ump_fault::FaultInjector`] armed via [`Universe::with_fault`]
+//! deterministically drops, delays, or duplicates point-to-point
+//! messages by per-edge send ordinal.
 
 #![deny(missing_docs)]
 
 pub mod comm;
 pub mod exchange;
 
-pub use comm::{Comm, ReduceOp, Universe};
-pub use exchange::{all_to_all_indices, ExchangePlan, PendingExchange};
+pub use comm::{Comm, RecvError, ReduceOp, Universe};
+pub use exchange::{
+    all_to_all_indices, ExchangeError, ExchangeGuard, ExchangePlan, PendingExchange,
+};

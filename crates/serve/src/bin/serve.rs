@@ -4,6 +4,7 @@
 //! serve [--pools N] [--team N] [--queue N] [--slice N]
 //!       [--jobs N] [--steps N] [--mesh small|medium]
 //!       [--backends a,b,...] [--seed N] [--checkpoint-every N]
+//!       [--retries N] [--backoff-ms N] [--lease-timeout-ms N]
 //! ```
 //!
 //! Submits `--jobs` jobs round-robin over the backend list, alternating
@@ -12,6 +13,8 @@
 //! not complete.
 
 use std::process::ExitCode;
+
+use std::time::Duration;
 
 use ump_core::Backend;
 use ump_serve::{App, JobSpec, JobStatus, Service, ServiceConfig, ServiceStats};
@@ -67,6 +70,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--checkpoint-every: {e}"))?
             }
+            "--retries" => {
+                config.retry.max_attempts =
+                    value()?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--backoff-ms" => {
+                config.retry.backoff = Duration::from_millis(
+                    value()?.parse().map_err(|e| format!("--backoff-ms: {e}"))?,
+                )
+            }
+            "--lease-timeout-ms" => {
+                config.lease_timeout = Duration::from_millis(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--lease-timeout-ms: {e}"))?,
+                )
+            }
             "--mesh" => {
                 mesh = match value()? {
                     "small" => (48, 24, 20, 14),
@@ -87,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
                     "serve: run a batch of mesh-simulation jobs through ump_serve\n\
                      options: --pools N --team N --queue N --slice N --jobs N --steps N\n\
                      \x20        --mesh small|medium --backends a,b,... --seed N --checkpoint-every N\n\
+                     \x20        --retries N --backoff-ms N --lease-timeout-ms N\n\
                      backends: {}",
                     Backend::all()
                         .into_iter()
@@ -118,6 +138,10 @@ fn print_stats(stats: &ServiceStats) {
     println!(
         "\nstats: submitted={} rejected={} completed={} cancelled={} failed={}",
         stats.submitted, stats.rejected, stats.completed, stats.cancelled, stats.failed
+    );
+    println!(
+        "resilience: retried={} watchdog_fired={}",
+        stats.retried, stats.watchdog_fired
     );
     println!(
         "plan cache: {} hits / {} builds",

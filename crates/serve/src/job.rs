@@ -126,11 +126,31 @@ impl JobSpec {
         if self.steps == 0 {
             return Err("steps must be >= 1".into());
         }
+        if self.steps > 10_000_000 {
+            return Err(format!("steps {} too large (max 10000000)", self.steps));
+        }
         if self.nx < 2 || self.ny < 2 {
             return Err(format!("mesh {}x{} too small (min 2x2)", self.nx, self.ny));
         }
+        // upper bounds keep a forged/corrupt snapshot header from
+        // committing the restoring worker to a multi-gigabyte mesh
+        if self.nx.saturating_mul(self.ny) > (1 << 22) {
+            return Err(format!(
+                "mesh {}x{} too large (max {} cells)",
+                self.nx,
+                self.ny,
+                1usize << 22
+            ));
+        }
         if self.block_size == 0 {
             return Err("block_size must be >= 1".into());
+        }
+        if self.block_size > (1 << 20) {
+            return Err(format!(
+                "block_size {} too large (max {})",
+                self.block_size,
+                1usize << 20
+            ));
         }
         if !Backend::all().contains(&self.backend) {
             return Err(format!("backend {} is not registered", self.backend));
@@ -176,7 +196,9 @@ impl JobState {
         JobState {
             spec,
             steps_done: 0,
-            history: Vec::with_capacity(spec.steps as usize),
+            // clamp the pre-size: `steps` may come from an unvalidated
+            // snapshot header, and history grows fine on demand
+            history: Vec::with_capacity(spec.steps.min(1 << 16) as usize),
             sim,
         }
     }

@@ -55,7 +55,7 @@ pub mod snapshot;
 
 pub use job::{App, JobSpec, JobState};
 pub use service::{
-    BackendThroughput, Frame, JobHandle, JobOutcome, JobStatus, Rejection, Service, ServiceConfig,
-    ServiceStats,
+    BackendThroughput, Frame, JobHandle, JobOutcome, JobStatus, Rejection, RetryPolicy, Service,
+    ServiceConfig, ServiceStats,
 };
 pub use snapshot::{JOB_SNAPSHOT_MAGIC, JOB_SNAPSHOT_VERSION};

@@ -38,15 +38,42 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use ump_core::{ExecPool, PlanCache};
+use ump_fault::{FaultInjector, JobFault};
 
 use crate::job::{JobSpec, JobState};
 
+/// Bounded retry-with-backoff for failed or stuck jobs.
+///
+/// A job whose slice fails (kernel panic, injected kill, watchdog
+/// abort) is restored from its last periodic checkpoint — or restarted
+/// from its original spec/snapshot when no checkpoint is decodable —
+/// and requeued, up to `max_attempts` retries with a linear backoff of
+/// `backoff × attempt`. Because every backend is deterministic, a
+/// retried run finishes bit-identical to an uninterrupted one (the
+/// resilience golden tests assert exactly this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail fast, the default).
+    pub max_attempts: u32,
+    /// Base backoff; retry `k` (1-based) is delayed `backoff × k`.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
 /// Service sizing knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Worker threads, each owning one shared `ExecPool` (jobs are
     /// multiplexed over these — the ≤ 4 pools of the acceptance run).
@@ -62,6 +89,16 @@ pub struct ServiceConfig {
     pub slice_steps: u64,
     /// Capacity of the shared cross-job plan cache.
     pub plan_cache_capacity: usize,
+    /// Recovery policy for failed/stuck jobs.
+    pub retry: RetryPolicy,
+    /// Per-lease watchdog deadline: a lease that holds a pool longer
+    /// than this is aborted at its next cooperative check (step
+    /// boundary or stall poll) and handled by the retry policy.
+    /// `Duration::ZERO` (the default) disables the watchdog.
+    pub lease_timeout: Duration,
+    /// Deterministic fault injection for resilience tests (`None` in
+    /// production: the hooks reduce to one branch per step).
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +109,9 @@ impl Default for ServiceConfig {
             admission_capacity: 64,
             slice_steps: 8,
             plan_cache_capacity: 256,
+            retry: RetryPolicy::default(),
+            lease_timeout: Duration::ZERO,
+            fault: None,
         }
     }
 }
@@ -149,6 +189,8 @@ pub struct JobOutcome {
     pub snapshot: Vec<u8>,
     /// Pool-seconds spent executing this job's slices.
     pub busy_seconds: f64,
+    /// Recovery attempts consumed (0 = the job never failed a slice).
+    pub attempts: u32,
 }
 
 impl JobOutcome {
@@ -199,14 +241,25 @@ enum Init {
 struct Active {
     id: u64,
     spec: JobSpec,
-    init: Option<Init>,
+    /// Kept for the job's whole life (not consumed at first lease): the
+    /// retry path falls back to it when no periodic checkpoint is
+    /// decodable — a resumed job restarts from its submitted snapshot,
+    /// a fresh job from its spec, either way deterministically.
+    init: Init,
     state: Option<JobState>,
     /// Scoped view of the shared plan cache (`JobSpec::cache_scope`).
     cache: PlanCache,
     frames: Sender<Frame>,
     outcome: Sender<JobOutcome>,
     cancel: Arc<AtomicBool>,
+    /// Set by the lease watchdog; checked at the same cooperative
+    /// boundaries as `cancel`, but routed to the retry policy.
+    abort: Arc<AtomicBool>,
     busy_seconds: f64,
+    /// Recovery attempts consumed so far.
+    attempts: u32,
+    /// Backoff gate: not leased again before this instant.
+    not_before: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -216,6 +269,8 @@ struct Counters {
     completed: u64,
     cancelled: u64,
     failed: u64,
+    retried: u64,
+    watchdog_fired: u64,
     /// Leased right now (≤ pools).
     running: usize,
     /// name → (steps, busy seconds) per backend.
@@ -241,6 +296,10 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// Jobs that panicked.
     pub failed: u64,
+    /// Recovery retries performed (checkpoint restore + requeue).
+    pub retried: u64,
+    /// Leases aborted by the watchdog deadline.
+    pub watchdog_fired: u64,
     /// Plan-cache hits across all jobs (shared LRU cache).
     pub plan_hits: usize,
     /// Plans actually built across all jobs.
@@ -271,6 +330,12 @@ impl BackendThroughput {
     }
 }
 
+/// A live lease entry, watched by the watchdog thread.
+struct Lease {
+    started: Instant,
+    abort: Arc<AtomicBool>,
+}
+
 struct Shared {
     ready: Mutex<VecDeque<Active>>,
     ready_cv: Condvar,
@@ -279,11 +344,16 @@ struct Shared {
     counters: Mutex<Counters>,
     cache: PlanCache,
     slice_steps: u64,
+    retry: RetryPolicy,
+    lease_timeout: Duration,
+    fault: Option<Arc<FaultInjector>>,
     /// Latest periodic checkpoint per job id (also the final snapshot
     /// once the job ends), kept after completion for resume/forensics.
     checkpoints: Mutex<HashMap<u64, Vec<u8>>>,
     /// Cancellation flags for every in-flight job.
     cancels: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    /// Active leases, keyed by job id (the watchdog's scan set).
+    leases: Mutex<HashMap<u64, Lease>>,
 }
 
 /// The mesh-simulation service. See the module docs for the policies;
@@ -310,12 +380,14 @@ struct Shared {
 pub struct Service {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     next_id: AtomicU64,
     capacity: usize,
 }
 
 impl Service {
-    /// Start the worker pools and the scheduler state.
+    /// Start the worker pools, the scheduler state, and (when a lease
+    /// timeout is configured) the watchdog thread.
     pub fn new(config: ServiceConfig) -> Service {
         let shared = Arc::new(Shared {
             ready: Mutex::new(VecDeque::new()),
@@ -325,8 +397,12 @@ impl Service {
             counters: Mutex::new(Counters::default()),
             cache: PlanCache::with_capacity(config.plan_cache_capacity.max(1)),
             slice_steps: config.slice_steps.max(1),
+            retry: config.retry,
+            lease_timeout: config.lease_timeout,
+            fault: config.fault.clone(),
             checkpoints: Mutex::new(HashMap::new()),
             cancels: Mutex::new(HashMap::new()),
+            leases: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.pools.max(1))
             .map(|i| {
@@ -338,9 +414,17 @@ impl Service {
                     .expect("spawning service worker")
             })
             .collect();
+        let watchdog = (config.lease_timeout > Duration::ZERO).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ump-serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))
+                .expect("spawning service watchdog")
+        });
         Service {
             shared,
             workers,
+            watchdog,
             next_id: AtomicU64::new(1),
             capacity: config.admission_capacity.max(1),
         }
@@ -406,13 +490,16 @@ impl Service {
         let job = Active {
             id,
             spec,
-            init: Some(init),
+            init,
             state: None,
             cache: self.shared.cache.scoped(&spec.cache_scope()),
             frames: frame_tx,
             outcome: outcome_tx,
             cancel,
+            abort: Arc::new(AtomicBool::new(false)),
             busy_seconds: 0.0,
+            attempts: 0,
+            not_before: None,
         };
         {
             let mut counters = self.shared.counters.lock();
@@ -470,6 +557,8 @@ impl Service {
             completed: counters.completed,
             cancelled: counters.cancelled,
             failed: counters.failed,
+            retried: counters.retried,
+            watchdog_fired: counters.watchdog_fired,
             plan_hits: self.shared.cache.hits(),
             plan_builds: self.shared.cache.builds(),
             per_backend,
@@ -490,37 +579,132 @@ impl Drop for Service {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
     }
 }
 
-/// One pool worker: lease → slice → requeue/finalize, until shutdown
-/// *and* an empty queue (drain semantics).
+/// The lease watchdog: periodically scans live leases and aborts any
+/// that outlived the deadline. Abortion is cooperative — the worker
+/// notices the flag at its next step boundary (or stall poll) and
+/// routes the job to the retry policy.
+fn watchdog_loop(shared: &Shared) {
+    let poll =
+        (shared.lease_timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    while !shared.shutdown.load(Ordering::Acquire) || !shared.leases.lock().is_empty() {
+        std::thread::sleep(poll);
+        let now = Instant::now();
+        let mut fired = 0u64;
+        {
+            let leases = shared.leases.lock();
+            for lease in leases.values() {
+                if now.duration_since(lease.started) > shared.lease_timeout
+                    && !lease.abort.swap(true, Ordering::AcqRel)
+                {
+                    fired += 1;
+                }
+            }
+        }
+        if fired > 0 {
+            shared.counters.lock().watchdog_fired += fired;
+        }
+    }
+}
+
+/// One pool worker: lease → slice → requeue/retry/finalize, until
+/// shutdown *and* an empty queue (drain semantics — backed-off retries
+/// are waited out, not abandoned).
 fn worker_loop(shared: &Shared, team: usize) {
     let pool = ExecPool::new(team);
     loop {
         let mut job = {
             let mut ready = shared.ready.lock();
             loop {
-                if let Some(job) = ready.pop_front() {
-                    break job;
+                let now = Instant::now();
+                // FIFO among leasable entries; backed-off retries are
+                // skipped until their gate opens
+                if let Some(pos) = ready
+                    .iter()
+                    .position(|j| j.not_before.is_none_or(|t| t <= now))
+                {
+                    break ready.remove(pos).expect("position just found");
                 }
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
+                let backoff_wait = ready
+                    .iter()
+                    .filter_map(|j| j.not_before)
+                    .map(|t| t.saturating_duration_since(now))
+                    .min();
+                match backoff_wait {
+                    // only backed-off jobs queued: sleep out the nearest
+                    // gate (shutdown still drains them afterward)
+                    Some(wait) => {
+                        shared
+                            .ready_cv
+                            .wait_for(&mut ready, wait.max(Duration::from_millis(1)));
+                    }
+                    None => {
+                        if shared.shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        shared.ready_cv.wait(&mut ready);
+                    }
                 }
-                shared.ready_cv.wait(&mut ready);
             }
         };
+        job.not_before = None;
         shared.counters.lock().running += 1;
+        if shared.lease_timeout > Duration::ZERO {
+            shared.leases.lock().insert(
+                job.id,
+                Lease {
+                    started: Instant::now(),
+                    abort: Arc::clone(&job.abort),
+                },
+            );
+        }
         let disposition = run_slice(shared, &pool, &mut job);
+        if shared.lease_timeout > Duration::ZERO {
+            shared.leases.lock().remove(&job.id);
+        }
         shared.counters.lock().running -= 1;
         match disposition {
             Disposition::Requeue => {
                 shared.ready.lock().push_back(job);
                 shared.ready_cv.notify_one();
             }
+            Disposition::Finished(JobStatus::Failed(_))
+                if job.attempts < shared.retry.max_attempts
+                    && !job.cancel.load(Ordering::Acquire) =>
+            {
+                retry(shared, job);
+            }
             Disposition::Finished(status) => finalize(shared, job, status),
         }
     }
+}
+
+/// Recover a failed job: restore from its last periodic checkpoint
+/// (fall back to a from-scratch rebuild when none is decodable — the
+/// job's `init` is kept for exactly this), apply the linear backoff,
+/// and requeue. Determinism makes either restore point bit-safe; the
+/// checkpoint just resumes closer to the failure.
+fn retry(shared: &Shared, mut job: Active) {
+    job.attempts += 1;
+    shared.counters.lock().retried += 1;
+    job.abort.store(false, Ordering::Release);
+    let checkpoint = shared.checkpoints.lock().get(&job.id).cloned();
+    // a corrupt checkpoint must surface as a typed decode error and
+    // fall through to the fresh rebuild, never take down the worker
+    job.state = checkpoint.and_then(|bytes| {
+        std::panic::catch_unwind(|| JobState::restore(&bytes))
+            .ok()
+            .and_then(|r| r.ok())
+    });
+    let backoff = shared.retry.backoff * job.attempts;
+    job.not_before = (backoff > Duration::ZERO).then(|| Instant::now() + backoff);
+    shared.ready.lock().push_back(job);
+    shared.ready_cv.notify_one();
 }
 
 enum Disposition {
@@ -532,12 +716,13 @@ enum Disposition {
 /// `slice_steps` timesteps with frame streaming, periodic
 /// checkpointing, and cancellation checks at step boundaries.
 fn run_slice(shared: &Shared, pool: &ExecPool, job: &mut Active) -> Disposition {
-    // first lease: build from spec or decode the resume snapshot
+    // first lease (or retry with no usable checkpoint): build from the
+    // spec or decode the resume snapshot — `init` is kept, not consumed
     if job.state.is_none() {
-        let init = job.init.take().expect("unmaterialized job has an init");
+        let init = &job.init;
         let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match init {
-            Init::Fresh(spec) => Ok(JobState::new(spec)),
-            Init::Snapshot(bytes) => JobState::restore(&bytes),
+            Init::Fresh(spec) => Ok(JobState::new(*spec)),
+            Init::Snapshot(bytes) => JobState::restore(bytes),
         }));
         match built {
             Ok(Ok(state)) => job.state = Some(state),
@@ -553,13 +738,52 @@ fn run_slice(shared: &Shared, pool: &ExecPool, job: &mut Active) -> Disposition 
         if job.cancel.load(Ordering::Acquire) {
             break Some(JobStatus::Cancelled);
         }
+        if job.abort.load(Ordering::Acquire) {
+            break Some(JobStatus::Failed(
+                "watchdog: lease deadline exceeded".into(),
+            ));
+        }
         if state.is_done() {
             break Some(JobStatus::Completed);
         }
         if steps_this_slice >= shared.slice_steps {
             break None;
         }
+        // deterministic fault hook, keyed (job id, 1-based step index);
+        // one branch when no injector is configured
+        let mut inject_panic = false;
+        if let Some(inj) = &shared.fault {
+            match inj.on_job_step(job.id, state.steps_done() + 1) {
+                Some(JobFault::Kill) => {
+                    break Some(JobStatus::Failed(format!(
+                        "injected fault: worker killed at step {}",
+                        state.steps_done() + 1
+                    )));
+                }
+                Some(JobFault::Panic) => inject_panic = true,
+                Some(JobFault::Stall(dur)) => {
+                    // cooperative stall: sleeps in watchdog-visible
+                    // increments so an abort (or cancel) interrupts it
+                    let until = Instant::now() + dur;
+                    while Instant::now() < until
+                        && !job.abort.load(Ordering::Acquire)
+                        && !job.cancel.load(Ordering::Acquire)
+                    {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    continue; // re-run the boundary checks
+                }
+                None => {}
+            }
+        }
         let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!(
+                    "injected fault: kernel panic in job {} step {}",
+                    job.id,
+                    state.steps_done() + 1
+                );
+            }
             state.step(pool, &job.cache, None)
         }));
         let value = match stepped {
@@ -571,7 +795,16 @@ fn run_slice(shared: &Shared, pool: &ExecPool, job: &mut Active) -> Disposition 
         // receivers may be gone (client dropped the handle) — keep going
         let _ = job.frames.send(Frame { step, value });
         if spec.checkpoint_every > 0 && step.is_multiple_of(spec.checkpoint_every) {
-            shared.checkpoints.lock().insert(job.id, state.snapshot());
+            let mut snap = state.snapshot();
+            if let Some(inj) = &shared.fault {
+                if let Some(byte) = inj.corrupt_checkpoint(job.id) {
+                    if !snap.is_empty() {
+                        let i = byte as usize % snap.len();
+                        snap[i] ^= 0xff;
+                    }
+                }
+            }
+            shared.checkpoints.lock().insert(job.id, snap);
         }
         if state.is_done() {
             break Some(JobStatus::Completed);
@@ -627,6 +860,7 @@ fn finalize(shared: &Shared, job: Active, status: JobStatus) {
         history,
         snapshot,
         busy_seconds: job.busy_seconds,
+        attempts: job.attempts,
     });
 }
 

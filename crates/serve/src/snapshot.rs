@@ -134,19 +134,28 @@ fn decode_header(r: &mut impl Read) -> io::Result<(JobSpec, u64)> {
     let block_size = read_u64(r)? as usize;
     let checkpoint_every = read_u64(r)?;
     let steps_done = read_u64(r)?;
-    Ok((
-        JobSpec {
-            app,
-            nx,
-            ny,
-            backend,
-            steps,
-            seed,
-            block_size,
-            checkpoint_every,
-        },
-        steps_done,
-    ))
+    let spec = JobSpec {
+        app,
+        nx,
+        ny,
+        backend,
+        steps,
+        seed,
+        block_size,
+        checkpoint_every,
+    };
+    // a decoded spec passes the same validation as a submitted one, so
+    // a bit-flipped header cannot commit a restore to an absurd mesh
+    // or step count
+    spec.validate()
+        .map_err(|why| bad(format!("snapshot spec invalid: {why}")))?;
+    if steps_done > spec.steps {
+        return Err(bad(format!(
+            "snapshot claims {steps_done} done of {} total steps",
+            spec.steps
+        )));
+    }
+    Ok((spec, steps_done))
 }
 
 /// Decode only the spec and step counter — admission-time validation
@@ -165,7 +174,7 @@ pub fn decode(bytes: &[u8]) -> io::Result<Decoded> {
             "history holds {hist_len} entries for {steps_done} completed steps"
         )));
     }
-    let mut history = Vec::with_capacity(hist_len);
+    let mut history = Vec::with_capacity(hist_len.min(1 << 16));
     for _ in 0..hist_len {
         history.push(f64::from_bits(read_u64(&mut r)?));
     }

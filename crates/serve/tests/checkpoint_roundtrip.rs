@@ -63,3 +63,85 @@ proptest! {
         run_roundtrip(App::Volna, nx, ny, seed, 5, k);
     }
 }
+
+// ---------------------------------------------------------------------
+// S1: snapshot corruption fuzzer — decoding hostile bytes must yield a
+// typed error or a coherent state, never a panic.
+// ---------------------------------------------------------------------
+
+use std::sync::OnceLock;
+
+/// One real snapshot (Airfoil, 3 of 4 steps done) shared by every
+/// corruption case — building it is the expensive part, mutating it
+/// is not.
+fn sample_snapshot() -> &'static [u8] {
+    static SNAP: OnceLock<Vec<u8>> = OnceLock::new();
+    SNAP.get_or_init(|| {
+        let spec = JobSpec::new(App::Airfoil, 10, 6, Backend::Seq, 4).with_seed(42);
+        let pool = ExecPool::new(1);
+        let cache = PlanCache::new();
+        let mut state = JobState::new(spec);
+        for _ in 0..3 {
+            state.step(&pool, &cache, None);
+        }
+        state.snapshot()
+    })
+}
+
+#[test]
+fn version_bump_and_empty_input_are_typed_errors() {
+    assert!(JobState::restore(&[]).is_err());
+    let mut bumped = sample_snapshot().to_vec();
+    bumped[4] = bumped[4].wrapping_add(1); // version low byte
+    assert!(
+        JobState::restore(&bumped).is_err(),
+        "future version accepted"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Flip one byte anywhere in the snapshot: restore must return —
+    // Ok with different-but-coherent payload bits is fine, a typed
+    // error is fine, a panic is the bug. The magic/version prefix
+    // must always be *detected* (Err).
+    #[test]
+    fn single_byte_corruption_never_panics(idx in 0usize..1 << 20, mask in 1usize..256) {
+        let mut bytes = sample_snapshot().to_vec();
+        let i = idx % bytes.len();
+        bytes[i] ^= mask as u8;
+        let restored = JobState::restore(&bytes);
+        if i < 8 {
+            prop_assert!(restored.is_err(), "corrupt magic/version at byte {i} accepted");
+        }
+        if let Ok(state) = restored {
+            // whatever decoded must still be a runnable job
+            prop_assert!(state.steps_done() <= state.spec().steps);
+        }
+    }
+
+    // Any strict prefix of a snapshot is a typed error, not a panic —
+    // the torn-write case for checkpoint files.
+    #[test]
+    fn truncated_snapshot_is_a_typed_error(cut in 0usize..1 << 20) {
+        let snap = sample_snapshot();
+        let cut = cut % snap.len(); // strict prefix
+        prop_assert!(JobState::restore(&snap[..cut]).is_err(), "truncation at {cut} accepted");
+    }
+
+    // Corruption composed with truncation (a torn write over a bad
+    // sector) must also degrade to a typed error or coherent state.
+    #[test]
+    fn corrupt_then_truncate_never_panics(
+        idx in 0usize..1 << 20,
+        mask in 1usize..256,
+        cut in 0usize..1 << 20,
+    ) {
+        let mut bytes = sample_snapshot().to_vec();
+        let i = idx % bytes.len();
+        bytes[i] ^= mask as u8;
+        let cut = cut % bytes.len();
+        prop_assert!(JobState::restore(&bytes[..cut]).is_err());
+    }
+}

@@ -307,3 +307,228 @@ fn periodic_checkpoints_are_resumable() {
     assert_eq!(peeked, spec);
     assert_eq!(done, 10);
 }
+
+// ---------------------------------------------------------------------
+// fault-tolerant execution: injected faults, retry policies, watchdog
+// ---------------------------------------------------------------------
+
+mod resilience {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use ump_core::Backend;
+    use ump_fault::FaultPlan;
+    use ump_serve::{App, JobSpec, JobStatus, Rejection, RetryPolicy, Service, ServiceConfig};
+
+    /// Run `spec` on an unfaulted single-pool service — the golden
+    /// reference every recovered run must match to the bit.
+    fn clean_run(spec: JobSpec, team: usize) -> (ump_serve::JobState, Vec<f64>) {
+        let service = Service::new(ServiceConfig {
+            pools: 1,
+            team,
+            ..ServiceConfig::default()
+        });
+        let out = service.submit(spec).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Completed);
+        (out.final_state(), out.history)
+    }
+
+    fn retrying(fault: FaultPlan, lease_timeout: Duration) -> Service {
+        Service::new(ServiceConfig {
+            pools: 1,
+            team: 2,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff: Duration::from_millis(2),
+            },
+            lease_timeout,
+            fault: Some(Arc::new(fault.injector())),
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// A worker killed mid-job is retried from the last checkpoint and
+    /// finishes bit-identical to an unfaulted run.
+    #[test]
+    fn killed_job_retries_from_checkpoint_bit_identically() {
+        let steps = 8u64;
+        let spec = JobSpec::new(App::Airfoil, 20, 10, Backend::Fused, steps)
+            .with_seed(7)
+            .with_checkpoint_every(3);
+        let (golden, golden_hist) = clean_run(spec, 2);
+
+        // job ids start at 1; kill the first job at (1-based) step 6,
+        // one step past its second checkpoint
+        let service = retrying(FaultPlan::new().with_kill_job(1, 6), Duration::ZERO);
+        let out = service.submit(spec).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Completed);
+        assert_eq!(out.steps_done, steps);
+        assert_eq!(out.attempts, 1, "exactly one retry");
+        let stats = service.stats();
+        assert_eq!((stats.retried, stats.failed), (1, 0));
+        assert!(out.final_state().bits_eq(&golden), "state diverged");
+        assert!(
+            out.history
+                .iter()
+                .zip(&golden_hist)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "history diverged"
+        );
+    }
+
+    /// A kernel panic inside a step is contained by the pool, surfaces
+    /// as a failed attempt, and the retry completes bit-identically.
+    #[test]
+    fn panicking_job_retries_bit_identically() {
+        let steps = 6u64;
+        let spec = JobSpec::new(App::Volna, 12, 10, Backend::Threaded, steps)
+            .with_seed(11)
+            .with_checkpoint_every(2);
+        let (golden, _) = clean_run(spec, 2);
+
+        let service = retrying(FaultPlan::new().with_panic_step(1, 5), Duration::ZERO);
+        let out = service.submit(spec).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Completed, "{:?}", out.status);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(service.stats().retried, 1);
+        assert!(out.final_state().bits_eq(&golden), "state diverged");
+    }
+
+    /// A stuck job (injected stall far past the lease deadline) is
+    /// reaped by the watchdog within one lease and retried to
+    /// completion — the service-side no-hang guarantee.
+    #[test]
+    fn watchdog_reaps_stalled_lease_and_retry_completes() {
+        let steps = 6u64;
+        let spec = JobSpec::new(App::Airfoil, 16, 8, Backend::Seq, steps)
+            .with_seed(3)
+            .with_checkpoint_every(2);
+        let (golden, _) = clean_run(spec, 1);
+
+        let service = retrying(
+            FaultPlan::new().with_stall_step(1, 4, 60_000),
+            Duration::from_millis(80),
+        );
+        let out = service.submit(spec).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Completed, "{:?}", out.status);
+        assert_eq!(out.attempts, 1);
+        let stats = service.stats();
+        assert!(stats.watchdog_fired >= 1, "watchdog never fired");
+        assert_eq!(stats.retried, 1);
+        assert!(out.final_state().bits_eq(&golden), "state diverged");
+    }
+
+    /// A corrupted checkpoint must not poison the retry: the typed
+    /// decode error routes the attempt to the fresh-rebuild fallback,
+    /// which still finishes bit-identically.
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_fresh_rebuild() {
+        let steps = 8u64;
+        let spec = JobSpec::new(App::Volna, 12, 10, Backend::Fused, steps)
+            .with_seed(5)
+            .with_checkpoint_every(3);
+        let (golden, _) = clean_run(spec, 2);
+
+        // byte 0 is the snapshot magic: the corruption is guaranteed to
+        // be *detected* (decode error), exercising the fallback path
+        let plan = FaultPlan::new()
+            .with_corrupt_checkpoint(1, 0)
+            .with_kill_job(1, 6);
+        let service = retrying(plan, Duration::ZERO);
+        let out = service.submit(spec).unwrap().wait();
+        assert_eq!(out.status, JobStatus::Completed, "{:?}", out.status);
+        assert_eq!(out.attempts, 1);
+        assert!(out.final_state().bits_eq(&golden), "state diverged");
+    }
+
+    /// Without a retry budget an injected kill is a terminal typed
+    /// failure — and the service keeps serving other jobs.
+    #[test]
+    fn exhausted_retry_budget_is_a_typed_failure() {
+        let spec = JobSpec::new(App::Airfoil, 16, 8, Backend::Seq, 5).with_seed(2);
+        let service = Service::new(ServiceConfig {
+            pools: 1,
+            team: 1,
+            fault: Some(Arc::new(FaultPlan::new().with_kill_job(1, 2).injector())),
+            ..ServiceConfig::default()
+        });
+        let out = service.submit(spec).unwrap().wait();
+        match &out.status {
+            JobStatus::Failed(why) => {
+                assert!(why.contains("injected fault"), "unexpected reason: {why}")
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert_eq!(out.attempts, 0);
+        assert_eq!(service.stats().failed, 1);
+        // the pool survived the kill; an untargeted job completes
+        let ok = service.submit(spec.with_seed(9)).unwrap().wait();
+        assert_eq!(ok.status, JobStatus::Completed);
+    }
+
+    /// Backpressure under churn: repeated saturate → drain → resubmit
+    /// waves, with cancels mixed in, must reconcile exactly —
+    /// queued + running + terminal == submitted, and nothing leaks.
+    #[test]
+    fn saturation_churn_reconciles_accounting() {
+        let service = Service::new(ServiceConfig {
+            pools: 2,
+            team: 1,
+            admission_capacity: 4,
+            slice_steps: 2,
+            ..ServiceConfig::default()
+        });
+        let mut outcomes = Vec::new();
+        let mut rejected = 0u64;
+        let mut cancel_requested = Vec::new();
+        for wave in 0..6u64 {
+            // burst well past capacity
+            let mut wave_handles = Vec::new();
+            for j in 0..8u64 {
+                let spec =
+                    JobSpec::new(App::Volna, 12, 10, Backend::Seq, 4).with_seed(wave * 100 + j);
+                match service.submit(spec) {
+                    Ok(h) => wave_handles.push(h),
+                    Err(Rejection::Saturated {
+                        in_flight,
+                        capacity,
+                    }) => {
+                        assert!(in_flight >= capacity, "premature saturation");
+                        rejected += 1;
+                    }
+                    Err(other) => panic!("unexpected rejection: {other:?}"),
+                }
+            }
+            // churn: cancel one admitted job per wave (may race with
+            // completion — both outcomes are terminal, both reconcile)
+            if let Some(h) = wave_handles.first() {
+                service.cancel(h.id);
+                cancel_requested.push(h.id);
+            }
+            // drain the wave so the next burst finds fresh capacity
+            // (wait() consumes the one-shot outcome — keep it)
+            for h in wave_handles {
+                outcomes.push((h.id, h.wait()));
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, outcomes.len() as u64);
+        assert_eq!(stats.rejected, rejected);
+        assert!(rejected > 0, "the bursts never saturated the queue");
+        assert_eq!((stats.queued, stats.running), (0, 0), "work leaked");
+        assert_eq!(
+            stats.completed + stats.cancelled + stats.failed,
+            stats.submitted,
+            "terminal states do not reconcile: {stats:?}"
+        );
+        assert_eq!(stats.failed, 0);
+        // every admitted job observed a terminal status
+        for (id, out) in &outcomes {
+            assert!(
+                matches!(out.status, JobStatus::Completed | JobStatus::Cancelled),
+                "job {id}: {:?}",
+                out.status
+            );
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub use ump_archsim as archsim;
 pub use ump_color as color;
 pub use ump_core as core;
 pub use ump_core::Backend;
+pub use ump_fault as fault;
 pub use ump_lazy as lazy;
 pub use ump_mesh as mesh;
 pub use ump_minimpi as minimpi;

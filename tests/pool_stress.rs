@@ -164,3 +164,63 @@ fn pool_lifecycle_churn() {
         assert_eq!(total, 2.0 * mesh.n_edges() as f64);
     }
 }
+
+/// A panicking kernel body must surface as a typed [`PoolPanic`] with
+/// the worker's message, and the pool must stay fully reusable — the
+/// property the service workers rely on to fail one job and keep
+/// serving the rest.
+#[test]
+fn worker_panic_is_contained_and_pool_stays_reusable() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let pool = ExecPool::new(4);
+    for round in 0..10 {
+        let err = pool
+            .try_run_round(64, 0, 4, &|i| {
+                if i == 17 {
+                    panic!("boom in round {round}");
+                }
+            })
+            .unwrap_err();
+        assert!(
+            err.message.contains("boom in round"),
+            "panic note lost: {}",
+            err.message
+        );
+        // a healthy round immediately after: every item accounted for
+        let count = AtomicUsize::new(0);
+        pool.try_run_round(128, 0, 8, &|_i| {
+            count.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("pool must be reusable after a contained panic");
+        assert_eq!(count.load(Ordering::Relaxed), 128);
+    }
+}
+
+/// An armed `PanicRound` fault fires inside exactly the chosen pool
+/// round (on whichever thread pulls the first chunk), is contained as a
+/// typed error, and disarming restores the clean path.
+#[test]
+fn injected_round_panic_is_deterministic_and_contained() {
+    use std::sync::Arc;
+    use ump::fault::FaultPlan;
+    let pool = ExecPool::new(3);
+    for _ in 0..3 {
+        pool.run_round(16, 0, 4, &|_| {});
+    }
+    let target = pool.dispatch_rounds() + 2;
+    let inj = Arc::new(FaultPlan::new().with_panic_round(target).injector());
+    pool.arm_fault(inj.clone());
+    let mut failed_at = None;
+    for _ in 0..5 {
+        let round = pool.dispatch_rounds();
+        if let Err(e) = pool.try_run_round(32, 0, 4, &|_| {}) {
+            assert!(e.message.contains("injected fault"), "{}", e.message);
+            assert!(failed_at.is_none(), "fault fired twice");
+            failed_at = Some(round);
+        }
+    }
+    assert_eq!(failed_at, Some(target), "fault fired at the wrong round");
+    assert_eq!(inj.injected(), 1);
+    pool.disarm_fault();
+    pool.run_round(64, 0, 8, &|_| {});
+}
