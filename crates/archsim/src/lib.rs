@@ -28,5 +28,5 @@
 pub mod machines;
 pub mod model;
 
-pub use machines::{cpu1, cpu2, k40, phi, Machine};
+pub use machines::{cpu1, cpu2, host, k40, phi, Machine};
 pub use model::{predict, Backend, Bottleneck, KernelWork, Prediction};

@@ -258,7 +258,8 @@ fn write_json(results: &[AppResult]) {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"fusion_fused_vs_unfused_timestep\",\n  \"team\": {TEAM},\n  \
-         \"block_size\": {BLOCK},\n  \"host_cpus\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"block_size\": {BLOCK},\n  \"lanes\": 1,\n  \"host_cpus\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         entries.join(",\n")
     );

@@ -159,7 +159,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"halo_overlap_vs_blocking_exchange\",\n  \"app\": \
          \"airfoil_300x150_dp\",\n  \"backend\": \"mpi_fused\",\n  \"threads_per_rank\": \
-         {THREADS_PER_RANK},\n  \"block_size\": {BLOCK},\n  \"steps\": {STEPS},\n  \
+         {THREADS_PER_RANK},\n  \"team\": {THREADS_PER_RANK},\n  \"lanes\": 1,\n  \
+         \"block_size\": {BLOCK},\n  \"steps\": {STEPS},\n  \
          \"reps\": {REPS},\n  \"wire_latency_us\": {WIRE_LATENCY_US},\n  \
          \"host_cpus\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),

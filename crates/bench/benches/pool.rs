@@ -202,7 +202,8 @@ fn write_json(criterion: &Criterion, cases: &[Case], ne: usize, nc: usize) {
     };
     let json = format!(
         "{{\n  \"bench\": \"pool_dispatch_vs_spawn\",\n  \"mesh\": {{\"nx\": 300, \"ny\": 150, \
-         \"edges\": {ne}, \"cells\": {nc}}},\n  \"team\": {TEAM},\n  \"host_cpus\": {},\n  \
+         \"edges\": {ne}, \"cells\": {nc}}},\n  \"team\": {TEAM},\n  \"lanes\": 1,\n  \
+         \"host_cpus\": {},\n  \
          \"results\": [\n{}\n  ],\n  \
          \"pool_vs_spawn_speedup_per_round_at_block1024\": {speedup_1024:.2}\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),

@@ -135,7 +135,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"recovery_overhead_vs_checkpoint_period\",\n  \"app\": \
          \"airfoil_{NX}x{NY}_dp\",\n  \"backend\": \"mpi_fused\",\n  \"ranks\": {RANKS},\n  \
-         \"threads_per_rank\": {THREADS_PER_RANK},\n  \"block_size\": {BLOCK},\n  \
+         \"threads_per_rank\": {THREADS_PER_RANK},\n  \"team\": {THREADS_PER_RANK},\n  \
+         \"lanes\": 1,\n  \"block_size\": {BLOCK},\n  \
          \"iters\": {ITERS},\n  \"kill_rank\": {},\n  \"kill_step\": {KILL_STEP},\n  \
          \"reps\": {REPS},\n  \"bit_identical\": true,\n  \"host_cpus\": {},\n  \
          \"results\": [\n{}\n  ]\n}}\n",

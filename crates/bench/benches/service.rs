@@ -145,7 +145,8 @@ fn write_json(rows: &[Row]) {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"service_job_throughput\",\n  \"pools\": {POOLS},\n  \
-         \"team\": {TEAM},\n  \"slice_steps\": {SLICE},\n  \"steps_per_job\": {STEPS},\n  \
+         \"team\": {TEAM},\n  \"lanes\": 1,\n  \"slice_steps\": {SLICE},\n  \
+         \"steps_per_job\": {STEPS},\n  \
          \"host_cpus\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         entries.join(",\n")

@@ -1,0 +1,223 @@
+//! The autotuning bench: a fixed-backend sweep next to the tuner's own
+//! pick, on the same meshes and the same measurement harness, so the
+//! recorded `auto_vs_best_fixed` ratio is apples to apples. A warm
+//! second pick per app is asserted to be a pure store hit (zero
+//! trials). Results land in `BENCH_tune.json` at the repo root with the
+//! real host environment (cores, team, lanes, probe) embedded.
+
+use std::time::Instant;
+use ump_apps::{airfoil, volna};
+use ump_core::{Backend, ExecPool, PlanCache};
+use ump_tune::{App, Tuner};
+
+const TEAM: usize = 4;
+const BLOCK: usize = 1024;
+/// Timed steps per repetition (after one planning warm-up step).
+const ITERS: usize = 5;
+/// Repetitions; best-of is reported (STREAM convention).
+const REPS: usize = 3;
+
+/// The fixed shapes swept as the baseline: the single-threaded ladder
+/// plus the pooled/fused shapes the tuner most often shortlists.
+fn fixed_backends() -> Vec<Backend> {
+    vec![
+        Backend::Seq,
+        Backend::Threaded,
+        Backend::Simd { lanes: 4 },
+        Backend::SimdThreaded { lanes: 4 },
+        Backend::Fused,
+        Backend::FusedSimd { lanes: 4 },
+    ]
+}
+
+struct Measured {
+    backend: String,
+    steps_per_sec: f64,
+}
+
+struct AppRow {
+    app: &'static str,
+    cells: usize,
+    fixed: Vec<Measured>,
+    best_fixed: f64,
+    auto_backend: String,
+    auto_block: usize,
+    auto_lanes: usize,
+    auto_steps_per_sec: f64,
+    trials: u32,
+    warm_trials: u32,
+}
+
+/// Best-of-REPS steps/sec for one backend on one prepared sim factory.
+fn steps_per_sec<S>(
+    pool: &ExecPool,
+    mut fresh: impl FnMut() -> S,
+    mut step: impl FnMut(&mut S, Backend, usize, &ExecPool, &PlanCache),
+    backend: Backend,
+    block: usize,
+) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let mut sim = fresh();
+        let cache = PlanCache::new();
+        step(&mut sim, backend, block, pool, &cache); // warm plans
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            step(&mut sim, backend, block, pool, &cache);
+        }
+        best = best.max(ITERS as f64 / t0.elapsed().as_secs_f64().max(1e-12));
+    }
+    best
+}
+
+fn main() {
+    let pool = ExecPool::new(TEAM);
+    let tuner = Tuner::new()
+        .with_trial_steps(2)
+        .with_top_k(6)
+        .with_team(TEAM);
+    let probe = tuner.probe();
+    println!(
+        "# host probe: {} cores, {:.1} GB/s triad",
+        probe.cores, probe.stream_gbs
+    );
+
+    let mut rows = Vec::new();
+
+    // Airfoil, DP
+    {
+        let (nx, ny) = (120usize, 60usize);
+        let fresh = || airfoil::Airfoil::<f64>::seeded(nx, ny, 0);
+        let cells = fresh().case.mesh.n_cells();
+        let step = |sim: &mut airfoil::Airfoil<f64>,
+                    b: Backend,
+                    block: usize,
+                    pool: &ExecPool,
+                    cache: &PlanCache| {
+            airfoil::drivers::step_on(b, sim, pool, cache, 0, block, None);
+        };
+        let fixed: Vec<Measured> = fixed_backends()
+            .into_iter()
+            .map(|b| Measured {
+                backend: b.name(),
+                steps_per_sec: steps_per_sec(&pool, fresh, step, b, BLOCK),
+            })
+            .collect();
+        let best_fixed = fixed.iter().map(|m| m.steps_per_sec).fold(0.0, f64::max);
+
+        let choice = tuner.pick(App::Airfoil, nx, ny);
+        let auto_sps = steps_per_sec(&pool, fresh, step, choice.backend, choice.block_size);
+        let warm = tuner.pick(App::Airfoil, nx, ny);
+        assert!(warm.from_store, "second identical tune must hit the store");
+        assert_eq!(warm.trials, 0, "warm start ran trials");
+        rows.push(AppRow {
+            app: "airfoil_120x60_dp",
+            cells,
+            fixed,
+            best_fixed,
+            auto_backend: choice.backend.name(),
+            auto_block: choice.block_size,
+            auto_lanes: choice.backend.lanes(),
+            auto_steps_per_sec: auto_sps,
+            trials: choice.trials,
+            warm_trials: warm.trials,
+        });
+    }
+
+    // Volna, DP (the service precision)
+    {
+        let (nx, ny) = (80usize, 60usize);
+        let fresh = || volna::Volna::<f64>::seeded(nx, ny, 0);
+        let cells = fresh().case.mesh.n_cells();
+        let step = |sim: &mut volna::Volna<f64>,
+                    b: Backend,
+                    block: usize,
+                    pool: &ExecPool,
+                    cache: &PlanCache| {
+            volna::drivers::step_on(b, sim, pool, cache, 0, block, None);
+        };
+        let fixed: Vec<Measured> = fixed_backends()
+            .into_iter()
+            .map(|b| Measured {
+                backend: b.name(),
+                steps_per_sec: steps_per_sec(&pool, fresh, step, b, BLOCK),
+            })
+            .collect();
+        let best_fixed = fixed.iter().map(|m| m.steps_per_sec).fold(0.0, f64::max);
+
+        let choice = tuner.pick(App::Volna, nx, ny);
+        let auto_sps = steps_per_sec(&pool, fresh, step, choice.backend, choice.block_size);
+        let warm = tuner.pick(App::Volna, nx, ny);
+        assert!(warm.from_store && warm.trials == 0);
+        rows.push(AppRow {
+            app: "volna_80x60_dp",
+            cells,
+            fixed,
+            best_fixed,
+            auto_backend: choice.backend.name(),
+            auto_block: choice.block_size,
+            auto_lanes: choice.backend.lanes(),
+            auto_steps_per_sec: auto_sps,
+            trials: choice.trials,
+            warm_trials: warm.trials,
+        });
+    }
+
+    write_json(&rows, probe.cores, probe.stream_gbs);
+    for r in &rows {
+        let ratio = r.auto_steps_per_sec / r.best_fixed.max(1e-12);
+        println!(
+            "# {}: auto {} ({:.1} steps/s) vs best fixed {:.1} steps/s = {:.2}x, {} trials then {} (store hit)",
+            r.app, r.auto_backend, r.auto_steps_per_sec, r.best_fixed, ratio, r.trials, r.warm_trials
+        );
+    }
+}
+
+/// Serialize to `BENCH_tune.json` at the repo root.
+fn write_json(rows: &[AppRow], host_cpus: usize, stream_gbs: f64) {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let fixed: Vec<String> = r
+                .fixed
+                .iter()
+                .map(|m| {
+                    format!(
+                        "      {{\"backend\": \"{}\", \"steps_per_sec\": {:.2}}}",
+                        m.backend, m.steps_per_sec
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"app\": \"{}\", \"cells\": {}, \"auto_backend\": \"{}\", \
+                 \"auto_block_size\": {}, \"auto_lanes\": {}, \"auto_steps_per_sec\": {:.2}, \
+                 \"best_fixed_steps_per_sec\": {:.2}, \"auto_vs_best_fixed\": {:.3}, \
+                 \"trials\": {}, \"warm_start_trials\": {}, \"fixed\": [\n{}\n    ]}}",
+                r.app,
+                r.cells,
+                r.auto_backend,
+                r.auto_block,
+                r.auto_lanes,
+                r.auto_steps_per_sec,
+                r.best_fixed,
+                r.auto_steps_per_sec / r.best_fixed.max(1e-12),
+                r.trials,
+                r.warm_trials,
+                fixed.join(",\n")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"tune_auto_vs_fixed_sweep\",\n  \"team\": {TEAM},\n  \
+         \"lanes\": 4,\n  \"block_size\": {BLOCK},\n  \"iters\": {ITERS},\n  \
+         \"reps\": {REPS},\n  \"host_cpus\": {},\n  \
+         \"probe\": {{\"cores\": {}, \"stream_gbs\": {:.1}}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus,
+        stream_gbs,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tune.json");
+    std::fs::write(path, &json).expect("writing BENCH_tune.json");
+    println!("# wrote {path}");
+}

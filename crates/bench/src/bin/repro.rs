@@ -35,7 +35,7 @@ fn print_help() {
     println!("repro — regenerate the paper's tables and figures");
     println!();
     println!("usage: repro <experiment>|all [--scale small|paper]");
-    println!("       repro --smoke [--backends all|name,name,…]");
+    println!("       repro --smoke [--backends all|auto|name,name,…]");
     println!("       repro serve-smoke [--inject <seed>]");
     println!();
     println!("experiments:");
@@ -59,6 +59,10 @@ fn print_help() {
         }
         println!("  {:<26} {}", b.name(), caps.join(", "));
     }
+    println!(
+        "  {:<26} tuner-selected from the registry (ump_tune)",
+        "auto"
+    );
 }
 
 fn main() -> std::process::ExitCode {
@@ -81,6 +85,7 @@ fn parse_and_run(args: Vec<String>) -> Result<(), String> {
     let mut smoke_run = false;
     let mut serve_run = false;
     let mut inject: Option<u64> = None;
+    let mut auto_run = false;
     let mut backends: Vec<ExecBackend> = ExecBackend::all();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -106,8 +111,10 @@ fn parse_and_run(args: Vec<String>) -> Result<(), String> {
             "--backends" => {
                 let v = it
                     .next()
-                    .ok_or("--backends needs a value (all|name,name,…)")?;
-                if v != "all" {
+                    .ok_or("--backends needs a value (all|auto|name,name,…)")?;
+                if v == "auto" {
+                    auto_run = true;
+                } else if v != "all" {
                     backends = v
                         .split(',')
                         .map(|name| {
@@ -132,8 +139,15 @@ fn parse_and_run(args: Vec<String>) -> Result<(), String> {
         return Err(format!("--inject {seed} only applies to serve-smoke"));
     }
     if smoke_run {
-        smoke(&backends);
+        if auto_run {
+            smoke_auto();
+        } else {
+            smoke(&backends);
+        }
         return Ok(());
+    }
+    if auto_run {
+        return Err("--backends auto only applies to --smoke".into());
     }
     if cmd != "all" && !EXPERIMENTS.contains(&cmd.as_str()) {
         return Err(format!(
@@ -1073,6 +1087,113 @@ fn smoke(backends: &[ExecBackend]) {
     println!("smoke ok ({} backends)", backends.len());
 }
 
+/// `--smoke --backends auto`: the self-tuning path end to end. The
+/// tuner probes this host, prunes the registry with the archsim prior,
+/// measures the survivors on the real meshes, and its pick — always a
+/// concrete registered backend — is verified against the sequential
+/// reference to 1e-12 on both apps. A second pick per app must be a
+/// pure store hit (zero trials).
+fn smoke_auto() {
+    use ump_tune::{App, Tuner};
+
+    header("smoke — autotuned backend selection (ump_tune)");
+    let tuner = Tuner::new().with_trial_steps(2).with_top_k(4);
+    let probe = tuner.probe();
+    println!(
+        "host probe: {} cores, {:.1} GB/s triad → prior machine \"{}\"",
+        probe.cores,
+        probe.stream_gbs,
+        tuner.machine().name
+    );
+    let iters = 3usize;
+    let cache = PlanCache::new();
+
+    // Airfoil 48x24
+    {
+        let (nx, ny) = (48usize, 24usize);
+        let choice = tuner.pick(App::Airfoil, nx, ny);
+        assert!(
+            ExecBackend::all().contains(&choice.backend),
+            "tuner invented backend {:?}",
+            choice.backend
+        );
+        let mut reference = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            ump_apps::airfoil::drivers::step_seq(&mut reference, None);
+            ump_apps::airfoil::drivers::step_on(
+                choice.backend,
+                &mut sim,
+                tuner.pool(),
+                &cache,
+                0,
+                choice.block_size,
+                None,
+            );
+        }
+        let d = sim.q.max_abs_diff(&reference.q);
+        assert!(d <= 1e-12, "airfoil auto pick diverged: {d:e} > 1e-12");
+        let warm = tuner.pick(App::Airfoil, nx, ny);
+        assert!(
+            warm.from_store && warm.trials == 0,
+            "second tune must be a pure store hit"
+        );
+        println!(
+            "airfoil {nx}x{ny} auto → {:<26} block {:>4}  {} trials, {:.3} ms/step, {:.2} GB/s  max|Δq| = {d:.2e}  ok",
+            choice.backend.name(),
+            choice.block_size,
+            choice.trials,
+            choice.seconds_per_step * 1e3,
+            choice.gb_per_s,
+        );
+    }
+
+    // Volna 20x14
+    {
+        let (nx, ny) = (20usize, 14usize);
+        let choice = tuner.pick(App::Volna, nx, ny);
+        assert!(ExecBackend::all().contains(&choice.backend));
+        let mut reference = ump_apps::volna::Volna::<f64>::new(nx, ny);
+        let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
+        for _ in 0..iters {
+            let want = ump_apps::volna::drivers::step_seq(&mut reference, None);
+            let got = ump_apps::volna::drivers::step_on(
+                choice.backend,
+                &mut sim,
+                tuner.pool(),
+                &cache,
+                0,
+                choice.block_size,
+                None,
+            );
+            assert!(
+                (got - want).abs() <= 1e-12 * want,
+                "volna auto Δt diverged: {got} vs {want}"
+            );
+        }
+        let d = sim.w.max_abs_diff(&reference.w);
+        assert!(d <= 1e-12, "volna auto pick diverged: {d:e} > 1e-12");
+        let warm = tuner.pick(App::Volna, nx, ny);
+        assert!(warm.from_store && warm.trials == 0);
+        println!(
+            "volna   {nx}x{ny} auto → {:<26} block {:>4}  {} trials, {:.3} ms/step, {:.2} GB/s  max|Δw| = {d:.2e}  ok",
+            choice.backend.name(),
+            choice.block_size,
+            choice.trials,
+            choice.seconds_per_step * 1e3,
+            choice.gb_per_s,
+        );
+    }
+
+    let stats = tuner.stats();
+    assert_eq!(stats.store_hits, 2);
+    assert_eq!(stats.store_misses, 2);
+    println!(
+        "smoke auto ok (2 apps tuned, {} trials, {} store hits)",
+        stats.trials_run, stats.store_hits
+    );
+}
+
 /// `repro serve-smoke` — the service-layer acceptance client: a 16-job
 /// mixed batch (both apps, the whole backend registry) multiplexed over
 /// 4 shared pools, every outcome verified against the sequential
@@ -1085,7 +1206,7 @@ fn smoke(backends: &[ExecBackend]) {
 /// corruption) runs on top, asserting every job recovers under its
 /// retry policy and still finishes bit-identical to a fault-free run.
 fn serve_smoke(inject: Option<u64>) {
-    use ump_serve::{App, JobSpec, JobState, JobStatus, Service, ServiceConfig};
+    use ump_serve::{App, JobSpec, JobState, JobStatus, Service, ServiceConfig, Tuner};
 
     header("serve smoke — 16 mixed jobs over 4 shared pools (ump_serve)");
     let team = 2usize;
@@ -1094,6 +1215,13 @@ fn serve_smoke(inject: Option<u64>) {
         team,
         admission_capacity: 32,
         slice_steps: 3,
+        // a trial-frugal tuner for the auto-backend jobs below
+        tuner: Some(std::sync::Arc::new(
+            Tuner::new()
+                .with_top_k(3)
+                .with_trial_steps(1)
+                .with_team(team),
+        )),
         ..ServiceConfig::default()
     });
 
@@ -1163,6 +1291,50 @@ fn serve_smoke(inject: Option<u64>) {
     println!(
         "service: {} completed, plan cache {} hits / {} builds",
         stats.completed, stats.plan_hits, stats.plan_builds
+    );
+
+    // auto-backend jobs: the service consults its tuner, the admitted
+    // spec carries a concrete registered backend, and tuning activity
+    // shows up in ServiceStats
+    let auto_spec = JobSpec::new(App::Airfoil, 48, 24, ExecBackend::Seq, steps).with_seed(200);
+    let auto_out = service.submit_auto(auto_spec).expect("admitted").wait();
+    assert_eq!(auto_out.status, JobStatus::Completed);
+    assert!(
+        ExecBackend::all().contains(&auto_out.spec.backend),
+        "auto job ran on unregistered backend {:?}",
+        auto_out.spec.backend
+    );
+    {
+        let ref_pool = ExecPool::new(1);
+        let ref_cache = PlanCache::new();
+        let mut reference = JobState::new(JobSpec {
+            backend: ExecBackend::Seq,
+            ..auto_out.spec
+        });
+        for _ in 0..steps {
+            reference.step(&ref_pool, &ref_cache, None);
+        }
+        let d = auto_out.final_state().max_abs_diff(&reference);
+        assert!(d <= 1e-12, "auto job diverged: {d:e} > 1e-12");
+    }
+    let s1 = service.stats();
+    assert_eq!(s1.tuned, 1);
+    assert_eq!(s1.tune_store_misses, 1);
+    assert!(s1.tune_trials > 0, "cold auto submission must run trials");
+    let auto_out2 = service.submit_auto(auto_spec).expect("admitted").wait();
+    assert_eq!(auto_out2.status, JobStatus::Completed);
+    assert_eq!(auto_out2.spec.backend, auto_out.spec.backend);
+    let s2 = service.stats();
+    assert_eq!(s2.tuned, 2);
+    assert_eq!(s2.tune_store_hits, 1, "second auto job must hit the store");
+    assert_eq!(
+        s2.tune_trials, s1.tune_trials,
+        "a store hit runs zero additional trials"
+    );
+    println!(
+        "auto jobs: tuned → {:<26} ({} trials, then a store hit)  ok",
+        auto_out.spec.backend.name(),
+        s1.tune_trials
     );
 
     // kill/restore: cancel a threaded Volna job mid-flight, resume the

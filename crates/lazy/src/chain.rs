@@ -694,6 +694,25 @@ impl<'a> Chain<'a> {
                         .map(|l| l.desc.profile.flops_per_elem * l.desc.n_elems as f64)
                         .sum();
                     r.record(&group_label(members), dt, bytes, flops);
+                    // Per-member attribution for multi-loop groups: each
+                    // fused member is also recorded under its plain loop
+                    // name, with the group's time apportioned by byte
+                    // share, so per-kernel LoopStats agree between the
+                    // fused and unfused paths (singleton groups already
+                    // record under the plain name above).
+                    if members.len() > 1 {
+                        for l in members {
+                            let mb =
+                                l.desc.profile.bytes_per_elem(word_bytes) * l.desc.n_elems as f64;
+                            let mf = l.desc.profile.flops_per_elem * l.desc.n_elems as f64;
+                            let share = if bytes > 0.0 {
+                                mb / bytes
+                            } else {
+                                1.0 / members.len() as f64
+                            };
+                            r.record(&l.desc.profile.name, dt * share, mb, mf);
+                        }
+                    }
                 }
             }
             report.unfused_rounds += members

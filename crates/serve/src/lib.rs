@@ -59,3 +59,4 @@ pub use service::{
     ServiceConfig, ServiceStats,
 };
 pub use snapshot::{JOB_SNAPSHOT_MAGIC, JOB_SNAPSHOT_VERSION};
+pub use ump_tune::{Choice, Tuner, TunerStats};

@@ -44,7 +44,9 @@ use parking_lot::{Condvar, Mutex};
 use ump_core::{ExecPool, PlanCache};
 use ump_fault::{FaultInjector, JobFault};
 
-use crate::job::{JobSpec, JobState};
+use ump_tune::Tuner;
+
+use crate::job::{App, JobSpec, JobState};
 
 /// Bounded retry-with-backoff for failed or stuck jobs.
 ///
@@ -99,6 +101,10 @@ pub struct ServiceConfig {
     /// Deterministic fault injection for resilience tests (`None` in
     /// production: the hooks reduce to one branch per step).
     pub fault: Option<Arc<FaultInjector>>,
+    /// Tuner consulted by [`Service::submit_auto`]. `None` builds a
+    /// default host-probed [`Tuner`] lazily on the first auto
+    /// submission; supply one to control trial budget or persistence.
+    pub tuner: Option<Arc<Tuner>>,
 }
 
 impl Default for ServiceConfig {
@@ -112,6 +118,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             lease_timeout: Duration::ZERO,
             fault: None,
+            tuner: None,
         }
     }
 }
@@ -271,6 +278,14 @@ struct Counters {
     failed: u64,
     retried: u64,
     watchdog_fired: u64,
+    /// Jobs whose backend was chosen by the tuner.
+    tuned: u64,
+    /// Measured tuning trials run on behalf of auto submissions.
+    tune_trials: u64,
+    /// Auto submissions answered from the persistent tuning store.
+    tune_store_hits: u64,
+    /// Auto submissions that required a fresh search.
+    tune_store_misses: u64,
     /// Leased right now (≤ pools).
     running: usize,
     /// name → (steps, busy seconds) per backend.
@@ -300,6 +315,16 @@ pub struct ServiceStats {
     pub retried: u64,
     /// Leases aborted by the watchdog deadline.
     pub watchdog_fired: u64,
+    /// Jobs admitted through [`Service::submit_auto`] with a
+    /// tuner-chosen backend.
+    pub tuned: u64,
+    /// Measured tuning trials run on behalf of auto submissions.
+    pub tune_trials: u64,
+    /// Auto submissions whose backend came straight from the
+    /// persistent tuning store (zero trials).
+    pub tune_store_hits: u64,
+    /// Auto submissions that required a fresh prior-pruned search.
+    pub tune_store_misses: u64,
     /// Plan-cache hits across all jobs (shared LRU cache).
     pub plan_hits: usize,
     /// Plans actually built across all jobs.
@@ -383,6 +408,7 @@ pub struct Service {
     watchdog: Option<JoinHandle<()>>,
     next_id: AtomicU64,
     capacity: usize,
+    tuner: std::sync::OnceLock<Arc<Tuner>>,
 }
 
 impl Service {
@@ -421,13 +447,25 @@ impl Service {
                 .spawn(move || watchdog_loop(&shared))
                 .expect("spawning service watchdog")
         });
+        let tuner = std::sync::OnceLock::new();
+        if let Some(t) = config.tuner {
+            let _ = tuner.set(t);
+        }
         Service {
             shared,
             workers,
             watchdog,
             next_id: AtomicU64::new(1),
             capacity: config.admission_capacity.max(1),
+            tuner,
         }
+    }
+
+    /// The tuner behind [`submit_auto`](Service::submit_auto) — the
+    /// configured one, or a default host-probed tuner built lazily on
+    /// first use.
+    pub fn tuner(&self) -> &Arc<Tuner> {
+        self.tuner.get_or_init(|| Arc::new(Tuner::new()))
     }
 
     /// Submit a fresh job. Admission either succeeds immediately with a
@@ -439,6 +477,35 @@ impl Service {
             return Err(Rejection::Invalid(why));
         }
         self.admit(spec, Init::Fresh(spec))
+    }
+
+    /// Submit a job whose backend (and block size) the tuner chooses:
+    /// the spec's own `backend`/`block_size` are placeholders and are
+    /// overwritten by [`Tuner::pick`] before admission. The admitted
+    /// job — and any snapshot it produces — carries the concrete tuned
+    /// backend, so resume and determinism guarantees are untouched.
+    /// Tuning activity is surfaced through [`ServiceStats`]: `tuned`,
+    /// `tune_trials`, `tune_store_hits`, `tune_store_misses`.
+    pub fn submit_auto(&self, spec: JobSpec) -> Result<JobHandle, Rejection> {
+        let app = match spec.app {
+            App::Airfoil => ump_tune::App::Airfoil,
+            App::Volna => ump_tune::App::Volna,
+        };
+        let choice = self.tuner().pick(app, spec.nx, spec.ny);
+        {
+            let mut c = self.shared.counters.lock();
+            c.tuned += 1;
+            c.tune_trials += choice.trials as u64;
+            if choice.from_store {
+                c.tune_store_hits += 1;
+            } else {
+                c.tune_store_misses += 1;
+            }
+        }
+        let mut tuned = spec;
+        tuned.backend = choice.backend;
+        tuned.block_size = choice.block_size;
+        self.submit(tuned)
     }
 
     /// Resume a job from a snapshot (typically a cancelled job's
@@ -559,6 +626,10 @@ impl Service {
             failed: counters.failed,
             retried: counters.retried,
             watchdog_fired: counters.watchdog_fired,
+            tuned: counters.tuned,
+            tune_trials: counters.tune_trials,
+            tune_store_hits: counters.tune_store_hits,
+            tune_store_misses: counters.tune_store_misses,
             plan_hits: self.shared.cache.hits(),
             plan_builds: self.shared.cache.builds(),
             per_backend,

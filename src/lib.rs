@@ -40,3 +40,4 @@ pub use ump_minimpi as minimpi;
 pub use ump_part as part;
 pub use ump_serve as serve;
 pub use ump_simd as simd;
+pub use ump_tune as tune;
