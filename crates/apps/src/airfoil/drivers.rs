@@ -17,11 +17,11 @@
 
 use ump_color::PlanInputs;
 use ump_core::{
-    apply_edge_inc, global_pool_cap, seq_loop, Backend, ExecPool, OpDat, PlanCache, Recorder,
-    Scheme, SharedDat, SharedMut,
+    apply_edge_inc, global_pool_cap, seq_loop, Backend, ExecPool, Layout, OpDat, PlanCache,
+    Recorder, Scheme, SharedDat, SharedMut,
 };
 use ump_lazy::{Chain, LoopDesc, Shape};
-use ump_simd::{split_sweep, IdxVec, Real, VecR};
+use ump_simd::{split_sweep, DatView, IdxVec, Real, VecR};
 
 use super::kernels::{adt_calc, bres_calc, res_calc, save_soln, update};
 use super::kernels_vec::{adt_calc_vec, res_calc_vec, update_vec};
@@ -368,6 +368,7 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Airfoil<R>, rec: Option<&Rec
             });
         });
         maybe_time(rec, "update", wb, nc, || {
+            let (qoldv, qv, resv) = (qold.view(), q.view(), res.view());
             let sweep = split_sweep(0..nc, L, 0);
             for c in sweep.scalar_items() {
                 update(
@@ -382,8 +383,11 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Airfoil<R>, rec: Option<&Rec
                 update_chunk::<R, L>(
                     cstart,
                     &qold.data,
+                    qoldv,
                     &mut q.data,
+                    qv,
                     &mut res.data,
+                    resv,
                     &adt.data,
                     &mut rms_v,
                 );
@@ -394,27 +398,27 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Airfoil<R>, rec: Option<&Rec
 }
 
 /// One lane-aligned chunk of vectorized `adt_calc`: gather node
-/// coordinates through `cell2node`, load q strided, store adt
-/// contiguously. Raw-slice signature so the pooled sweeps (`OpDat`
-/// storage) and the fused-chain vector bodies (`SharedDat` views) share
-/// one copy of the index arithmetic.
+/// coordinates through `cell2node`, load q through its layout view,
+/// store adt contiguously (dim-1 dats index identically in every
+/// layout). Raw-slice + [`DatView`] signature so the pooled sweeps
+/// (`OpDat` storage) and the fused-chain vector bodies (`SharedDat`
+/// views) share one copy of the index arithmetic, and one copy serves
+/// AoS, SoA and AoSoA storage.
 #[inline(always)]
 pub(crate) fn adt_chunk<R: Real, const L: usize>(
     cs: usize,
     c2n: &[i32],
     x: &[R],
+    xv: DatView,
     q: &[R],
+    qv: DatView,
     adt: &mut [R],
     consts: &super::Consts<R>,
 ) {
     let nodes: [IdxVec<L>; 4] = std::array::from_fn(|j| IdxVec::load_strided(c2n, cs * 4 + j, 4));
-    let xp: [[VecR<R, L>; 2]; 4] = std::array::from_fn(|j| {
-        [
-            VecR::gather(x, nodes[j], 2, 0),
-            VecR::gather(x, nodes[j], 2, 1),
-        ]
-    });
-    let q_p: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(q, cs * 4 + d, 4));
+    let xp: [[VecR<R, L>; 2]; 4] =
+        std::array::from_fn(|j| [xv.gatherv(x, nodes[j], 0), xv.gatherv(x, nodes[j], 1)]);
+    let q_p: [VecR<R, L>; 4] = std::array::from_fn(|d| qv.loadv(q, cs, d));
     let a = adt_calc_vec(&xp[0], &xp[1], &xp[2], &xp[3], &q_p, consts);
     a.store(adt, cs);
 }
@@ -428,50 +432,56 @@ pub(crate) fn res_chunk<R: Real, const L: usize>(
     e2n: &[i32],
     e2c: &[i32],
     x: &[R],
+    xv: DatView,
     q: &[R],
+    qv: DatView,
     adt: &[R],
     res: &mut [R],
+    resv: DatView,
     consts: &super::Consts<R>,
 ) {
     let n0 = IdxVec::<L>::load_strided(e2n, es * 2, 2);
     let n1 = IdxVec::<L>::load_strided(e2n, es * 2 + 1, 2);
     let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
     let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
-    let x1 = [VecR::gather(x, n0, 2, 0), VecR::gather(x, n0, 2, 1)];
-    let x2 = [VecR::gather(x, n1, 2, 0), VecR::gather(x, n1, 2, 1)];
-    let q1: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(q, c0, 4, d));
-    let q2: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(q, c1, 4, d));
+    let x1 = [xv.gatherv(x, n0, 0), xv.gatherv(x, n0, 1)];
+    let x2 = [xv.gatherv(x, n1, 0), xv.gatherv(x, n1, 1)];
+    let q1: [VecR<R, L>; 4] = std::array::from_fn(|d| qv.gatherv(q, c0, d));
+    let q2: [VecR<R, L>; 4] = std::array::from_fn(|d| qv.gatherv(q, c1, d));
     let a1 = VecR::gather(adt, c0, 1, 0);
     let a2 = VecR::gather(adt, c1, 1, 0);
     let mut r1 = [VecR::<R, L>::zero(); 4];
     let mut r2 = [VecR::<R, L>::zero(); 4];
     res_calc_vec(&x1, &x2, &q1, &q2, a1, a2, &mut r1, &mut r2, consts);
     for d in 0..4 {
-        r1[d].scatter_add_serial(res, c0, 4, d);
-        r2[d].scatter_add_serial(res, c1, 4, d);
+        resv.scatter_add_serialv(r1[d], res, c0, d);
+        resv.scatter_add_serialv(r2[d], res, c1, d);
     }
 }
 
 /// One lane-aligned chunk of vectorized `update`, folding the residual
 /// into `rms` (caller reduces the accumulator once per sweep or block).
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn update_chunk<R: Real, const L: usize>(
     cs: usize,
     qold: &[R],
+    qoldv: DatView,
     q: &mut [R],
+    qv: DatView,
     res: &mut [R],
+    resv: DatView,
     adt: &[R],
     rms: &mut VecR<R, L>,
 ) {
-    let qold_p: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(qold, cs * 4 + d, 4));
+    let qold_p: [VecR<R, L>; 4] = std::array::from_fn(|d| qoldv.loadv(qold, cs, d));
     let mut q_p = [VecR::<R, L>::zero(); 4];
-    let mut res_p: [VecR<R, L>; 4] =
-        std::array::from_fn(|d| VecR::load_strided(res, cs * 4 + d, 4));
+    let mut res_p: [VecR<R, L>; 4] = std::array::from_fn(|d| resv.loadv(res, cs, d));
     let adt_p = VecR::<R, L>::load(adt, cs);
     update_vec(&qold_p, &mut q_p, &mut res_p, adt_p, rms);
     for d in 0..4 {
-        q_p[d].store_strided(q, cs * 4 + d, 4);
-        res_p[d].store_strided(res, cs * 4 + d, 4);
+        qv.storev(q_p[d], q, cs, d);
+        resv.storev(res_p[d], res, cs, d);
     }
 }
 
@@ -505,7 +515,9 @@ pub(crate) fn simd_adt_sweep<R: Real, const L: usize>(
             cs,
             &mesh.cell2node.data,
             &x.data,
+            x.view(),
             &q.data,
+            q.view(),
             &mut adt.data,
             consts,
         );
@@ -543,15 +555,19 @@ pub(crate) fn simd_res_sweep<R: Real, const L: usize>(
             consts,
         );
     }
+    let resv = res.view();
     for es in sweep.vector_chunks() {
         res_chunk::<R, L>(
             es,
             &mesh.edge2node.data,
             &mesh.edge2cell.data,
             &x.data,
+            x.view(),
             &q.data,
+            q.view(),
             &adt.data,
             &mut res.data,
+            resv,
             consts,
         );
     }
@@ -679,6 +695,7 @@ pub fn step_simd_threaded_on<R: Real, const L: usize>(
         });
         maybe_time(rec, "update", wb, nc, || {
             let plan = cell_plan.two_level();
+            let (qoldv, qv, resv) = (qold.view(), q.view(), res.view());
             let mut rms_blocks = vec![R::ZERO; plan.blocks.len()];
             {
                 let qs = SharedDat::new(&mut q.data);
@@ -702,8 +719,11 @@ pub fn step_simd_threaded_on<R: Real, const L: usize>(
                             update_chunk::<R, L>(
                                 cs,
                                 &qold.data,
+                                qoldv,
                                 qs.slice_mut(0, qs.len()),
+                                qv,
                                 ress.slice_mut(0, ress.len()),
+                                resv,
                                 &adt.data,
                                 &mut local_v,
                             );
@@ -1002,6 +1022,11 @@ fn fused_chain_step<R: Real, const L: usize>(
     let mesh = &case.mesh;
     // shared immutable reborrows: many recorded bodies capture these
     let (x, consts) = (&*x, &*consts);
+    // layout-aware accessor views: every x/q/qold/res access in the
+    // recorded bodies goes through these, so the one recorded chain
+    // executes natively in AoS, SoA or AoSoA storage (dim-1 adt indexes
+    // identically in every layout and keeps its direct indexing)
+    let (xv, qv, qoldv, resv) = (x.view(), q.view(), qold.view(), res.view());
     let (nc, ne, nb) = (mesh.n_cells(), mesh.n_edges(), mesh.n_bedges());
     let n_cell_blocks = nc.div_ceil(block_size);
     // rms partials: one slot per (phase, cell block), merged in block
@@ -1014,7 +1039,27 @@ fn fused_chain_step<R: Real, const L: usize>(
         let adts = SharedDat::new(&mut adt.data);
         let ress = SharedDat::new(&mut res.data);
         let rmss = SharedDat::new(&mut rms_blocks);
-        let desc = |name: &str, n: usize| LoopDesc::new(profile(name), n);
+        // Per-kernel lane selection, measured on the bench host (see
+        // docs/ARCHITECTURE.md §8): once storage is lane-friendly
+        // (SoA/AoSoA) every kernel *without* a serialized indirect
+        // scatter runs faster vectorized, while the scatter kernels
+        // (res_calc, bres_calc) stay scalar — their chunks end in
+        // per-lane serial increments that never amortize the gathers.
+        // Under AoS the vector bodies pay strided loads everywhere, so
+        // the profile-driven Auto decision stands.
+        let lane_friendly = xv.layout != ump_simd::Layout::Aos;
+        let desc = move |name: &str, n: usize| {
+            let d = LoopDesc::new(profile(name), n);
+            if !lane_friendly {
+                return d;
+            }
+            let hint = if d.has_indirect_write() {
+                ump_lazy::VecHint::Scalar
+            } else {
+                ump_lazy::VecHint::Vector
+            };
+            d.with_hint(hint)
+        };
 
         let mut chain = Chain::new("airfoil_step");
         {
@@ -1024,14 +1069,16 @@ fn fused_chain_step<R: Real, const L: usize>(
                 vec![],
                 L,
                 move |c| unsafe {
-                    save_soln(qs.slice(c * 4, 4), qolds.slice_mut(c * 4, 4));
+                    let row: [R; 4] = qv.load_row(qs.as_slice(), c);
+                    qoldv.store_row(qolds.slice_mut(0, qolds.len()), c, &row);
                 },
                 move |cs| unsafe {
-                    // contiguous copy of L cells × 4 components
+                    // per-component vector copy of L cells (contiguous
+                    // moves under SoA / within AoSoA tiles)
                     let src = qs.as_slice();
                     let dst = qolds.slice_mut(0, qolds.len());
-                    for i in 0..4 {
-                        VecR::<R, L>::load(src, cs * 4 + i * L).store(dst, cs * 4 + i * L);
+                    for d in 0..4 {
+                        qoldv.storev(qv.loadv::<R, L>(src, cs, d), dst, cs, d);
                     }
                 },
             );
@@ -1045,17 +1092,12 @@ fn fused_chain_step<R: Real, const L: usize>(
                     L,
                     move |c| {
                         let n = mesh.cell2node.row(c);
+                        let xr: [[R; 2]; 4] =
+                            std::array::from_fn(|j| xv.load_row(&x.data, n[j] as usize));
                         let mut a = R::ZERO;
                         unsafe {
-                            adt_calc(
-                                x.row(n[0] as usize),
-                                x.row(n[1] as usize),
-                                x.row(n[2] as usize),
-                                x.row(n[3] as usize),
-                                qs.slice(c * 4, 4),
-                                &mut a,
-                                consts,
-                            );
+                            let qrow: [R; 4] = qv.load_row(qs.as_slice(), c);
+                            adt_calc(&xr[0], &xr[1], &xr[2], &xr[3], &qrow, &mut a, consts);
                             adts.slice_mut(c, 1)[0] = a;
                         }
                     },
@@ -1064,7 +1106,9 @@ fn fused_chain_step<R: Real, const L: usize>(
                             cs,
                             &mesh.cell2node.data,
                             &x.data,
+                            xv,
                             qs.as_slice(),
+                            qv,
                             adts.slice_mut(0, adts.len()),
                             consts,
                         );
@@ -1081,14 +1125,18 @@ fn fused_chain_step<R: Real, const L: usize>(
                         let n = mesh.edge2node.row(e);
                         let c = mesh.edge2cell.row(e);
                         let (c0, c1) = (c[0] as usize, c[1] as usize);
+                        let xa: [R; 2] = xv.load_row(&x.data, n[0] as usize);
+                        let xb: [R; 2] = xv.load_row(&x.data, n[1] as usize);
                         let mut r1 = [R::ZERO; 4];
                         let mut r2 = [R::ZERO; 4];
                         unsafe {
+                            let q1: [R; 4] = qv.load_row(qs.as_slice(), c0);
+                            let q2: [R; 4] = qv.load_row(qs.as_slice(), c1);
                             res_calc(
-                                x.row(n[0] as usize),
-                                x.row(n[1] as usize),
-                                qs.slice(c0 * 4, 4),
-                                qs.slice(c1 * 4, 4),
+                                &xa,
+                                &xb,
+                                &q1,
+                                &q2,
                                 adts.slice(c0, 1)[0],
                                 adts.slice(c1, 1)[0],
                                 &mut r1,
@@ -1098,7 +1146,15 @@ fn fused_chain_step<R: Real, const L: usize>(
                         }
                         (c0, r1, c1, r2)
                     },
-                    move |_e, inc| unsafe { apply_edge_inc(ress, inc) },
+                    move |_e, inc| unsafe {
+                        // same accumulation order as apply_edge_inc (c0's
+                        // row then c1's, components ascending), through
+                        // the layout view
+                        let r = ress.slice_mut(0, ress.len());
+                        let (c0, r1, c1, r2) = inc;
+                        resv.add_row(r, *c0, r1);
+                        resv.add_row(r, *c1, r2);
+                    },
                     move |es| unsafe {
                         // one aligned chunk: gather, vector flux kernel,
                         // serialized lane scatter (block-exclusive under
@@ -1108,9 +1164,12 @@ fn fused_chain_step<R: Real, const L: usize>(
                             &mesh.edge2node.data,
                             &mesh.edge2cell.data,
                             &x.data,
+                            xv,
                             qs.as_slice(),
+                            qv,
                             adts.as_slice(),
                             ress.slice_mut(0, ress.len()),
+                            resv,
                             consts,
                         );
                     },
@@ -1123,16 +1182,22 @@ fn fused_chain_step<R: Real, const L: usize>(
                     for be in 0..nb {
                         let n = mesh.bedge2node.row(be);
                         let c0 = mesh.bedge2cell.at(be, 0);
+                        let xa: [R; 2] = xv.load_row(&x.data, n[0] as usize);
+                        let xb: [R; 2] = xv.load_row(&x.data, n[1] as usize);
                         unsafe {
+                            let qrow: [R; 4] = qv.load_row(qs.as_slice(), c0);
+                            let r = ress.slice_mut(0, ress.len());
+                            let mut rrow: [R; 4] = resv.load_row(r, c0);
                             bres_calc(
-                                x.row(n[0] as usize),
-                                x.row(n[1] as usize),
-                                qs.slice(c0 * 4, 4),
+                                &xa,
+                                &xb,
+                                &qrow,
                                 adts.slice(c0, 1)[0],
-                                ress.slice_mut(c0 * 4, 4),
+                                &mut rrow,
                                 bound[be],
                                 consts,
                             );
+                            resv.store_row(r, c0, &rrow);
                         }
                     }
                 });
@@ -1153,13 +1218,19 @@ fn fused_chain_step<R: Real, const L: usize>(
                         L,
                         move |c| unsafe {
                             let mut local = R::ZERO;
+                            let qold_row: [R; 4] = qoldv.load_row(qolds.as_slice(), c);
+                            let mut q_row = [R::ZERO; 4];
+                            let r = ress.slice_mut(0, ress.len());
+                            let mut res_row: [R; 4] = resv.load_row(r, c);
                             update(
-                                qolds.slice(c * 4, 4),
-                                qs.slice_mut(c * 4, 4),
-                                ress.slice_mut(c * 4, 4),
+                                &qold_row,
+                                &mut q_row,
+                                &mut res_row,
                                 adts.slice(c, 1)[0],
                                 &mut local,
                             );
+                            qv.store_row(qs.slice_mut(0, qs.len()), c, &q_row);
+                            resv.store_row(r, c, &res_row);
                             let slot = phase * n_cell_blocks + c / block_size;
                             rmss.slice_mut(slot, 1)[0] += local;
                         },
@@ -1168,8 +1239,11 @@ fn fused_chain_step<R: Real, const L: usize>(
                             update_chunk::<R, L>(
                                 cs,
                                 qolds.as_slice(),
+                                qoldv,
                                 qs.slice_mut(0, qs.len()),
+                                qv,
                                 ress.slice_mut(0, ress.len()),
+                                resv,
                                 adts.as_slice(),
                                 &mut local_v,
                             );
@@ -1185,13 +1259,19 @@ fn fused_chain_step<R: Real, const L: usize>(
                         let mut local = R::ZERO;
                         for c in range.start as usize..range.end as usize {
                             unsafe {
+                                let qold_row: [R; 4] = qoldv.load_row(qolds.as_slice(), c);
+                                let mut q_row = [R::ZERO; 4];
+                                let r = ress.slice_mut(0, ress.len());
+                                let mut res_row: [R; 4] = resv.load_row(r, c);
                                 update(
-                                    qolds.slice(c * 4, 4),
-                                    qs.slice_mut(c * 4, 4),
-                                    ress.slice_mut(c * 4, 4),
+                                    &qold_row,
+                                    &mut q_row,
+                                    &mut res_row,
                                     adts.slice(c, 1)[0],
                                     &mut local,
                                 );
+                                qv.store_row(qs.slice_mut(0, qs.len()), c, &q_row);
+                                resv.store_row(r, c, &res_row);
                             }
                         }
                         unsafe { rmss.slice_mut(phase * n_cell_blocks + b, 1)[0] = local };
@@ -1416,6 +1496,22 @@ pub fn step_on<R: Real>(
     block_size: usize,
     rec: Option<&Recorder>,
 ) -> f64 {
+    // the fused chain executes natively in any layout; every other
+    // backend is written against the canonical AoS storage — convert,
+    // run, convert back (a pure index permutation, bit-exact at any
+    // precision, so the conformance bounds are unchanged)
+    let layout = sim.layout();
+    if layout != Layout::Aos
+        && !matches!(
+            backend,
+            Backend::Fused | Backend::FusedSimt | Backend::FusedSimd { .. }
+        )
+    {
+        sim.set_layout(Layout::Aos);
+        let out = step_on(backend, sim, pool, cache, n_threads, block_size, rec);
+        sim.set_layout(layout);
+        return out;
+    }
     match backend {
         Backend::Seq => step_seq(sim, rec),
         Backend::Threaded => step_threaded_on(pool, sim, cache, n_threads, block_size, rec),

@@ -18,7 +18,7 @@ pub mod kernels;
 pub mod kernels_vec;
 pub mod mpi;
 
-use ump_core::{Access, ArgInfo, LoopProfile, OpDat};
+use ump_core::{Access, ArgInfo, Layout, LoopProfile, OpDat};
 use ump_mesh::generators::{quad_channel, AirfoilCase};
 use ump_simd::Real;
 
@@ -108,8 +108,14 @@ impl<R: Real> Airfoil<R> {
         sim
     }
 
-    /// Set up on a prebuilt case.
-    pub fn from_case(case: AirfoilCase) -> Airfoil<R> {
+    /// Set up on a prebuilt case. Runs the lane-locality edge pass
+    /// (§4's gather/scatter cost): consecutive edges then tend to share
+    /// cells, so the fused-SIMD chunk gathers hit cache lines that lanes
+    /// of the previous chunk already pulled in. The pass reverts itself
+    /// when it would not improve the shared-cell fraction, so this never
+    /// hurts the scalar backends (which are order-insensitive).
+    pub fn from_case(mut case: AirfoilCase) -> Airfoil<R> {
+        ump_mesh::renumber::lane_localize_edges(&mut case.mesh);
         let consts = Consts::<R>::default();
         let n_nodes = case.mesh.n_nodes();
         let n_cells = case.mesh.n_cells();
@@ -130,6 +136,23 @@ impl<R: Real> Airfoil<R> {
             adt,
             res,
         }
+    }
+
+    /// Storage layout of the simulation dats (uniform across them —
+    /// [`set_layout`](Airfoil::set_layout) converts all five together).
+    pub fn layout(&self) -> Layout {
+        self.q.layout
+    }
+
+    /// Convert every dat to `to`. A pure index permutation (bit-exact);
+    /// the fused backends execute natively in any layout, the remaining
+    /// backends convert back to AoS around each step.
+    pub fn set_layout(&mut self, to: Layout) {
+        self.x.set_layout(to);
+        self.q.set_layout(to);
+        self.qold.set_layout(to);
+        self.adt.set_layout(to);
+        self.res.set_layout(to);
     }
 
     /// Total dat memory footprint in bytes (Table IV).

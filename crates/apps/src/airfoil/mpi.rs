@@ -492,6 +492,9 @@ impl<R: Real> RankState<R> {
         let halo = &local.cell_halo;
         let n_owned = local.n_owned_cells;
         let (x, consts, bound, edge_halo) = (&*x, &*consts, &*bound, &*edge_halo);
+        // rank-local dats are always AoS (distribution extracts AoS rows);
+        // the views are captured before the SharedDat borrows below
+        let (xv, qv, qoldv, resv) = (x.view(), q.view(), qold.view(), res.view());
         let (ne, nb) = (mesh.n_edges(), mesh.n_bedges());
         let n_cell_blocks = n_owned.div_ceil(block_size);
         // rms partials: one slot per (phase, owned-cell block), merged in
@@ -559,7 +562,9 @@ impl<R: Real> RankState<R> {
                                 cs,
                                 &mesh.cell2node.data,
                                 &x.data,
+                                xv,
                                 qs.as_slice(),
+                                qv,
                                 adts.slice_mut(0, adts.len()),
                                 consts,
                             );
@@ -651,9 +656,12 @@ impl<R: Real> RankState<R> {
                                 &mesh.edge2node.data,
                                 &mesh.edge2cell.data,
                                 &x.data,
+                                xv,
                                 qs.as_slice(),
+                                qv,
                                 adts.as_slice(),
                                 ress.slice_mut(0, ress.len()),
+                                resv,
                                 consts,
                             );
                         },
@@ -706,8 +714,11 @@ impl<R: Real> RankState<R> {
                                 drivers::update_chunk::<R, L>(
                                     cs,
                                     qolds.as_slice(),
+                                    qoldv,
                                     qs.slice_mut(0, qs.len()),
+                                    qv,
                                     ress.slice_mut(0, ress.len()),
+                                    resv,
                                     adts.as_slice(),
                                     &mut local_v,
                                 );

@@ -5,11 +5,11 @@
 
 use ump_color::PlanInputs;
 use ump_core::{
-    apply_edge_inc, global_pool_cap, seq_loop, Backend, ExecPool, OpDat, PlanCache, Recorder,
-    Scheme, SharedDat, SharedMut,
+    apply_edge_inc, global_pool_cap, seq_loop, Backend, ExecPool, Layout, OpDat, PlanCache,
+    Recorder, Scheme, SharedDat, SharedMut,
 };
 use ump_lazy::{Chain, LoopDesc, Shape};
-use ump_simd::{split_sweep, IdxVec, Real, VecR};
+use ump_simd::{split_sweep, DatView, IdxVec, Real, VecR};
 
 use super::kernels::{bc_flux, compute_flux, numerical_flux, rk_1, rk_2, sim_1, space_disc};
 use super::kernels_vec::{
@@ -414,28 +414,33 @@ pub fn step_simd<R: Real, const L: usize>(sim: &mut Volna<R>, rec: Option<&Recor
 // fused drivers)
 // ---------------------------------------------------------------------------
 
-/// One lane-aligned chunk of vectorized `compute_flux`. Raw-slice
-/// signature so the pooled sweeps (`OpDat` storage) and the fused-chain
-/// vector bodies (`SharedDat` views) share one copy of the index
-/// arithmetic.
+/// One lane-aligned chunk of vectorized `compute_flux`. Raw-slice +
+/// [`DatView`] signature so the pooled sweeps (`OpDat` storage) and the
+/// fused-chain vector bodies (`SharedDat` views) share one copy of the
+/// layout-aware index arithmetic; under AoS every view op lowers to the
+/// historical strided/gather form.
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
 pub(crate) fn compute_flux_chunk<R: Real, const L: usize>(
     es: usize,
     e2c: &[i32],
     egeom: &[R],
+    egv: DatView,
     state: &[R],
+    sv: DatView,
     eflux: &mut [R],
+    efv: DatView,
     g: R,
     h_min: R,
 ) {
     let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
     let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
-    let geom: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(egeom, es * 4 + d, 4));
-    let wl: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(state, c0, 4, d));
-    let wr: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(state, c1, 4, d));
+    let geom: [VecR<R, L>; 4] = std::array::from_fn(|d| egv.loadv(egeom, es, d));
+    let wl: [VecR<R, L>; 4] = std::array::from_fn(|d| sv.gatherv(state, c0, d));
+    let wr: [VecR<R, L>; 4] = std::array::from_fn(|d| sv.gatherv(state, c1, d));
     let f = compute_flux_vec(&geom, &wl, &wr, g, h_min);
     for d in 0..4 {
-        f[d].store_strided(eflux, es * 4 + d, 4);
+        efv.storev(f[d], eflux, es, d);
     }
 }
 
@@ -447,13 +452,15 @@ pub(crate) fn numerical_flux_chunk<R: Real, const L: usize>(
     es: usize,
     e2c: &[i32],
     eflux: &[R],
+    efv: DatView,
     area: &[R],
     dt_acc: &mut VecR<R, L>,
     cfl: R,
 ) {
     let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
     let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
-    let lam = VecR::<R, L>::load_strided(eflux, es * 4 + 3, 4);
+    let lam = efv.loadv::<R, L>(eflux, es, 3);
+    // area is dim-1: its indexing is layout-invariant, keep the direct gather
     let al = VecR::gather(area, c0, 1, 0);
     let ar = VecR::gather(area, c1, 1, 0);
     numerical_flux_vec(lam, al, ar, dt_acc, cfl);
@@ -461,74 +468,84 @@ pub(crate) fn numerical_flux_chunk<R: Real, const L: usize>(
 
 /// One lane-aligned chunk of vectorized `space_disc` with *serialized*
 /// lane scatter (ascending lane order — the scalar accumulation order).
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
 pub(crate) fn space_disc_chunk<R: Real, const L: usize>(
     es: usize,
     e2c: &[i32],
     egeom: &[R],
+    egv: DatView,
     eflux: &[R],
+    efv: DatView,
     state: &[R],
+    sv: DatView,
     res: &mut [R],
+    resv: DatView,
     g: R,
 ) {
     let c0 = IdxVec::<L>::load_strided(e2c, es * 2, 2);
     let c1 = IdxVec::<L>::load_strided(e2c, es * 2 + 1, 2);
-    let geom: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(egeom, es * 4 + d, 4));
-    let ef: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(eflux, es * 4 + d, 4));
-    let wl: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(state, c0, 4, d));
-    let wr: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::gather(state, c1, 4, d));
+    let geom: [VecR<R, L>; 4] = std::array::from_fn(|d| egv.loadv(egeom, es, d));
+    let ef: [VecR<R, L>; 4] = std::array::from_fn(|d| efv.loadv(eflux, es, d));
+    let wl: [VecR<R, L>; 4] = std::array::from_fn(|d| sv.gatherv(state, c0, d));
+    let wr: [VecR<R, L>; 4] = std::array::from_fn(|d| sv.gatherv(state, c1, d));
     let (rl, rr) = space_disc_vec(&geom, &ef, &wl, &wr, g);
     for d in 0..3 {
-        rl[d].scatter_add_serial(res, c0, 4, d);
-        rr[d].scatter_add_serial(res, c1, 4, d);
+        resv.scatter_add_serialv(rl[d], res, c0, d);
+        resv.scatter_add_serialv(rr[d], res, c1, d);
     }
 }
 
 /// One lane-aligned chunk of vectorized `RK_1`.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn rk1_chunk<R: Real, const L: usize>(
     cs: usize,
     w_old: &[R],
+    woldv: DatView,
     res: &mut [R],
+    resv: DatView,
     w1: &mut [R],
+    w1v: DatView,
     area: &[R],
     dt: R,
 ) {
-    let w_old_p: [VecR<R, L>; 4] =
-        std::array::from_fn(|d| VecR::load_strided(w_old, cs * 4 + d, 4));
-    let mut res_p: [VecR<R, L>; 4] =
-        std::array::from_fn(|d| VecR::load_strided(res, cs * 4 + d, 4));
+    let w_old_p: [VecR<R, L>; 4] = std::array::from_fn(|d| woldv.loadv(w_old, cs, d));
+    let mut res_p: [VecR<R, L>; 4] = std::array::from_fn(|d| resv.loadv(res, cs, d));
     let area_p = VecR::<R, L>::load(area, cs);
     let mut w1_p = [VecR::<R, L>::zero(); 4];
     rk_1_vec(&w_old_p, &mut res_p, &mut w1_p, area_p, dt);
     for d in 0..4 {
-        w1_p[d].store_strided(w1, cs * 4 + d, 4);
-        res_p[d].store_strided(res, cs * 4 + d, 4);
+        w1v.storev(w1_p[d], w1, cs, d);
+        resv.storev(res_p[d], res, cs, d);
     }
 }
 
 /// One lane-aligned chunk of vectorized `RK_2`.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn rk2_chunk<R: Real, const L: usize>(
     cs: usize,
     w_old: &[R],
+    woldv: DatView,
     w1: &[R],
+    w1v: DatView,
     res: &mut [R],
+    resv: DatView,
     w: &mut [R],
+    wv: DatView,
     area: &[R],
     dt: R,
 ) {
-    let w_old_p: [VecR<R, L>; 4] =
-        std::array::from_fn(|d| VecR::load_strided(w_old, cs * 4 + d, 4));
-    let w1_p: [VecR<R, L>; 4] = std::array::from_fn(|d| VecR::load_strided(w1, cs * 4 + d, 4));
-    let mut res_p: [VecR<R, L>; 4] =
-        std::array::from_fn(|d| VecR::load_strided(res, cs * 4 + d, 4));
+    let w_old_p: [VecR<R, L>; 4] = std::array::from_fn(|d| woldv.loadv(w_old, cs, d));
+    let w1_p: [VecR<R, L>; 4] = std::array::from_fn(|d| w1v.loadv(w1, cs, d));
+    let mut res_p: [VecR<R, L>; 4] = std::array::from_fn(|d| resv.loadv(res, cs, d));
     let area_p = VecR::<R, L>::load(area, cs);
     let mut w_p = [VecR::<R, L>::zero(); 4];
     rk_2_vec(&w_old_p, &w1_p, &mut res_p, &mut w_p, area_p, dt);
     for d in 0..4 {
-        w_p[d].store_strided(w, cs * 4 + d, 4);
-        res_p[d].store_strided(res, cs * 4 + d, 4);
+        wv.storev(w_p[d], w, cs, d);
+        resv.storev(res_p[d], res, cs, d);
     }
 }
 
@@ -556,13 +573,17 @@ pub(crate) fn simd_compute_flux_sweep<R: Real, const L: usize>(
             h_min,
         );
     }
+    let efv = eflux.view();
     for es in sweep.vector_chunks() {
         compute_flux_chunk::<R, L>(
             es,
             &mesh.edge2cell.data,
             &egeom.data,
+            egeom.view(),
             &state.data,
+            state.view(),
             &mut eflux.data,
+            efv,
             g,
             h_min,
         );
@@ -598,6 +619,7 @@ pub(crate) fn simd_numerical_flux_sweep<R: Real, const L: usize>(
             es,
             &mesh.edge2cell.data,
             &eflux.data,
+            eflux.view(),
             &area.data,
             &mut dt_v,
             cfl,
@@ -632,14 +654,19 @@ pub(crate) fn simd_space_disc_sweep<R: Real, const L: usize>(
             g,
         );
     }
+    let resv = res.view();
     for es in sweep.vector_chunks() {
         space_disc_chunk::<R, L>(
             es,
             &mesh.edge2cell.data,
             &egeom.data,
+            egeom.view(),
             &eflux.data,
+            eflux.view(),
             &state.data,
+            state.view(),
             &mut res.data,
+            resv,
             g,
         );
     }
@@ -664,8 +691,19 @@ pub(crate) fn simd_rk1_sweep<R: Real, const L: usize>(
             dt,
         );
     }
+    let (resv, w1v) = (res.view(), w1.view());
     for cs in sweep.vector_chunks() {
-        rk1_chunk::<R, L>(cs, &w_old.data, &mut res.data, &mut w1.data, &area.data, dt);
+        rk1_chunk::<R, L>(
+            cs,
+            &w_old.data,
+            w_old.view(),
+            &mut res.data,
+            resv,
+            &mut w1.data,
+            w1v,
+            &area.data,
+            dt,
+        );
     }
 }
 
@@ -691,13 +729,18 @@ pub(crate) fn simd_rk2_sweep<R: Real, const L: usize>(
             dt,
         );
     }
+    let (resv, wv) = (res.view(), w.view());
     for cs in sweep.vector_chunks() {
         rk2_chunk::<R, L>(
             cs,
             &w_old.data,
+            w_old.view(),
             &w1.data,
+            w1.view(),
             &mut res.data,
+            resv,
             &mut w.data,
+            wv,
             &area.data,
             dt,
         );
@@ -1156,6 +1199,11 @@ fn fused_chain_step<R: Real, const L: usize>(
     } = sim;
     let mesh = &case.mesh;
     let (area, egeom, bgeom) = (&*area, &*egeom, &*bgeom);
+    // layout views, captured before the SharedDat borrows below: the
+    // fused chain is the one driver family that runs *natively* on
+    // SoA/AoSoA storage (every other backend is shimmed to AoS)
+    let (wv, woldv, w1v, resv) = (w.view(), w_old.view(), w1.view(), res.view());
+    let (egv, efv, bgv) = (egeom.view(), eflux.view(), bgeom.view());
     let (nc, ne, nb) = (mesh.n_cells(), mesh.n_edges(), mesh.n_bedges());
     let n_edge_blocks = ne.div_ceil(block_size);
     // Δt partials: one slot per edge block, folded by an epilogue into
@@ -1170,11 +1218,29 @@ fn fused_chain_step<R: Real, const L: usize>(
         let efs = SharedDat::new(&mut eflux.data);
         let dts = SharedDat::new(&mut dt_blocks);
         let dtf = SharedDat::new(&mut dt_slot);
-        let desc = |name: &str, n: usize| LoopDesc::new(profile(name), n);
+        // Per-kernel lane selection, measured on the bench host (see
+        // docs/ARCHITECTURE.md §8): with lane-friendly storage
+        // (SoA/AoSoA) every kernel *without* a serialized indirect
+        // scatter runs faster vectorized; the scatter kernels
+        // (space_disc, bc_flux) keep their scalar bodies. Under AoS the
+        // profile-driven Auto decision stands.
+        let lane_friendly = wv.layout != ump_simd::Layout::Aos;
+        let lane_hint = move |d: LoopDesc| {
+            if !lane_friendly {
+                return d;
+            }
+            let hint = if d.has_indirect_write() {
+                ump_lazy::VecHint::Scalar
+            } else {
+                ump_lazy::VecHint::Vector
+            };
+            d.with_hint(hint)
+        };
+        let desc = move |name: &str, n: usize| lane_hint(LoopDesc::new(profile(name), n));
         // descriptor for the state-gathering loops, whose gathered dat
         // switches from `w` to `w1` in the second RK phase — the
         // dependency analyzer must see what the body actually reads
-        let state_desc = |name: &str, n: usize, phase: usize| {
+        let state_desc = move |name: &str, n: usize, phase: usize| {
             let mut p = profile(name);
             if phase == 1 {
                 for a in &mut p.args {
@@ -1183,7 +1249,7 @@ fn fused_chain_step<R: Real, const L: usize>(
                     }
                 }
             }
-            LoopDesc::new(p, n)
+            lane_hint(LoopDesc::new(p, n))
         };
 
         let mut chain = Chain::new("volna_step");
@@ -1194,19 +1260,23 @@ fn fused_chain_step<R: Real, const L: usize>(
                 vec![],
                 L,
                 move |c| unsafe {
-                    sim_1(ws.slice(c * 4, 4), wolds.slice_mut(c * 4, 4));
+                    let row: [R; 4] = wv.load_row(ws.as_slice(), c);
+                    let mut old = [R::ZERO; 4];
+                    sim_1(&row, &mut old);
+                    woldv.store_row(wolds.slice_mut(0, wolds.len()), c, &old);
                 },
                 move |cs| unsafe {
                     let src = ws.as_slice();
                     let dst = wolds.slice_mut(0, wolds.len());
-                    for i in 0..4 {
-                        VecR::<R, L>::load(src, cs * 4 + i * L).store(dst, cs * 4 + i * L);
+                    for d in 0..4 {
+                        woldv.storev(wv.loadv::<R, L>(src, cs, d), dst, cs, d);
                     }
                 },
             );
         }
         for phase in 0..2 {
             let state = if phase == 0 { &ws } else { &w1s };
+            let sv = if phase == 0 { wv } else { w1v };
             {
                 let efs = &efs;
                 chain.record_simd(
@@ -1216,14 +1286,13 @@ fn fused_chain_step<R: Real, const L: usize>(
                     move |e| {
                         let c = mesh.edge2cell.row(e);
                         unsafe {
-                            compute_flux(
-                                egeom.row(e),
-                                state.slice(c[0] as usize * 4, 4),
-                                state.slice(c[1] as usize * 4, 4),
-                                efs.slice_mut(e * 4, 4),
-                                g,
-                                h_min,
-                            );
+                            let ge: [R; 4] = egv.load_row(&egeom.data, e);
+                            let s = state.as_slice();
+                            let wl: [R; 4] = sv.load_row(s, c[0] as usize);
+                            let wr: [R; 4] = sv.load_row(s, c[1] as usize);
+                            let mut f = [R::ZERO; 4];
+                            compute_flux(&ge, &wl, &wr, &mut f, g, h_min);
+                            efv.store_row(efs.slice_mut(0, efs.len()), e, &f);
                         }
                     },
                     move |es| unsafe {
@@ -1231,8 +1300,11 @@ fn fused_chain_step<R: Real, const L: usize>(
                             es,
                             &mesh.edge2cell.data,
                             &egeom.data,
+                            egv,
                             state.as_slice(),
+                            sv,
                             efs.slice_mut(0, efs.len()),
+                            efv,
                             g,
                             h_min,
                         );
@@ -1257,9 +1329,11 @@ fn fused_chain_step<R: Real, const L: usize>(
                                 let c = mesh.edge2cell.row(e);
                                 unsafe {
                                     let slot = &mut dts.slice_mut(e / block_size, 1)[0];
+                                    let ge: [R; 4] = egv.load_row(&egeom.data, e);
+                                    let ef: [R; 4] = efv.load_row(efs.as_slice(), e);
                                     numerical_flux(
-                                        egeom.row(e),
-                                        efs.slice(e * 4, 4),
+                                        &ge,
+                                        &ef,
                                         area.row(c[0] as usize)[0],
                                         area.row(c[1] as usize)[0],
                                         slot,
@@ -1273,6 +1347,7 @@ fn fused_chain_step<R: Real, const L: usize>(
                                     es,
                                     &mesh.edge2cell.data,
                                     efs.as_slice(),
+                                    efv,
                                     &area.data,
                                     &mut dt_v,
                                     cfl,
@@ -1289,9 +1364,11 @@ fn fused_chain_step<R: Real, const L: usize>(
                             for e in range.start as usize..range.end as usize {
                                 let c = mesh.edge2cell.row(e);
                                 unsafe {
+                                    let ge: [R; 4] = egv.load_row(&egeom.data, e);
+                                    let ef: [R; 4] = efv.load_row(efs.as_slice(), e);
                                     numerical_flux(
-                                        egeom.row(e),
-                                        efs.slice(e * 4, 4),
+                                        &ge,
+                                        &ef,
                                         area.row(c[0] as usize)[0],
                                         area.row(c[1] as usize)[0],
                                         &mut local,
@@ -1326,27 +1403,36 @@ fn fused_chain_step<R: Real, const L: usize>(
                         let mut rl = [R::ZERO; 4];
                         let mut rr = [R::ZERO; 4];
                         unsafe {
-                            space_disc(
-                                egeom.row(e),
-                                efs.slice(e * 4, 4),
-                                state.slice(c0 * 4, 4),
-                                state.slice(c1 * 4, 4),
-                                &mut rl,
-                                &mut rr,
-                                g,
-                            );
+                            let ge: [R; 4] = egv.load_row(&egeom.data, e);
+                            let ef: [R; 4] = efv.load_row(efs.as_slice(), e);
+                            let s = state.as_slice();
+                            let wl: [R; 4] = sv.load_row(s, c0);
+                            let wr: [R; 4] = sv.load_row(s, c1);
+                            space_disc(&ge, &ef, &wl, &wr, &mut rl, &mut rr, g);
                         }
                         (c0, rl, c1, rr)
                     },
-                    move |_e, inc| unsafe { apply_edge_inc(ress, inc) },
+                    // layout-aware apply, matching apply_edge_inc's
+                    // accumulation order exactly (left row, then right,
+                    // components ascending)
+                    move |_e, inc| unsafe {
+                        let r = ress.slice_mut(0, ress.len());
+                        let (c0, rl, c1, rr) = inc;
+                        resv.add_row(r, *c0, rl);
+                        resv.add_row(r, *c1, rr);
+                    },
                     move |es| unsafe {
                         space_disc_chunk::<R, L>(
                             es,
                             &mesh.edge2cell.data,
                             &egeom.data,
+                            egv,
                             efs.as_slice(),
+                            efv,
                             state.as_slice(),
+                            sv,
                             ress.slice_mut(0, ress.len()),
+                            resv,
                             g,
                         );
                     },
@@ -1358,12 +1444,12 @@ fn fused_chain_step<R: Real, const L: usize>(
                     for be in 0..nb {
                         let c0 = mesh.bedge2cell.at(be, 0);
                         unsafe {
-                            bc_flux(
-                                bgeom.row(be),
-                                state.slice(c0 * 4, 4),
-                                ress.slice_mut(c0 * 4, 4),
-                                g,
-                            );
+                            let bg: [R; 2] = bgv.load_row(&bgeom.data, be);
+                            let wrow: [R; 4] = sv.load_row(state.as_slice(), c0);
+                            let r = ress.slice_mut(0, ress.len());
+                            let mut rrow: [R; 4] = resv.load_row(r, c0);
+                            bc_flux(&bg, &wrow, &mut rrow, g);
+                            resv.store_row(r, c0, &rrow);
                         }
                     }
                 });
@@ -1376,21 +1462,24 @@ fn fused_chain_step<R: Real, const L: usize>(
                     L,
                     move |c| unsafe {
                         let dt = dtf.slice(0, 1)[0];
-                        rk_1(
-                            wolds.slice(c * 4, 4),
-                            ress.slice_mut(c * 4, 4),
-                            w1s.slice_mut(c * 4, 4),
-                            area.row(c)[0],
-                            dt,
-                        );
+                        let w_old_row: [R; 4] = woldv.load_row(wolds.as_slice(), c);
+                        let r = ress.slice_mut(0, ress.len());
+                        let mut res_row: [R; 4] = resv.load_row(r, c);
+                        let mut w1_row = [R::ZERO; 4];
+                        rk_1(&w_old_row, &mut res_row, &mut w1_row, area.row(c)[0], dt);
+                        w1v.store_row(w1s.slice_mut(0, w1s.len()), c, &w1_row);
+                        resv.store_row(r, c, &res_row);
                     },
                     move |cs| unsafe {
                         let dt = dtf.slice(0, 1)[0];
                         rk1_chunk::<R, L>(
                             cs,
                             wolds.as_slice(),
+                            woldv,
                             ress.slice_mut(0, ress.len()),
+                            resv,
                             w1s.slice_mut(0, w1s.len()),
+                            w1v,
                             &area.data,
                             dt,
                         );
@@ -1404,23 +1493,34 @@ fn fused_chain_step<R: Real, const L: usize>(
                     L,
                     move |c| unsafe {
                         let dt = dtf.slice(0, 1)[0];
+                        let w_old_row: [R; 4] = woldv.load_row(wolds.as_slice(), c);
+                        let w1_row: [R; 4] = w1v.load_row(w1s.as_slice(), c);
+                        let r = ress.slice_mut(0, ress.len());
+                        let mut res_row: [R; 4] = resv.load_row(r, c);
+                        let mut w_row = [R::ZERO; 4];
                         rk_2(
-                            wolds.slice(c * 4, 4),
-                            w1s.slice(c * 4, 4),
-                            ress.slice_mut(c * 4, 4),
-                            ws.slice_mut(c * 4, 4),
+                            &w_old_row,
+                            &w1_row,
+                            &mut res_row,
+                            &mut w_row,
                             area.row(c)[0],
                             dt,
                         );
+                        wv.store_row(ws.slice_mut(0, ws.len()), c, &w_row);
+                        resv.store_row(r, c, &res_row);
                     },
                     move |cs| unsafe {
                         let dt = dtf.slice(0, 1)[0];
                         rk2_chunk::<R, L>(
                             cs,
                             wolds.as_slice(),
+                            woldv,
                             w1s.as_slice(),
+                            w1v,
                             ress.slice_mut(0, ress.len()),
+                            resv,
                             ws.slice_mut(0, ws.len()),
+                            wv,
                             &area.data,
                             dt,
                         );
@@ -1690,6 +1790,21 @@ pub fn step_on<R: Real>(
     rec: Option<&Recorder>,
 ) -> f64 {
     use crate::airfoil::drivers::DISPATCH_SIMT_WIDTH;
+    // only the fused chain runs natively on SoA/AoSoA storage; every
+    // other backend computes in AoS, so convert around the step (pure
+    // permutation — results are bit-identical to an all-AoS run)
+    let layout = sim.layout();
+    if layout != Layout::Aos
+        && !matches!(
+            backend,
+            Backend::Fused | Backend::FusedSimt | Backend::FusedSimd { .. }
+        )
+    {
+        sim.set_layout(Layout::Aos);
+        let out = step_on(backend, sim, pool, cache, n_threads, block_size, rec);
+        sim.set_layout(layout);
+        return out;
+    }
     match backend {
         Backend::Seq => step_seq(sim, rec),
         Backend::Threaded => step_threaded_on(pool, sim, cache, n_threads, block_size, rec),

@@ -29,7 +29,7 @@ pub mod kernels;
 pub mod kernels_vec;
 pub mod mpi;
 
-use ump_core::{Access, ArgInfo, LoopProfile, OpDat};
+use ump_core::{Access, ArgInfo, Layout, LoopProfile, OpDat};
 use ump_mesh::generators::{tri_coastal, CoastalCase};
 use ump_simd::Real;
 
@@ -96,7 +96,22 @@ impl<R: Real> Volna<R> {
     }
 
     /// Set up on a prebuilt case: still water plus the tsunami source.
-    pub fn from_case(case: CoastalCase) -> Volna<R> {
+    /// Runs the lane-locality edge pass first (see
+    /// [`Airfoil::from_case`](crate::airfoil::Airfoil::from_case)); the
+    /// edge dats below are built after the reorder, so everything stays
+    /// consistent.
+    pub fn from_case(mut case: CoastalCase) -> Volna<R> {
+        ump_mesh::renumber::lane_localize_edges(&mut case.mesh);
+        Self::from_case_preordered(case)
+    }
+
+    /// As [`from_case`](Volna::from_case) but *without* the
+    /// lane-locality edge pass — for callers whose edge order already
+    /// encodes structure that a reorder would break (rank-local meshes,
+    /// where the owned edges form a prefix and `edge_global` mirrors the
+    /// order). The globally lane-localized mesh passes its order down to
+    /// the rank pieces, so locality is preserved anyway.
+    pub fn from_case_preordered(case: CoastalCase) -> Volna<R> {
         let mesh = &case.mesh;
         let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
         let w = OpDat::from_fn("w", nc, 4, |c| {
@@ -141,6 +156,26 @@ impl<R: Real> Volna<R> {
             bgeom,
             case,
         }
+    }
+
+    /// Storage layout of the simulation dats (uniform —
+    /// [`set_layout`](Volna::set_layout) converts all of them together).
+    pub fn layout(&self) -> Layout {
+        self.w.layout
+    }
+
+    /// Convert every dat to `to`. A pure index permutation (bit-exact);
+    /// the fused backends execute natively in any layout, the remaining
+    /// backends convert back to AoS around each step.
+    pub fn set_layout(&mut self, to: Layout) {
+        self.w.set_layout(to);
+        self.w_old.set_layout(to);
+        self.w1.set_layout(to);
+        self.res.set_layout(to);
+        self.area.set_layout(to);
+        self.egeom.set_layout(to);
+        self.eflux.set_layout(to);
+        self.bgeom.set_layout(to);
     }
 
     /// Total water volume Σ h·A — exactly conserved by the scheme

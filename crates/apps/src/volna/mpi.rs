@@ -86,7 +86,10 @@ impl<R: Real> RankState<R> {
                 .map(|&g| case.eta0_cell[g as usize])
                 .collect(),
         };
-        let sim = Volna::<R>::from_case(local_case);
+        // `from_case_preordered`: the lane-locality pass must not run on
+        // a rank-local mesh — `edge_global`, `n_owned_edges` and the
+        // halo flags all mirror the distribution's edge order
+        let sim = Volna::<R>::from_case_preordered(local_case);
         RankState {
             edge_halo: local.boundary_edges(),
             w: sim.w,
@@ -461,6 +464,10 @@ impl<R: Real> RankState<R> {
         let halo = &local.cell_halo;
         let n_owned = local.n_owned_cells;
         let (area, egeom, bgeom, edge_halo) = (&*area, &*egeom, &*bgeom, &*edge_halo);
+        // rank-local dats are always AoS (distribution extracts AoS rows);
+        // views captured before the SharedDat borrows below
+        let (egv, efv, resv) = (egeom.view(), eflux.view(), res.view());
+        let (wv, woldv, w1v) = (w.view(), w_old.view(), w1.view());
         let (ne, nb) = (mesh.n_edges(), mesh.n_bedges());
         let n_edge_blocks = ne.div_ceil(block_size);
         // Δt partials: one slot per edge block, folded (then allreduced)
@@ -534,6 +541,7 @@ impl<R: Real> RankState<R> {
             }
             for phase in 0..2 {
                 let state = if phase == 0 { &ws } else { &w1s };
+                let sv = if phase == 0 { wv } else { w1v };
                 if phase == 1 {
                     // refresh w1 ghosts (RK_1 wrote owned rows only)
                     let (w1s, slot) = (&w1s, &pending[1]);
@@ -580,8 +588,11 @@ impl<R: Real> RankState<R> {
                                 es,
                                 &mesh.edge2cell.data,
                                 &egeom.data,
+                                egv,
                                 state.as_slice(),
+                                sv,
                                 efs.slice_mut(0, efs.len()),
+                                efv,
                                 g,
                                 h_min,
                             );
@@ -617,6 +628,7 @@ impl<R: Real> RankState<R> {
                                         es,
                                         &mesh.edge2cell.data,
                                         efs.as_slice(),
+                                        efv,
                                         &area.data,
                                         &mut dt_v,
                                         cfl,
@@ -696,9 +708,13 @@ impl<R: Real> RankState<R> {
                                 es,
                                 &mesh.edge2cell.data,
                                 &egeom.data,
+                                egv,
                                 efs.as_slice(),
+                                efv,
                                 state.as_slice(),
+                                sv,
                                 ress.slice_mut(0, ress.len()),
+                                resv,
                                 g,
                             );
                         },
@@ -744,8 +760,11 @@ impl<R: Real> RankState<R> {
                             drivers::rk1_chunk::<R, L>(
                                 cs,
                                 wolds.as_slice(),
+                                woldv,
                                 ress.slice_mut(0, ress.len()),
+                                resv,
                                 w1s.slice_mut(0, w1s.len()),
+                                w1v,
                                 &area.data,
                                 dt,
                             );
@@ -774,9 +793,13 @@ impl<R: Real> RankState<R> {
                             drivers::rk2_chunk::<R, L>(
                                 cs,
                                 wolds.as_slice(),
+                                woldv,
                                 w1s.as_slice(),
+                                w1v,
                                 ress.slice_mut(0, ress.len()),
+                                resv,
                                 ws.slice_mut(0, ws.len()),
+                                wv,
                                 &area.data,
                                 dt,
                             );

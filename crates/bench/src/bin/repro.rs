@@ -35,7 +35,7 @@ fn print_help() {
     println!("repro — regenerate the paper's tables and figures");
     println!();
     println!("usage: repro <experiment>|all [--scale small|paper]");
-    println!("       repro --smoke [--backends all|auto|name,name,…]");
+    println!("       repro --smoke [--backends all|auto|name,name,…] [--layout aos|soa|aosoaN]");
     println!("       repro serve-smoke [--inject <seed>]");
     println!();
     println!("experiments:");
@@ -86,6 +86,7 @@ fn parse_and_run(args: Vec<String>) -> Result<(), String> {
     let mut serve_run = false;
     let mut inject: Option<u64> = None;
     let mut auto_run = false;
+    let mut layout = ump_core::Layout::Aos;
     let mut backends: Vec<ExecBackend> = ExecBackend::all();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -107,6 +108,11 @@ fn parse_and_run(args: Vec<String>) -> Result<(), String> {
                     v.parse::<u64>()
                         .map_err(|e| format!("bad --inject seed {v}: {e}"))?,
                 );
+            }
+            "--layout" => {
+                let v = it.next().ok_or("--layout needs a value (aos|soa|aosoaN)")?;
+                layout = ump_core::Layout::parse(v)
+                    .ok_or_else(|| format!("bad layout {v} (want aos|soa|aosoaN, e.g. aosoa8)"))?;
             }
             "--backends" => {
                 let v = it
@@ -140,14 +146,20 @@ fn parse_and_run(args: Vec<String>) -> Result<(), String> {
     }
     if smoke_run {
         if auto_run {
+            if layout != ump_core::Layout::Aos {
+                return Err("--layout does not combine with --backends auto".into());
+            }
             smoke_auto();
         } else {
-            smoke(&backends);
+            smoke(&backends, layout);
         }
         return Ok(());
     }
     if auto_run {
         return Err("--backends auto only applies to --smoke".into());
+    }
+    if layout != ump_core::Layout::Aos {
+        return Err("--layout only applies to --smoke".into());
     }
     if cmd != "all" && !EXPERIMENTS.contains(&cmd.as_str()) {
         return Err(format!(
@@ -974,9 +986,14 @@ fn fusion(scale: Scale) {
 /// backends additionally assert their round savings through the
 /// `Recorder` fusion counters. Fast enough for CI; any divergence or
 /// NaN panics (non-zero exit).
-fn smoke(backends: &[ExecBackend]) {
+fn smoke(backends: &[ExecBackend], layout: ump_core::Layout) {
     header("smoke — tiny meshes × the backend registry (ump_core::Backend)");
-    let pool = ExecPool::new(4);
+    // clamp the team to the probed cores: a 4-worker pool on a 1-core
+    // container only measures oversubscription (the results stay
+    // deterministic either way, this is purely about wall-clock)
+    let team = 4usize.min(ump_tune::HostProbe::measure().cores.max(1));
+    println!("pool team: {team} worker(s), dat layout: {}", layout.name());
+    let pool = ExecPool::new(team);
     let iters = 3usize;
 
     // Airfoil 48x24
@@ -994,6 +1011,7 @@ fn smoke(backends: &[ExecBackend]) {
             let rec = Recorder::new();
             let r0 = pool.dispatch_rounds();
             let mut sim = ump_apps::airfoil::Airfoil::<f64>::new(nx, ny);
+            sim.set_layout(layout);
             for _ in 0..iters {
                 ump_apps::airfoil::drivers::step_on(
                     backend,
@@ -1051,6 +1069,7 @@ fn smoke(backends: &[ExecBackend]) {
         for &backend in backends {
             let rec = Recorder::new();
             let mut sim = ump_apps::volna::Volna::<f64>::new(nx, ny);
+            sim.set_layout(layout);
             for (i, &r) in dts.iter().enumerate() {
                 let dt = ump_apps::volna::drivers::step_on(
                     backend,

@@ -4,7 +4,7 @@
 
 use std::io::{self, Read, Write};
 
-use ump_simd::Real;
+use ump_simd::{DatView, Layout, Real};
 
 /// Magic prefix of the [`OpDat::save`] binary format.
 pub const DAT_SNAPSHOT_MAGIC: [u8; 4] = *b"UMPD";
@@ -30,8 +30,14 @@ fn read_u64(r: &mut impl Read) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
-/// A dataset over a set: `dim` components of type `R` per element,
-/// AoS layout (`data[e*dim + c]`) as the paper's CPU backends use.
+/// A dataset over a set: `dim` components of type `R` per element.
+///
+/// Storage defaults to AoS (`data[e*dim + c]`) as the paper's CPU
+/// backends use; [`OpDat::to_layout`] re-permutes the same values into
+/// SoA or AoSoA so `VecR::load/store` on direct data become contiguous
+/// vector moves (tentpole of the fused-SIMD fix). Code that indexes
+/// `data` directly assumes AoS — use [`OpDat::view`] / [`OpDat::at`]
+/// for layout-aware access.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OpDat<R: Real> {
     /// Dataset name (diagnostics / table rows).
@@ -40,7 +46,10 @@ pub struct OpDat<R: Real> {
     pub set_size: usize,
     /// Components per element.
     pub dim: usize,
-    /// The values, `set_size * dim` long.
+    /// Storage layout of `data`. Always `set_size * dim` values; only
+    /// the index formula changes between layouts.
+    pub layout: Layout,
+    /// The values, `set_size * dim` long, indexed per `layout`.
     pub data: Vec<R>,
 }
 
@@ -51,6 +60,7 @@ impl<R: Real> OpDat<R> {
             name: name.into(),
             set_size,
             dim,
+            layout: Layout::Aos,
             data: vec![R::ZERO; set_size * dim],
         }
     }
@@ -72,6 +82,7 @@ impl<R: Real> OpDat<R> {
             name: name.into(),
             set_size,
             dim,
+            layout: Layout::Aos,
             data,
         }
     }
@@ -88,20 +99,70 @@ impl<R: Real> OpDat<R> {
             name: name.into(),
             set_size,
             dim,
+            layout: Layout::Aos,
             data,
         }
     }
 
-    /// The component slice of element `e`.
+    /// The component slice of element `e` (AoS layouts only — rows are
+    /// not contiguous under SoA/AoSoA, except for `dim == 1` dats whose
+    /// storage is identical under every layout).
     #[inline]
     pub fn row(&self, e: usize) -> &[R] {
+        debug_assert!(
+            self.layout == Layout::Aos || self.dim == 1,
+            "row() on non-AoS dat"
+        );
         &self.data[e * self.dim..(e + 1) * self.dim]
     }
 
-    /// Mutable component slice of element `e`.
+    /// Mutable component slice of element `e` (AoS layouts only; `dim ==
+    /// 1` dats are layout-invariant).
     #[inline]
     pub fn row_mut(&mut self, e: usize) -> &mut [R] {
+        debug_assert!(
+            self.layout == Layout::Aos || self.dim == 1,
+            "row_mut() on non-AoS dat"
+        );
         &mut self.data[e * self.dim..(e + 1) * self.dim]
+    }
+
+    /// Layout-aware index view over the storage (see
+    /// [`ump_simd::DatView`] for the vector load/store/gather helpers).
+    #[inline]
+    pub fn view(&self) -> DatView {
+        DatView::new(self.set_size, self.dim, self.layout)
+    }
+
+    /// Component `c` of element `e`, valid under every layout.
+    #[inline]
+    pub fn at(&self, e: usize, c: usize) -> R {
+        self.data[self.view().idx(e, c)]
+    }
+
+    /// Mutable component `c` of element `e`, valid under every layout.
+    #[inline]
+    pub fn at_mut(&mut self, e: usize, c: usize) -> &mut R {
+        let i = self.view().idx(e, c);
+        &mut self.data[i]
+    }
+
+    /// Re-permute storage into `to` layout. A pure permutation of the
+    /// same values — bit-exact, so conformance and checkpoint tests are
+    /// unaffected by layout choice.
+    pub fn set_layout(&mut self, to: Layout) {
+        if self.layout == to {
+            return;
+        }
+        self.data = self.view().convert(&self.data, to);
+        self.layout = to;
+    }
+
+    /// Copy of this dat in `to` layout.
+    pub fn to_layout(&self, to: Layout) -> OpDat<R> {
+        let mut out = self.clone();
+        out.set_layout(to);
+        out
     }
 
     /// Total bytes of payload (Table IV memory accounting).
@@ -110,14 +171,32 @@ impl<R: Real> OpDat<R> {
     }
 
     /// Maximum |difference| against another dat (backend equivalence
-    /// tests).
+    /// tests). Compares logical `(element, component)` values, so dats
+    /// in different layouts compare correctly.
     pub fn max_abs_diff(&self, other: &OpDat<R>) -> f64 {
-        assert_eq!(self.data.len(), other.data.len(), "dat shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
-            .fold(0.0, f64::max)
+        assert_eq!(
+            (self.set_size, self.dim),
+            (other.set_size, other.dim),
+            "dat shape mismatch"
+        );
+        if self.layout == other.layout {
+            return self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+                .fold(0.0, f64::max);
+        }
+        let (va, vb) = (self.view(), other.view());
+        let mut worst = 0.0f64;
+        for e in 0..self.set_size {
+            for c in 0..self.dim {
+                let d = (self.data[va.idx(e, c)].to_f64() - other.data[vb.idx(e, c)].to_f64())
+                    .abs();
+                worst = worst.max(d);
+            }
+        }
+        worst
     }
 
     /// `true` when every value is finite — failure-injection guard used
@@ -152,10 +231,15 @@ impl<R: Real> OpDat<R> {
         w.write_all(name)?;
         w.write_all(&(self.set_size as u64).to_le_bytes())?;
         w.write_all(&(self.dim as u64).to_le_bytes())?;
-        // one buffered pass over the payload: 8 bytes per value
+        // one buffered pass over the payload: 8 bytes per value, always
+        // in canonical AoS (element, component) order regardless of the
+        // in-memory layout — snapshots are layout-independent
+        let v = self.view();
         let mut buf = Vec::with_capacity(self.data.len() * 8);
-        for &v in &self.data {
-            buf.extend_from_slice(&v.to_f64().to_bits().to_le_bytes());
+        for e in 0..self.set_size {
+            for c in 0..self.dim {
+                buf.extend_from_slice(&self.data[v.idx(e, c)].to_f64().to_bits().to_le_bytes());
+            }
         }
         w.write_all(&buf)
     }
@@ -208,6 +292,7 @@ impl<R: Real> OpDat<R> {
             name,
             set_size,
             dim,
+            layout: Layout::Aos,
             data,
         })
     }
@@ -218,6 +303,7 @@ impl<R: Real> OpDat<R> {
             name: self.name.clone(),
             set_size: self.set_size,
             dim: self.dim,
+            layout: self.layout,
             data: self.data.iter().map(|&v| T::from_f64(v.to_f64())).collect(),
         }
     }
@@ -270,6 +356,58 @@ mod tests {
     #[should_panic(expected = "storage size mismatch")]
     fn from_vec_validates_shape() {
         let _: OpDat<f64> = OpDat::from_vec("bad", 3, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn layout_round_trip_is_bit_exact() {
+        let d: OpDat<f64> = OpDat::from_fn("q", 11, 4, |e| {
+            (0..4).map(|c| (e * 4 + c) as f64 * 0.37 - 2.0).collect()
+        });
+        for to in [
+            Layout::Soa,
+            Layout::AoSoA { block: 4 },
+            Layout::AoSoA { block: 6 }, // ragged: 11 % 6 != 0
+        ] {
+            let mut s = d.clone();
+            s.set_layout(to);
+            assert_eq!(s.layout, to);
+            assert_eq!(s.max_abs_diff(&d), 0.0);
+            for e in 0..11 {
+                for c in 0..4 {
+                    assert_eq!(s.at(e, c).to_bits(), d.at(e, c).to_bits());
+                }
+            }
+            s.set_layout(Layout::Aos);
+            assert_eq!(s, d);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_canonical_across_layouts() {
+        let d: OpDat<f64> = OpDat::from_fn("q", 9, 3, |e| {
+            (0..3).map(|c| (e + c) as f64 * 1.5).collect()
+        });
+        let mut aos_bytes = Vec::new();
+        d.save(&mut aos_bytes).unwrap();
+        let mut soa = d.clone();
+        soa.set_layout(Layout::Soa);
+        let mut soa_bytes = Vec::new();
+        soa.save(&mut soa_bytes).unwrap();
+        assert_eq!(aos_bytes, soa_bytes);
+        // load always yields AoS, equal to the original
+        let back = OpDat::<f64>::load(&mut soa_bytes.as_slice()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn at_mut_writes_through_layout() {
+        let mut d: OpDat<f64> = OpDat::zeros("r", 7, 2);
+        d.set_layout(Layout::AoSoA { block: 4 });
+        *d.at_mut(6, 1) = 9.0;
+        *d.at_mut(0, 0) = -1.0;
+        d.set_layout(Layout::Aos);
+        assert_eq!(d.row(6), &[0.0, 9.0]);
+        assert_eq!(d.row(0), &[-1.0, 0.0]);
     }
 
     #[test]

@@ -303,6 +303,10 @@ impl<'a> Chain<'a> {
         scalar: impl Fn(usize) + Sync + 'a,
         vector: impl Fn(usize) + Sync + 'a,
     ) -> &mut Self {
+        // per-kernel lane selection: memory-bound kernels keep the
+        // scalar element loop even under Shape::Simd (bit-identical —
+        // the hint only skips vector-body overhead, never changes math)
+        let use_vector = desc.vectorize();
         self.push_blocks(
             desc,
             written,
@@ -312,7 +316,13 @@ impl<'a> Chain<'a> {
                         l, lanes,
                         "chain recorded {lanes}-lane bodies but executes at {l} lanes"
                     );
-                    simd_block_sweep(range, lanes, &scalar, &vector);
+                    if use_vector {
+                        simd_block_sweep(range, lanes, &scalar, &vector);
+                    } else {
+                        for e in range {
+                            scalar(e as usize);
+                        }
+                    }
                 }
                 _ => {
                     sched_spin(shape);
@@ -342,6 +352,7 @@ impl<'a> Chain<'a> {
         apply: impl Fn(usize, &I) + Sync + 'a,
         vector: impl Fn(usize) + Sync + 'a,
     ) -> &mut Self {
+        let use_vector = desc.vectorize();
         self.push_blocks(
             desc,
             written,
@@ -362,15 +373,17 @@ impl<'a> Chain<'a> {
                         l, lanes,
                         "chain recorded {lanes}-lane bodies but executes at {l} lanes"
                     );
-                    simd_block_sweep(
-                        range,
-                        lanes,
-                        &|e| {
-                            let inc = compute(e);
-                            apply(e, &inc);
-                        },
-                        &vector,
-                    );
+                    let scalar = |e| {
+                        let inc = compute(e);
+                        apply(e, &inc);
+                    };
+                    if use_vector {
+                        simd_block_sweep(range, lanes, &scalar, &vector);
+                    } else {
+                        for e in range {
+                            scalar(e as usize);
+                        }
+                    }
                 }
             }),
         );

@@ -160,4 +160,4 @@ pub mod chain;
 pub mod desc;
 
 pub use chain::{Chain, ChainReport, ExchangePolicy, Shape};
-pub use desc::{conflict, fuse_groups, GroupSpec, LoopDesc};
+pub use desc::{conflict, fuse_groups, GroupSpec, LoopDesc, VecHint};

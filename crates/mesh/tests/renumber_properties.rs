@@ -1,0 +1,75 @@
+//! Property tests for the renumbering layer: `rcm_order` must always
+//! produce a true permutation whose inverse round-trips, and — with the
+//! identity-fallback guard — must never increase CSR bandwidth, on
+//! arbitrary (shuffled, perturbed, disconnected) meshes.
+
+use proptest::prelude::*;
+use ump_mesh::dual::node_graph;
+use ump_mesh::generators::{perturbed_quads, quad_channel};
+use ump_mesh::renumber::{
+    bandwidth, lane_local_edge_order, order_to_perm, perm_to_order, rcm_order, renumber_nodes,
+    shared_cell_fraction,
+};
+use ump_mesh::SplitMix64;
+
+proptest! {
+    #[test]
+    fn rcm_round_trips_and_never_increases_bandwidth(
+        nx in 2usize..12,
+        ny in 2usize..9,
+        seed in 0u64..1u64 << 32,
+    ) {
+        // arbitrary starting labels: shuffle the node numbering first
+        let mut m = quad_channel(nx, ny).mesh;
+        let mut shuffle: Vec<u32> = (0..m.n_nodes() as u32).collect();
+        SplitMix64::new(seed).shuffle(&mut shuffle);
+        renumber_nodes(&mut m, &shuffle);
+        let g = node_graph(&m);
+
+        let order = rcm_order(&g);
+        // permutation round-trip: order -> perm -> order is the identity
+        let perm = order_to_perm(&order);
+        prop_assert_eq!(&perm_to_order(&perm), &order);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..g.rows() as u32).collect::<Vec<_>>());
+
+        // never worse than the labels we started from
+        let ident: Vec<u32> = (0..g.rows() as u32).collect();
+        prop_assert!(bandwidth(&g, &perm) <= bandwidth(&g, &ident));
+    }
+
+    #[test]
+    fn rcm_is_deterministic_on_perturbed_meshes(
+        nx in 2usize..9,
+        ny in 2usize..7,
+        seed in 0u64..1u64 << 20,
+    ) {
+        let m = perturbed_quads(nx, ny, 0.2, seed);
+        let g = node_graph(&m);
+        prop_assert_eq!(rcm_order(&g), rcm_order(&g));
+    }
+
+    #[test]
+    fn lane_local_order_permutes_and_does_not_hurt(
+        nx in 2usize..10,
+        ny in 2usize..8,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let mut m = quad_channel(nx, ny).mesh;
+        let mut shuffle: Vec<u32> = (0..m.n_edges() as u32).collect();
+        SplitMix64::new(seed).shuffle(&mut shuffle);
+        ump_mesh::renumber::reorder_edges(&mut m, &shuffle);
+
+        let order = lane_local_edge_order(&m.edge2cell);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..m.n_edges() as u32).collect::<Vec<_>>());
+
+        let before = shared_cell_fraction(&m.edge2cell);
+        let (b, a) = ump_mesh::renumber::lane_localize_edges(&mut m);
+        prop_assert_eq!(b, before);
+        prop_assert!(a >= before);
+        m.validate().unwrap();
+    }
+}

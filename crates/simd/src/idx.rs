@@ -93,6 +93,22 @@ impl<const L: usize> IdxVec<L> {
         Mask::from_array(out)
     }
 
+    /// `Some(base)` when the lanes are the consecutive run
+    /// `base..base+L`. Lane-local renumbering maximizes exactly this
+    /// pattern, where a map-driven gather degenerates to a contiguous
+    /// vector load (and an accumulating scatter to a load-add-store:
+    /// consecutive lanes are necessarily distinct, so no collisions).
+    #[inline(always)]
+    pub fn consecutive_base(self) -> Option<i32> {
+        let b = self.0[0];
+        for k in 1..L {
+            if self.0[k] != b + k as i32 {
+                return None;
+            }
+        }
+        Some(b)
+    }
+
     /// `true` when every lane is distinct — the precondition under which a
     /// vector scatter is race-free. The full/block-permute coloring schemes
     /// (paper §4) exist precisely to establish this property; plan

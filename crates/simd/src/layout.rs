@@ -1,0 +1,436 @@
+//! Storage layouts for set data and the layout-aware accessor view.
+//!
+//! The paper's CPU backends keep `op_dat`s in AoS (`data[e*dim + c]`),
+//! which turns every direct vector load into a strided gather. §4's
+//! discussion of gather/scatter cost motivates the two alternatives
+//! implemented here:
+//!
+//! * **SoA** (`data[c*n + e]`) — direct loads/stores of one component
+//!   across `L` consecutive elements become single contiguous vector
+//!   moves,
+//! * **AoSoA** (`data[(e/b)*b*dim + c*rem + e%b]`, block factor `b`) —
+//!   contiguous within a block, cache-friendly across components. The
+//!   last block is packed at its ragged size `rem = n - (e/b)*b`, so
+//!   total storage is exactly `n*dim` for every layout (no padding and
+//!   no change to byte accounting or serialization sizes).
+//!
+//! [`DatView`] carries `(n, dim, layout)` and exposes scalar row and
+//! vector lane accessors that the fused drivers use for *every* dat
+//! access, so one kernel body serves all layouts. Under `Aos` the view
+//! degenerates to the classic strided forms; under `Soa`/`AoSoA` the
+//! direct vector paths become contiguous [`VecR::load`]/[`VecR::store`].
+
+use crate::{IdxVec, Real, VecR};
+
+/// Storage layout of a `dim`-component dataset over `n` elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Array-of-structures: `data[e*dim + c]` (the paper's CPU layout).
+    Aos,
+    /// Structure-of-arrays: `data[c*n + e]`.
+    Soa,
+    /// Blocked hybrid: AoS of SoA tiles of `block` elements; the ragged
+    /// last tile is packed at its actual size.
+    AoSoA {
+        /// Elements per tile (must be ≥ 1).
+        block: usize,
+    },
+}
+
+impl Layout {
+    /// Short name for diagnostics and bench JSON.
+    pub fn name(self) -> String {
+        match self {
+            Layout::Aos => "aos".into(),
+            Layout::Soa => "soa".into(),
+            Layout::AoSoA { block } => format!("aosoa{block}"),
+        }
+    }
+
+    /// Parse a [`Layout::name`] string (CLI flags).
+    pub fn parse(s: &str) -> Option<Layout> {
+        match s {
+            "aos" => Some(Layout::Aos),
+            "soa" => Some(Layout::Soa),
+            _ => s
+                .strip_prefix("aosoa")
+                .and_then(|b| b.parse().ok())
+                .filter(|&b| b >= 1)
+                .map(|block| Layout::AoSoA { block }),
+        }
+    }
+}
+
+/// Layout-aware accessor over the raw storage of one dataset: the shape
+/// facts (`n`, `dim`, [`Layout`]) without borrowing the data, so it can
+/// be captured by recorded loop bodies while `SharedDat` views hand out
+/// the slices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatView {
+    /// Set size.
+    pub n: usize,
+    /// Components per element.
+    pub dim: usize,
+    /// Storage layout.
+    pub layout: Layout,
+}
+
+impl DatView {
+    /// View over `n` elements of `dim` components in `layout`.
+    pub fn new(n: usize, dim: usize, layout: Layout) -> DatView {
+        if let Layout::AoSoA { block } = layout {
+            assert!(block >= 1, "AoSoA block factor must be >= 1");
+        }
+        DatView { n, dim, layout }
+    }
+
+    /// Flat storage index of component `c` of element `e`.
+    #[inline(always)]
+    pub fn idx(&self, e: usize, c: usize) -> usize {
+        debug_assert!(e < self.n && c < self.dim);
+        match self.layout {
+            Layout::Aos => e * self.dim + c,
+            Layout::Soa => c * self.n + e,
+            Layout::AoSoA { block } => {
+                let tile = e / block;
+                let rem = block.min(self.n - tile * block);
+                tile * block * self.dim + c * rem + (e - tile * block)
+            }
+        }
+    }
+
+    /// Copy element `e`'s components into a local row array.
+    #[inline(always)]
+    pub fn load_row<R: Real, const D: usize>(&self, data: &[R], e: usize) -> [R; D] {
+        debug_assert_eq!(D, self.dim);
+        std::array::from_fn(|c| data[self.idx(e, c)])
+    }
+
+    /// Store a local row array as element `e`'s components.
+    #[inline(always)]
+    pub fn store_row<R: Real, const D: usize>(&self, data: &mut [R], e: usize, row: &[R; D]) {
+        debug_assert_eq!(D, self.dim);
+        for (c, &v) in row.iter().enumerate() {
+            data[self.idx(e, c)] = v;
+        }
+    }
+
+    /// Accumulate a local row array into element `e`'s components (the
+    /// colored-increment application).
+    #[inline(always)]
+    pub fn add_row<R: Real, const D: usize>(&self, data: &mut [R], e: usize, row: &[R; D]) {
+        debug_assert_eq!(D, self.dim);
+        for (c, &v) in row.iter().enumerate() {
+            let i = self.idx(e, c);
+            data[i] = data[i] + v;
+        }
+    }
+
+    /// `true` when lanes `e0..e0+L` of one component occupy consecutive
+    /// storage — the case where the direct vector paths are single
+    /// contiguous moves.
+    #[inline(always)]
+    pub fn contiguous(&self, e0: usize, lanes: usize) -> bool {
+        match self.layout {
+            Layout::Aos => self.dim == 1,
+            Layout::Soa => true,
+            Layout::AoSoA { block } => {
+                let tile = e0 / block;
+                let rem = block.min(self.n - tile * block);
+                e0 - tile * block + lanes <= rem
+            }
+        }
+    }
+
+    /// Vector load of component `c` for elements `e0..e0+L`.
+    #[inline(always)]
+    pub fn loadv<R: Real, const L: usize>(&self, data: &[R], e0: usize, c: usize) -> VecR<R, L> {
+        match self.layout {
+            Layout::Aos => VecR::load_strided(data, e0 * self.dim + c, self.dim),
+            Layout::Soa => VecR::load(data, c * self.n + e0),
+            Layout::AoSoA { .. } => {
+                if self.contiguous(e0, L) {
+                    VecR::load(data, self.idx(e0, c))
+                } else {
+                    VecR::from_fn(|k| data[self.idx(e0 + k, c)])
+                }
+            }
+        }
+    }
+
+    /// Vector store of component `c` for elements `e0..e0+L`.
+    #[inline(always)]
+    pub fn storev<R: Real, const L: usize>(
+        &self,
+        v: VecR<R, L>,
+        data: &mut [R],
+        e0: usize,
+        c: usize,
+    ) {
+        match self.layout {
+            Layout::Aos => v.store_strided(data, e0 * self.dim + c, self.dim),
+            Layout::Soa => v.store(data, c * self.n + e0),
+            Layout::AoSoA { .. } => {
+                if self.contiguous(e0, L) {
+                    v.store(data, self.idx(e0, c));
+                } else {
+                    for k in 0..L {
+                        data[self.idx(e0 + k, c)] = v.lane(k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Map-driven vector gather of component `c`: lane `k` reads element
+    /// `idx[k]`.
+    #[inline(always)]
+    pub fn gatherv<R: Real, const L: usize>(
+        &self,
+        data: &[R],
+        idx: IdxVec<L>,
+        c: usize,
+    ) -> VecR<R, L> {
+        match self.layout {
+            Layout::Aos => VecR::gather(data, idx, self.dim, c),
+            Layout::Soa => {
+                let col = &data[c * self.n..(c + 1) * self.n];
+                // lane-local renumbering makes consecutive runs the hot
+                // case; a contiguous load moves the same bits as the
+                // hardware gather at a fraction of the latency
+                match idx.consecutive_base() {
+                    Some(b) if b >= 0 && b as usize + L <= col.len() => {
+                        VecR::load(col, b as usize)
+                    }
+                    _ => VecR::gather(col, idx, 1, 0),
+                }
+            }
+            Layout::AoSoA { .. } => match idx.consecutive_base() {
+                Some(b) if b >= 0 && self.contiguous(b as usize, L) => {
+                    VecR::load(data, self.idx(b as usize, c))
+                }
+                _ => VecR::from_fn(|k| data[self.idx(idx.lane(k) as usize, c)]),
+            },
+        }
+    }
+
+    /// Serialized accumulating vector scatter of component `c`: lanes
+    /// applied in ascending lane order (the colored-increment order), so
+    /// colliding targets accumulate exactly like the scalar path.
+    #[inline(always)]
+    pub fn scatter_add_serialv<R: Real, const L: usize>(
+        &self,
+        v: VecR<R, L>,
+        data: &mut [R],
+        idx: IdxVec<L>,
+        c: usize,
+    ) {
+        match self.layout {
+            Layout::Aos => v.scatter_add_serial(data, idx, self.dim, c),
+            Layout::Soa => {
+                let col = &mut data[c * self.n..(c + 1) * self.n];
+                // consecutive lanes never collide, so a packed
+                // load-add-store accumulates bit-identically to the
+                // ascending-lane serial order
+                match idx.consecutive_base() {
+                    Some(b) if b >= 0 && b as usize + L <= col.len() => {
+                        let cur = VecR::<R, L>::load(col, b as usize);
+                        (cur + v).store(col, b as usize);
+                    }
+                    _ => v.scatter_add_serial(col, idx, 1, 0),
+                }
+            }
+            Layout::AoSoA { .. } => {
+                for k in 0..L {
+                    let i = self.idx(idx.lane(k) as usize, c);
+                    data[i] = data[i] + v.lane(k);
+                }
+            }
+        }
+    }
+
+    /// Permute `data` from this view's layout into `to`, returning the
+    /// re-laid-out storage. A pure index permutation — bit-exact at any
+    /// precision.
+    pub fn convert<R: Real>(&self, data: &[R], to: Layout) -> Vec<R> {
+        assert_eq!(data.len(), self.n * self.dim, "dat storage size mismatch");
+        let dst = DatView::new(self.n, self.dim, to);
+        let mut out = vec![R::ZERO; data.len()];
+        for e in 0..self.n {
+            for c in 0..self.dim {
+                out[dst.idx(e, c)] = data[self.idx(e, c)];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(n: usize, dim: usize) -> Vec<f64> {
+        // value encodes (e, c) so permutation mistakes are visible
+        (0..n * dim).map(|_| 0.0).collect::<Vec<_>>()
+    }
+
+    fn aos_data(n: usize, dim: usize) -> Vec<f64> {
+        let mut d = fill(n, dim);
+        let v = DatView::new(n, dim, Layout::Aos);
+        for e in 0..n {
+            for c in 0..dim {
+                d[v.idx(e, c)] = (e * 10 + c) as f64;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn idx_is_a_bijection_for_every_layout() {
+        for layout in [
+            Layout::Aos,
+            Layout::Soa,
+            Layout::AoSoA { block: 4 },
+            Layout::AoSoA { block: 6 },
+            Layout::AoSoA { block: 64 },
+        ] {
+            let (n, dim) = (13, 4);
+            let v = DatView::new(n, dim, layout);
+            let mut seen = vec![false; n * dim];
+            for e in 0..n {
+                for c in 0..dim {
+                    let i = v.idx(e, c);
+                    assert!(i < n * dim, "{layout:?} idx({e},{c}) = {i} out of range");
+                    assert!(!seen[i], "{layout:?} idx({e},{c}) = {i} collides");
+                    seen[i] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn convert_round_trips_bit_exactly() {
+        let (n, dim) = (11, 4);
+        let aos = aos_data(n, dim);
+        let av = DatView::new(n, dim, Layout::Aos);
+        for layout in [Layout::Soa, Layout::AoSoA { block: 4 }, Layout::AoSoA { block: 3 }] {
+            let there = av.convert(&aos, layout);
+            let back = DatView::new(n, dim, layout).convert(&there, Layout::Aos);
+            assert_eq!(aos, back, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn soa_direct_loads_are_contiguous() {
+        let (n, dim) = (12, 4);
+        let aos = aos_data(n, dim);
+        let soa = DatView::new(n, dim, Layout::Aos).convert(&aos, Layout::Soa);
+        let v = DatView::new(n, dim, Layout::Soa);
+        assert!(v.contiguous(5, 4));
+        let lanes: VecR<f64, 4> = v.loadv(&soa, 4, 2);
+        assert_eq!(lanes.to_array(), [42.0, 52.0, 62.0, 72.0]);
+        // and the storage really is contiguous: component 2 block
+        assert_eq!(&soa[2 * n + 4..2 * n + 8], &[42.0, 52.0, 62.0, 72.0]);
+    }
+
+    #[test]
+    fn aosoa_ragged_tail_falls_back_per_lane() {
+        // n=10, block=6: tiles [0..6) and ragged [6..10) (rem=4)
+        let (n, dim) = (10, 2);
+        let aos = aos_data(n, dim);
+        let view = DatView::new(n, dim, Layout::AoSoA { block: 6 });
+        let data = DatView::new(n, dim, Layout::Aos).convert(&aos, Layout::AoSoA { block: 6 });
+        assert!(view.contiguous(0, 4));
+        assert!(!view.contiguous(4, 4), "lanes 4..8 straddle the tile seam");
+        assert!(view.contiguous(6, 4), "ragged tile holds exactly 4");
+        for e0 in [0usize, 2, 4, 6] {
+            let got: VecR<f64, 4> = view.loadv(&data, e0, 1);
+            let want: [f64; 4] = std::array::from_fn(|k| ((e0 + k) * 10 + 1) as f64);
+            assert_eq!(got.to_array(), want, "e0={e0}");
+        }
+        // storev through the seam then read back
+        let mut d2 = data.clone();
+        let v = VecR::<f64, 4>::from_array([-1.0, -2.0, -3.0, -4.0]);
+        view.storev(v, &mut d2, 4, 0);
+        let back: VecR<f64, 4> = view.loadv(&d2, 4, 0);
+        assert_eq!(back.to_array(), [-1.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn gather_and_serial_scatter_match_scalar_for_every_layout() {
+        let (n, dim) = (9, 3);
+        let aos = aos_data(n, dim);
+        let av = DatView::new(n, dim, Layout::Aos);
+        let idx = IdxVec::<4>::from_array([7, 2, 2, 5]);
+        for layout in [Layout::Aos, Layout::Soa, Layout::AoSoA { block: 4 }] {
+            let view = DatView::new(n, dim, layout);
+            let data = av.convert(&aos, layout);
+            let g: VecR<f64, 4> = view.gatherv(&data, idx, 1);
+            assert_eq!(g.to_array(), [71.0, 21.0, 21.0, 51.0], "{layout:?}");
+
+            // serialized scatter-add with a lane collision on element 2
+            let mut d2 = data.clone();
+            view.scatter_add_serialv(VecR::<f64, 4>::splat(1.0), &mut d2, idx, 1);
+            assert_eq!(d2[view.idx(7, 1)], 72.0, "{layout:?}");
+            assert_eq!(d2[view.idx(2, 1)], 23.0, "{layout:?} collision must accumulate");
+            assert_eq!(d2[view.idx(5, 1)], 52.0, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn consecutive_gather_fast_path_matches_the_general_path() {
+        // consecutive index lanes take the contiguous-load fast path in
+        // gatherv / the packed load-add-store in scatter_add_serialv;
+        // both must move exactly the bits the general path moves
+        let (n, dim) = (16, 3);
+        let aos = aos_data(n, dim);
+        let av = DatView::new(n, dim, Layout::Aos);
+        for layout in [Layout::Soa, Layout::AoSoA { block: 8 }, Layout::AoSoA { block: 6 }] {
+            let view = DatView::new(n, dim, layout);
+            let data = av.convert(&aos, layout);
+            for base in [0, 4, 5, 12] {
+                let run = IdxVec::<4>::iota(base);
+                let got: VecR<f64, 4> = view.gatherv(&data, run, 2);
+                let want: [f64; 4] =
+                    std::array::from_fn(|k| ((base as usize + k) * 10 + 2) as f64);
+                assert_eq!(got.to_array(), want, "{layout:?} base={base}");
+
+                let mut d2 = data.clone();
+                view.scatter_add_serialv(VecR::<f64, 4>::splat(0.25), &mut d2, run, 2);
+                for k in 0..4 {
+                    let e = base as usize + k;
+                    assert_eq!(d2[view.idx(e, 2)], (e * 10 + 2) as f64 + 0.25, "{layout:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_for_every_layout() {
+        let (n, dim) = (7, 4);
+        for layout in [Layout::Aos, Layout::Soa, Layout::AoSoA { block: 3 }] {
+            let view = DatView::new(n, dim, layout);
+            let mut data = vec![0.0f64; n * dim];
+            for e in 0..n {
+                let row: [f64; 4] = std::array::from_fn(|c| (e * 10 + c) as f64);
+                view.store_row(&mut data, e, &row);
+            }
+            for e in 0..n {
+                let row: [f64; 4] = view.load_row(&data, e);
+                assert_eq!(row, std::array::from_fn(|c| (e * 10 + c) as f64), "{layout:?}");
+            }
+            view.add_row(&mut data, 3, &[0.5f64; 4]);
+            let row: [f64; 4] = view.load_row(&data, 3);
+            assert_eq!(row[2], 32.5, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn layout_names_parse_back() {
+        for layout in [Layout::Aos, Layout::Soa, Layout::AoSoA { block: 6 }] {
+            assert_eq!(Layout::parse(&layout.name()), Some(layout));
+        }
+        assert_eq!(Layout::parse("aosoa0"), None);
+        assert_eq!(Layout::parse("banana"), None);
+    }
+}

@@ -15,13 +15,17 @@
 //! * [`F32x8`] / [`F32x16`] — the single-precision equivalents
 //! * `VecR<R, 1>` — a degenerate scalar vector, handy for testing
 //!
-//! The implementation is *portable*: lanes are `[R; L]` arrays and every
-//! operation is an `#[inline(always)]` lane loop. Compiled with
+//! The baseline implementation is *portable*: lanes are `[R; L]` arrays
+//! and every operation is an `#[inline(always)]` lane loop. Compiled with
 //! `-C target-cpu=native` (set in this workspace's `.cargo/config.toml`)
-//! LLVM lowers these loops to packed vector instructions (`vaddpd`,
-//! `vsqrtpd`, `vgatherdpd`, …) on AVX2/AVX-512 hosts, which is exactly the
-//! machine code the paper's intrinsics produce, without tying the crate to
-//! one ISA.
+//! LLVM lowers most of these loops to packed vector instructions on
+//! AVX2/AVX-512 hosts. For the operations where that lowering is not
+//! guaranteed — unaligned packed moves, map-driven gathers, FMA, blends,
+//! square roots — [`arch`] supplies explicit `std::arch` AVX2+FMA kernels
+//! for the `f64×4` and `f32×8` shapes (selected at compile time by
+//! `target_feature`, bit-identical to the portable path), which is exactly
+//! the machine code the paper's intrinsics produce, without tying the
+//! crate to one ISA.
 //!
 //! Beyond the value types, the crate provides:
 //!
@@ -37,14 +41,18 @@
 
 #![deny(missing_docs)]
 
+pub mod arch;
 pub mod idx;
+pub mod layout;
 pub mod mask;
 pub mod mem;
 pub mod real;
 pub mod sweep;
 pub mod vecr;
 
+pub use arch::{have_avx2, isa_name};
 pub use idx::IdxVec;
+pub use layout::{DatView, Layout};
 pub use mask::Mask;
 pub use real::Real;
 pub use sweep::{split_sweep, Sweep};

@@ -24,6 +24,9 @@ impl<R: Real, const L: usize> VecR<R, L> {
     /// (after the scalar pre-sweep), making this the aligned-load case.
     #[inline(always)]
     pub fn load(data: &[R], start: usize) -> Self {
+        if let Some(v) = crate::arch::load(data, start) {
+            return v;
+        }
         let mut out = [R::ZERO; L];
         out.copy_from_slice(&data[start..start + L]);
         VecR(out)
@@ -46,6 +49,9 @@ impl<R: Real, const L: usize> VecR<R, L> {
     /// (`_mm512_i32logather_pd` on IMCI).
     #[inline(always)]
     pub fn gather(data: &[R], idx: IdxVec<L>, dim: usize, comp: usize) -> Self {
+        if let Some(v) = crate::arch::gather(data, idx, dim, comp) {
+            return v;
+        }
         let mut out = [R::ZERO; L];
         for k in 0..L {
             out[k] = data[idx.lane(k) as usize * dim + comp];
@@ -75,6 +81,9 @@ impl<R: Real, const L: usize> VecR<R, L> {
     /// Store all lanes to `data[start..start+L]`.
     #[inline(always)]
     pub fn store(self, data: &mut [R], start: usize) {
+        if crate::arch::store(self, data, start) {
+            return;
+        }
         data[start..start + L].copy_from_slice(&self.0);
     }
 

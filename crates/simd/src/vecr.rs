@@ -74,6 +74,9 @@ impl<R: Real, const L: usize> VecR<R, L> {
     /// Lane-wise square root (`vsqrtpd` / `_mm512_sqrt_pd`).
     #[inline(always)]
     pub fn sqrt(self) -> Self {
+        if let Some(r) = crate::arch::sqrt(self) {
+            return r;
+        }
         self.map(R::sqrt)
     }
 
@@ -98,6 +101,9 @@ impl<R: Real, const L: usize> VecR<R, L> {
     /// Lane-wise fused multiply-add `self * b + c`.
     #[inline(always)]
     pub fn mul_add(self, b: Self, c: Self) -> Self {
+        if let Some(r) = crate::arch::mul_add(self, b, c) {
+            return r;
+        }
         let mut out = [R::ZERO; L];
         for k in 0..L {
             out[k] = self.0[k].mul_add(b.0[k], c.0[k]);
@@ -173,6 +179,9 @@ impl<R: Real, const L: usize> VecR<R, L> {
     /// adopt in place of `if`/`else` (paper §4.2).
     #[inline(always)]
     pub fn select(mask: Mask<L>, if_true: Self, if_false: Self) -> Self {
+        if let Some(r) = crate::arch::select(mask, if_true, if_false) {
+            return r;
+        }
         let mut out = [R::ZERO; L];
         for k in 0..L {
             out[k] = if mask.lane(k) {

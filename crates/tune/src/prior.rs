@@ -98,7 +98,16 @@ pub fn score(machine: &Machine, cand: &Candidate, app: App, shape: &MeshShape) -
     let model_backend = analogue(cand.backend);
     // whole-machine model vs what the shape can actually occupy
     let occupancy = if cand.backend.needs_pool() {
-        1.0
+        // a worker team on a single-core host oversubscribes it: the
+        // workers time-slice one core and pay barrier and context-switch
+        // churn the whole-machine model never sees — charge pooled
+        // shapes double there so the prior ranks the pool-free shapes
+        // (seq, whole-set SIMD) first
+        if machine.cores <= 1 {
+            2.0
+        } else {
+            1.0
+        }
     } else {
         (machine.cores as f64 / cand.backend.ranks() as f64).max(1.0)
     };
@@ -167,6 +176,40 @@ mod tests {
             !top.iter().any(|c| c.backend == Backend::Seq),
             "seq must not survive top-5 pruning on a 16-core model"
         );
+    }
+
+    #[test]
+    fn prior_prefers_pool_free_shapes_on_a_single_core_host() {
+        let mesh = quad_channel(48, 24).mesh;
+        let shape = MeshShape::of(&mesh, 256);
+        let m = machines::host(1, 8.0);
+        let cands = enumerate(4);
+        for app in [App::Airfoil, App::Volna] {
+            // pairwise: each pooled shape must lose to its pool-free
+            // analogue when there is only one core to share
+            for (free, pooled) in [
+                (Backend::Seq, Backend::Threaded),
+                (Backend::Seq, Backend::Fused),
+                (Backend::Simd { lanes: 4 }, Backend::SimdThreaded { lanes: 4 }),
+                (Backend::Simd { lanes: 4 }, Backend::FusedSimd { lanes: 4 }),
+            ] {
+                let f = cands.iter().find(|c| c.backend == free).unwrap();
+                let p = cands.iter().find(|c| c.backend == pooled).unwrap();
+                assert!(
+                    score(&m, f, app, &shape) < score(&m, p, app, &shape),
+                    "{} must outrank {} on a 1-core host ({app:?})",
+                    free.name(),
+                    pooled.name()
+                );
+            }
+            // and the overall winner must not need the pool at all
+            let top = rank(&m, &cands, app, &shape, 1);
+            assert!(
+                !top[0].backend.needs_pool(),
+                "1-core prior picked pooled {} for {app:?}",
+                top[0].backend.name()
+            );
+        }
     }
 
     #[test]

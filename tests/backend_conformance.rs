@@ -8,7 +8,7 @@
 //! automatically swept here, on CI, against both applications.
 
 use ump_apps::{airfoil, volna};
-use ump_core::{Backend, ExecPool, PlanCache};
+use ump_core::{Backend, ExecPool, Layout, PlanCache};
 
 const ITERS: usize = 10;
 const BLOCK: usize = 48;
@@ -93,6 +93,77 @@ fn every_backend_matches_sequential_on_volna() {
                 "{backend} volna {nx}x{ny}: dispatch_rounds = {rounds}, needs_pool = {}",
                 backend.needs_pool()
             );
+        }
+    }
+}
+
+/// The layout half of the matrix: every backend × both apps must
+/// compute the sequential (AoS) reference's physics when the simulation
+/// state lives in SoA or AoSoA storage. The fused backends execute
+/// natively on the converted layout; the rest convert around each step —
+/// both paths must be within 1e-12 of an all-AoS run. The AoSoA block of
+/// 6 does not divide either mesh's set sizes, so the packed ragged tail
+/// is exercised too.
+#[test]
+fn every_backend_matches_sequential_under_soa_and_aosoa() {
+    let layouts = [Layout::Soa, Layout::AoSoA { block: 6 }];
+    let (nx, ny) = (12, 8);
+    let (ref_air, ref_air_hist, _) = run_airfoil(Backend::Seq, nx, ny);
+    let (ref_vol, ref_vol_hist, _) = run_volna(Backend::Seq, nx, ny);
+    for layout in layouts {
+        for backend in Backend::all() {
+            // airfoil
+            {
+                let pool = ExecPool::new(TEAM);
+                let cache = PlanCache::new();
+                let mut sim = airfoil::Airfoil::<f64>::new(nx, ny);
+                sim.set_layout(layout);
+                let hist: Vec<f64> = (0..ITERS)
+                    .map(|_| {
+                        airfoil::drivers::step_on(backend, &mut sim, &pool, &cache, 0, BLOCK, None)
+                    })
+                    .collect();
+                for (i, (&rms, &r)) in hist.iter().zip(&ref_air_hist).enumerate() {
+                    assert!(
+                        (rms - r).abs() <= 1e-12 * (1.0 + r),
+                        "{backend} airfoil {} iter {i}: rms {rms} vs {r}",
+                        layout.name()
+                    );
+                }
+                assert_eq!(sim.layout(), layout, "{backend} must restore the layout");
+                let d = sim.q.max_abs_diff(&ref_air.q);
+                assert!(
+                    d <= 1e-12,
+                    "{backend} airfoil {}: max |Δq| = {d:e} > 1e-12",
+                    layout.name()
+                );
+            }
+            // volna
+            {
+                let pool = ExecPool::new(TEAM);
+                let cache = PlanCache::new();
+                let mut sim = volna::Volna::<f64>::new(nx, ny);
+                sim.set_layout(layout);
+                let hist: Vec<f64> = (0..ITERS)
+                    .map(|_| {
+                        volna::drivers::step_on(backend, &mut sim, &pool, &cache, 0, BLOCK, None)
+                    })
+                    .collect();
+                for (i, (&dt, &r)) in hist.iter().zip(&ref_vol_hist).enumerate() {
+                    assert!(
+                        (dt - r).abs() <= 1e-12 * r,
+                        "{backend} volna {} iter {i}: dt {dt} vs {r}",
+                        layout.name()
+                    );
+                }
+                assert_eq!(sim.layout(), layout, "{backend} must restore the layout");
+                let d = sim.w.max_abs_diff(&ref_vol.w);
+                assert!(
+                    d <= 1e-12,
+                    "{backend} volna {}: max |Δw| = {d:e} > 1e-12",
+                    layout.name()
+                );
+            }
         }
     }
 }
