@@ -20,7 +20,7 @@ use ump_core::{
     apply_edge_inc, global_pool_cap, seq_loop, Backend, ExecPool, Layout, OpDat, PlanCache,
     Recorder, Scheme, SharedDat, SharedMut,
 };
-use ump_lazy::{Chain, LoopDesc, Shape};
+use ump_lazy::{Chain, LoopDesc, Shape, TileReport, TiledChain};
 use ump_simd::{split_sweep, DatView, IdxVec, Real, VecR};
 
 use super::kernels::{adt_calc, bres_calc, res_calc, save_soln, update};
@@ -1474,6 +1474,238 @@ pub fn step_simt_on<R: Real>(
 }
 
 // ---------------------------------------------------------------------------
+// cross-timestep sparse tiling
+// ---------------------------------------------------------------------------
+
+/// Default anchor-blocks-per-tile of the registry dispatcher's tiled
+/// arms: `tile_cells = DISPATCH_TILE_BLOCKS × block_size`.
+pub const DISPATCH_TILE_BLOCKS: usize = 4;
+
+/// Record `steps` outer iterations as one tiled super-chain
+/// ([`ump_lazy::TiledChain`]) and sweep it tile-by-tile: every tile of
+/// `tile_cells` cells executes all loops of all `steps` — with the
+/// dependency-cone fringe computed redundantly — before the next tile
+/// starts, so its working set stays cache-resident across timesteps.
+/// Returns the per-step normalized RMS residuals.
+///
+/// Determinism: each tile runs its cone in ascending element order, so
+/// cell state is bit-identical to [`step_seq`] for any `tile_cells`,
+/// `steps` or team size; the rms reduction accumulates per
+/// `(step, phase, cell-block)` partials (ownership is block-aligned, so
+/// each slot belongs to one tile) folded in slot order — the same
+/// block-ordered fold as the fused drivers. Tiled execution is defined
+/// on AoS rows; other layouts are shimmed through AoS like the rest of
+/// the non-fused backends.
+pub fn run_tiled_on<R: Real, const L: usize>(
+    sim: &mut Airfoil<R>,
+    pool: &ExecPool,
+    n_threads: usize,
+    steps: usize,
+    tile_cells: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> Vec<f64> {
+    run_tiled_report_on::<R, L>(sim, pool, n_threads, steps, tile_cells, block_size, rec).0
+}
+
+/// [`run_tiled_on`] returning the executor's [`TileReport`] alongside
+/// the history — the bench harness reads the measured redundant-compute
+/// fraction and copy traffic from it.
+pub fn run_tiled_report_on<R: Real, const L: usize>(
+    sim: &mut Airfoil<R>,
+    pool: &ExecPool,
+    n_threads: usize,
+    steps: usize,
+    tile_cells: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> (Vec<f64>, TileReport) {
+    let layout = sim.layout();
+    if layout != Layout::Aos {
+        sim.set_layout(Layout::Aos);
+        let out =
+            run_tiled_report_on::<R, L>(sim, pool, n_threads, steps, tile_cells, block_size, rec);
+        sim.set_layout(layout);
+        return out;
+    }
+    let Airfoil {
+        case,
+        consts,
+        x,
+        q,
+        qold,
+        adt,
+        res,
+    } = sim;
+    let mesh = &case.mesh;
+    let bound = &case.bound;
+    let (x, consts) = (&*x, &*consts);
+    let (nc, ne, nb) = (mesh.n_cells(), mesh.n_edges(), mesh.n_bedges());
+    let ncb = nc.div_ceil(block_size);
+    // rms partials: one slot per (step, phase, cell block), written only
+    // for owned cells, folded per step after the sweep
+    let mut rms_parts = vec![R::ZERO; steps * 2 * ncb];
+    let report;
+    {
+        let rmss = SharedDat::new(&mut rms_parts);
+        let rmss = &rmss;
+        let mut chain = TiledChain::new("airfoil_tiled");
+        chain.register_set("cells", nc);
+        chain.register_set("edges", ne);
+        chain.register_set("bedges", nb);
+        chain.register_map(&mesh.edge2cell);
+        chain.register_map(&mesh.bedge2cell);
+        let qd = chain.register_dat("q", "cells", 4, &mut q.data);
+        let qod = chain.register_dat("qold", "cells", 4, &mut qold.data);
+        let ad = chain.register_dat("adt", "cells", 1, &mut adt.data);
+        let rd = chain.register_dat("res", "cells", 4, &mut res.data);
+        for s in 0..steps {
+            chain.begin_step();
+            chain.record_vec(
+                LoopDesc::new(profile("save_soln"), nc),
+                move |ctx, c| {
+                    let q = ctx.dat(qd);
+                    let qold = unsafe { ctx.dat_mut(qod) };
+                    save_soln(&q[c * 4..c * 4 + 4], &mut qold[c * 4..c * 4 + 4]);
+                },
+                move |ctx, start, len| {
+                    // per-component lane moves over the run, scalar tail
+                    // (a pure copy: bit-identical to the scalar body)
+                    let q = ctx.dat(qd);
+                    let qold = unsafe { ctx.dat_mut(qod) };
+                    let (mut c, end) = (start, start + len);
+                    while c + L <= end {
+                        for j in 0..4 {
+                            let v = VecR::<R, L>::from_fn(|l| q[(c + l) * 4 + j]);
+                            for l in 0..L {
+                                qold[(c + l) * 4 + j] = v.lane(l);
+                            }
+                        }
+                        c += L;
+                    }
+                    while c < end {
+                        save_soln(&q[c * 4..c * 4 + 4], &mut qold[c * 4..c * 4 + 4]);
+                        c += 1;
+                    }
+                },
+            );
+            for phase in 0..2 {
+                chain.record(LoopDesc::new(profile("adt_calc"), nc), move |ctx, c| {
+                    let n = mesh.cell2node.row(c);
+                    let q = ctx.dat(qd);
+                    let mut a = R::ZERO;
+                    adt_calc(
+                        x.row(n[0] as usize),
+                        x.row(n[1] as usize),
+                        x.row(n[2] as usize),
+                        x.row(n[3] as usize),
+                        &q[c * 4..c * 4 + 4],
+                        &mut a,
+                        consts,
+                    );
+                    unsafe { ctx.dat_mut(ad)[c] = a };
+                });
+                chain.record(LoopDesc::new(profile("res_calc"), ne), move |ctx, e| {
+                    let n = mesh.edge2node.row(e);
+                    let c = mesh.edge2cell.row(e);
+                    let (c0, c1) = (c[0] as usize, c[1] as usize);
+                    let q = ctx.dat(qd);
+                    let adt = ctx.dat(ad);
+                    let res = unsafe { ctx.dat_mut(rd) };
+                    let (r1, r2) = two_rows_mut(res, 4, c0, c1);
+                    res_calc(
+                        x.row(n[0] as usize),
+                        x.row(n[1] as usize),
+                        &q[c0 * 4..c0 * 4 + 4],
+                        &q[c1 * 4..c1 * 4 + 4],
+                        adt[c0],
+                        adt[c1],
+                        r1,
+                        r2,
+                        consts,
+                    );
+                });
+                chain.record(LoopDesc::new(profile("bres_calc"), nb), move |ctx, be| {
+                    let n = mesh.bedge2node.row(be);
+                    let c0 = mesh.bedge2cell.at(be, 0);
+                    let q = ctx.dat(qd);
+                    let adt = ctx.dat(ad);
+                    let res = unsafe { ctx.dat_mut(rd) };
+                    bres_calc(
+                        x.row(n[0] as usize),
+                        x.row(n[1] as usize),
+                        &q[c0 * 4..c0 * 4 + 4],
+                        adt[c0],
+                        &mut res[c0 * 4..c0 * 4 + 4],
+                        bound[be],
+                        consts,
+                    );
+                });
+                chain.record(LoopDesc::new(profile("update"), nc), move |ctx, c| {
+                    let qold = ctx.dat(qod);
+                    let adt = ctx.dat(ad);
+                    let q = unsafe { ctx.dat_mut(qd) };
+                    let res = unsafe { ctx.dat_mut(rd) };
+                    let mut local = R::ZERO;
+                    update(
+                        &qold[c * 4..c * 4 + 4],
+                        &mut q[c * 4..c * 4 + 4],
+                        &mut res[c * 4..c * 4 + 4],
+                        adt[c],
+                        &mut local,
+                    );
+                    // fringe cells recompute state but their owner tile
+                    // contributes their rms partial
+                    if ctx.owned(c) {
+                        let slot = (s * 2 + phase) * ncb + c / block_size;
+                        unsafe { rmss.slice_mut(slot, 1)[0] += local };
+                    }
+                });
+            }
+        }
+        let sched = chain.schedule(tile_cells, block_size);
+        report = chain.execute(pool, &sched, n_threads, L, R::BYTES, rec);
+    }
+    let hist = (0..steps)
+        .map(|s| {
+            let mut rms = R::ZERO;
+            for v in &rms_parts[s * 2 * ncb..(s + 1) * 2 * ncb] {
+                rms += *v;
+            }
+            sim.normalize_rms(rms.to_f64())
+        })
+        .collect();
+    (hist, report)
+}
+
+/// One iteration through the tiled executor (a 1-step super-chain) —
+/// the registry dispatcher's `tiled` arm. Multi-step harnesses call
+/// [`run_tiled_on`] directly.
+pub fn step_tiled_on<R: Real>(
+    sim: &mut Airfoil<R>,
+    pool: &ExecPool,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let tile_cells = DISPATCH_TILE_BLOCKS * block_size;
+    run_tiled_on::<R, 1>(sim, pool, n_threads, 1, tile_cells, block_size, rec)[0]
+}
+
+/// The `tiled_simd{L}` arm: tiled sweep with `L`-lane run bodies on the
+/// direct copy loops.
+pub fn step_tiled_simd_on<R: Real, const L: usize>(
+    sim: &mut Airfoil<R>,
+    pool: &ExecPool,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let tile_cells = DISPATCH_TILE_BLOCKS * block_size;
+    run_tiled_on::<R, L>(sim, pool, n_threads, 1, tile_cells, block_size, rec)[0]
+}
+
+// ---------------------------------------------------------------------------
 // the unified dispatcher — one entry point per execution shape
 // ---------------------------------------------------------------------------
 
@@ -1586,6 +1818,13 @@ pub fn step_on<R: Real>(
             Shape::Simd { lanes: 8 },
             rec,
         ),
+        Backend::Tiled => step_tiled_on(sim, pool, n_threads, block_size, rec),
+        Backend::TiledSimd { lanes: 4 } => {
+            step_tiled_simd_on::<R, 4>(sim, pool, n_threads, block_size, rec)
+        }
+        Backend::TiledSimd { lanes: 8 } => {
+            step_tiled_simd_on::<R, 8>(sim, pool, n_threads, block_size, rec)
+        }
         other => panic!(
             "backend {} has no compiled lane instantiation — add it to step_on",
             other.name()

@@ -8,7 +8,7 @@ use ump_core::{
     apply_edge_inc, global_pool_cap, seq_loop, Backend, ExecPool, Layout, OpDat, PlanCache,
     Recorder, Scheme, SharedDat, SharedMut,
 };
-use ump_lazy::{Chain, LoopDesc, Shape};
+use ump_lazy::{Chain, LoopDesc, Shape, TileReport, TiledChain};
 use ump_simd::{split_sweep, DatView, IdxVec, Real, VecR};
 
 use super::kernels::{bc_flux, compute_flux, numerical_flux, rk_1, rk_2, sim_1, space_disc};
@@ -1771,6 +1771,279 @@ fn step_simt_inner<R: Real>(
 }
 
 // ---------------------------------------------------------------------------
+// cross-timestep sparse tiling
+// ---------------------------------------------------------------------------
+
+/// Record `steps` RK2 steps as one tiled super-chain
+/// ([`ump_lazy::TiledChain`]) and sweep it tile-by-tile. Unlike
+/// Airfoil's single-epoch chain, Volna's CFL Δt is *consumed* in-chain
+/// (`RK_1`/`RK_2` read what `numerical_flux` reduced), so the scheduler
+/// cuts the super-chain into two epochs per step at those global
+/// barriers — the cross-step cones span the `RK_1 … compute_flux'`
+/// epoch that straddles the step boundary. Returns the per-step Δt
+/// values.
+///
+/// Determinism mirrors the Airfoil driver: ascending per-tile execution
+/// makes cell/edge state bit-identical to [`step_seq`]; Δt partials land
+/// in per-`(step, edge-block)` slots (block-aligned ownership keeps the
+/// slots tile-exclusive) merged in block order by an epoch epilogue —
+/// and `min` is exact in any order, so Δt equals every other backend's
+/// bit-for-bit.
+pub fn run_tiled_on<R: Real, const L: usize>(
+    sim: &mut Volna<R>,
+    pool: &ExecPool,
+    n_threads: usize,
+    steps: usize,
+    tile_cells: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> Vec<f64> {
+    run_tiled_report_on::<R, L>(sim, pool, n_threads, steps, tile_cells, block_size, rec).0
+}
+
+/// [`run_tiled_on`] returning the executor's [`TileReport`] alongside
+/// the history — the bench harness reads the measured redundant-compute
+/// fraction and copy traffic from it.
+pub fn run_tiled_report_on<R: Real, const L: usize>(
+    sim: &mut Volna<R>,
+    pool: &ExecPool,
+    n_threads: usize,
+    steps: usize,
+    tile_cells: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> (Vec<f64>, TileReport) {
+    let layout = sim.layout();
+    if layout != Layout::Aos {
+        sim.set_layout(Layout::Aos);
+        let out =
+            run_tiled_report_on::<R, L>(sim, pool, n_threads, steps, tile_cells, block_size, rec);
+        sim.set_layout(layout);
+        return out;
+    }
+    let g = R::from_f64(GRAVITY);
+    let h_min = R::from_f64(H_MIN);
+    let cfl = R::from_f64(CFL);
+    let Volna {
+        case,
+        w,
+        w_old,
+        w1,
+        res,
+        area,
+        egeom,
+        eflux,
+        bgeom,
+    } = sim;
+    let mesh = &case.mesh;
+    let (area, egeom, bgeom) = (&*area, &*egeom, &*bgeom);
+    let (nc, ne, nb) = (mesh.n_cells(), mesh.n_edges(), mesh.n_bedges());
+    let neb = ne.div_ceil(block_size);
+    // Δt partials per (step, edge block) + the per-step merged minima
+    let mut dt_parts = vec![R::INFINITY; steps * neb];
+    let mut dt_merged = vec![R::INFINITY; steps];
+    let report;
+    {
+        let dts = SharedDat::new(&mut dt_parts);
+        let dtm = SharedDat::new(&mut dt_merged);
+        let (dts, dtm) = (&dts, &dtm);
+        let mut chain = TiledChain::new("volna_tiled");
+        chain.register_set("cells", nc);
+        chain.register_set("edges", ne);
+        chain.register_set("bedges", nb);
+        chain.register_map(&mesh.edge2cell);
+        chain.register_map(&mesh.bedge2cell);
+        let wd = chain.register_dat("w", "cells", 4, &mut w.data);
+        let wod = chain.register_dat("w_old", "cells", 4, &mut w_old.data);
+        let w1d = chain.register_dat("w1", "cells", 4, &mut w1.data);
+        let resd = chain.register_dat("res", "cells", 4, &mut res.data);
+        let efd = chain.register_dat("eflux", "edges", 4, &mut eflux.data);
+        // the phase-1 gathers read w1, not w — same rename as the fused
+        // chain's state_desc, so the cone tracks what bodies actually read
+        let state_desc = |name: &str, n: usize, phase: usize| {
+            let mut p = profile(name);
+            if phase == 1 {
+                for a in &mut p.args {
+                    if a.dat == "w" {
+                        a.dat = "w1".into();
+                    }
+                }
+            }
+            LoopDesc::new(p, n)
+        };
+        for s in 0..steps {
+            chain.begin_step();
+            chain.record_vec(
+                LoopDesc::new(profile("sim_1"), nc),
+                move |ctx, c| {
+                    let w = ctx.dat(wd);
+                    let w_old = unsafe { ctx.dat_mut(wod) };
+                    sim_1(&w[c * 4..c * 4 + 4], &mut w_old[c * 4..c * 4 + 4]);
+                },
+                move |ctx, start, len| {
+                    // pure copy: lane moves over the run, scalar tail
+                    let w = ctx.dat(wd);
+                    let w_old = unsafe { ctx.dat_mut(wod) };
+                    let (mut c, end) = (start, start + len);
+                    while c + L <= end {
+                        for j in 0..4 {
+                            let v = VecR::<R, L>::from_fn(|l| w[(c + l) * 4 + j]);
+                            for l in 0..L {
+                                w_old[(c + l) * 4 + j] = v.lane(l);
+                            }
+                        }
+                        c += L;
+                    }
+                    while c < end {
+                        sim_1(&w[c * 4..c * 4 + 4], &mut w_old[c * 4..c * 4 + 4]);
+                        c += 1;
+                    }
+                },
+            );
+            for phase in 0..2 {
+                let sd = if phase == 0 { wd } else { w1d };
+                chain.record(state_desc("compute_flux", ne, phase), move |ctx, e| {
+                    let c = mesh.edge2cell.row(e);
+                    let state = ctx.dat(sd);
+                    let eflux = unsafe { ctx.dat_mut(efd) };
+                    compute_flux(
+                        egeom.row(e),
+                        &state[c[0] as usize * 4..c[0] as usize * 4 + 4],
+                        &state[c[1] as usize * 4..c[1] as usize * 4 + 4],
+                        &mut eflux[e * 4..e * 4 + 4],
+                        g,
+                        h_min,
+                    );
+                });
+                if phase == 0 {
+                    chain.record(
+                        LoopDesc::new(profile("numerical_flux"), ne),
+                        move |ctx, e| {
+                            // the cone schedules exactly the owned
+                            // iterations of a pure-reduction loop, so the
+                            // block slot is tile-exclusive
+                            debug_assert!(ctx.owned(e));
+                            let c = mesh.edge2cell.row(e);
+                            let eflux = ctx.dat(efd);
+                            let slot =
+                                unsafe { &mut dts.slice_mut(s * neb + e / block_size, 1)[0] };
+                            numerical_flux(
+                                egeom.row(e),
+                                &eflux[e * 4..e * 4 + 4],
+                                area.row(c[0] as usize)[0],
+                                area.row(c[1] as usize)[0],
+                                slot,
+                                cfl,
+                            );
+                        },
+                    );
+                    // merged at this epoch's barrier, before the next
+                    // epoch's RK_1 reads it — block-ascending fold, same
+                    // as the fused chain's epilogue (min is exact in any
+                    // order, so Δt matches every backend bit-for-bit)
+                    chain.epilogue(move || unsafe {
+                        let mut merged = R::INFINITY;
+                        for &v in dts.slice(s * neb, neb) {
+                            merged = if v < merged { v } else { merged };
+                        }
+                        dtm.slice_mut(s, 1)[0] = merged;
+                    });
+                }
+                chain.record(state_desc("space_disc", ne, phase), move |ctx, e| {
+                    let c = mesh.edge2cell.row(e);
+                    let (c0, c1) = (c[0] as usize, c[1] as usize);
+                    let state = ctx.dat(sd);
+                    let eflux = ctx.dat(efd);
+                    let res = unsafe { ctx.dat_mut(resd) };
+                    let (rl, rr) = two_rows_mut(res, 4, c0, c1);
+                    space_disc(
+                        egeom.row(e),
+                        &eflux[e * 4..e * 4 + 4],
+                        &state[c0 * 4..c0 * 4 + 4],
+                        &state[c1 * 4..c1 * 4 + 4],
+                        rl,
+                        rr,
+                        g,
+                    );
+                });
+                chain.record(state_desc("bc_flux", nb, phase), move |ctx, be| {
+                    let c0 = mesh.bedge2cell.at(be, 0);
+                    let state = ctx.dat(sd);
+                    let res = unsafe { ctx.dat_mut(resd) };
+                    bc_flux(
+                        bgeom.row(be),
+                        &state[c0 * 4..c0 * 4 + 4],
+                        &mut res[c0 * 4..c0 * 4 + 4],
+                        g,
+                    );
+                });
+                if phase == 0 {
+                    chain.record(LoopDesc::new(profile("RK_1"), nc), move |ctx, c| {
+                        let dt = unsafe { dtm.slice(s, 1)[0] };
+                        let w_old = ctx.dat(wod);
+                        let res = unsafe { ctx.dat_mut(resd) };
+                        let w1 = unsafe { ctx.dat_mut(w1d) };
+                        rk_1(
+                            &w_old[c * 4..c * 4 + 4],
+                            &mut res[c * 4..c * 4 + 4],
+                            &mut w1[c * 4..c * 4 + 4],
+                            area.row(c)[0],
+                            dt,
+                        );
+                    });
+                } else {
+                    chain.record(LoopDesc::new(profile("RK_2"), nc), move |ctx, c| {
+                        let dt = unsafe { dtm.slice(s, 1)[0] };
+                        let w_old = ctx.dat(wod);
+                        let w1 = ctx.dat(w1d);
+                        let res = unsafe { ctx.dat_mut(resd) };
+                        let w = unsafe { ctx.dat_mut(wd) };
+                        rk_2(
+                            &w_old[c * 4..c * 4 + 4],
+                            &w1[c * 4..c * 4 + 4],
+                            &mut res[c * 4..c * 4 + 4],
+                            &mut w[c * 4..c * 4 + 4],
+                            area.row(c)[0],
+                            dt,
+                        );
+                    });
+                }
+            }
+        }
+        let sched = chain.schedule(tile_cells, block_size);
+        report = chain.execute(pool, &sched, n_threads, L, R::BYTES, rec);
+    }
+    (dt_merged.iter().map(|v| v.to_f64()).collect(), report)
+}
+
+/// One RK2 step through the tiled executor (a 1-step super-chain) — the
+/// registry dispatcher's `tiled` arm. Multi-step harnesses call
+/// [`run_tiled_on`] directly.
+pub fn step_tiled_on<R: Real>(
+    sim: &mut Volna<R>,
+    pool: &ExecPool,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let tile_cells = crate::airfoil::drivers::DISPATCH_TILE_BLOCKS * block_size;
+    run_tiled_on::<R, 1>(sim, pool, n_threads, 1, tile_cells, block_size, rec)[0]
+}
+
+/// The `tiled_simd{L}` arm: tiled sweep with `L`-lane run bodies on the
+/// direct copy loops.
+pub fn step_tiled_simd_on<R: Real, const L: usize>(
+    sim: &mut Volna<R>,
+    pool: &ExecPool,
+    n_threads: usize,
+    block_size: usize,
+    rec: Option<&Recorder>,
+) -> f64 {
+    let tile_cells = crate::airfoil::drivers::DISPATCH_TILE_BLOCKS * block_size;
+    run_tiled_on::<R, L>(sim, pool, n_threads, 1, tile_cells, block_size, rec)[0]
+}
+
+// ---------------------------------------------------------------------------
 // the unified dispatcher — one entry point per execution shape
 // ---------------------------------------------------------------------------
 
@@ -1879,6 +2152,13 @@ pub fn step_on<R: Real>(
             Shape::Simd { lanes: 8 },
             rec,
         ),
+        Backend::Tiled => step_tiled_on(sim, pool, n_threads, block_size, rec),
+        Backend::TiledSimd { lanes: 4 } => {
+            step_tiled_simd_on::<R, 4>(sim, pool, n_threads, block_size, rec)
+        }
+        Backend::TiledSimd { lanes: 8 } => {
+            step_tiled_simd_on::<R, 8>(sim, pool, n_threads, block_size, rec)
+        }
         other => panic!(
             "backend {} has no compiled lane instantiation — add it to step_on",
             other.name()

@@ -197,7 +197,9 @@ fn main() {
                 );
             },
         );
-        println!("bench: airfoil_fused_simd/fused median_ns_per_iter={fused_ns:.1} paired={SIMD_PAIRS}");
+        println!(
+            "bench: airfoil_fused_simd/fused median_ns_per_iter={fused_ns:.1} paired={SIMD_PAIRS}"
+        );
         println!("bench: airfoil_fused_simd/fused_simd4 median_ns_per_iter={fused_simd_ns:.1} paired={SIMD_PAIRS}");
 
         let r0 = pool.dispatch_rounds();
@@ -264,7 +266,9 @@ fn main() {
                 );
             },
         );
-        println!("bench: volna_fused_simd/fused median_ns_per_iter={fused_ns:.1} paired={SIMD_PAIRS}");
+        println!(
+            "bench: volna_fused_simd/fused median_ns_per_iter={fused_ns:.1} paired={SIMD_PAIRS}"
+        );
         println!("bench: volna_fused_simd/fused_simd8 median_ns_per_iter={fused_simd_ns:.1} paired={SIMD_PAIRS}");
 
         let r0 = pool.dispatch_rounds();

@@ -1031,7 +1031,17 @@ fn smoke(backends: &[ExecBackend], layout: ump_core::Layout) {
                 backend.needs_pool(),
                 "airfoil {backend}: {rounds} pool rounds vs needs_pool"
             );
-            if backend.is_fused() {
+            if matches!(backend, ExecBackend::Tiled | ExecBackend::TiledSimd { .. }) {
+                // tiled super-chains report under their own stats key,
+                // with the steps-per-tile and round counters filled in
+                let s = rec.fusion("airfoil_tiled").expect("tiling stats");
+                assert_eq!(s.executions, iters);
+                assert_eq!(s.steps, iters, "one recorded step per dispatch");
+                assert!(
+                    s.fused_rounds < s.unfused_rounds,
+                    "tiling must cut dispatch rounds"
+                );
+            } else if backend.is_fused() {
                 let s = rec.fusion("airfoil_step").expect("fusion stats");
                 if backend.is_distributed() {
                     // rank chains fuse the same groups but split boundary
@@ -1087,7 +1097,15 @@ fn smoke(backends: &[ExecBackend], layout: ump_core::Layout) {
             }
             let d = sim.w.max_abs_diff(&reference.w);
             assert!(d <= 1e-12, "volna {backend} diverged: {d:e} > 1e-12");
-            if backend.is_fused() {
+            if matches!(backend, ExecBackend::Tiled | ExecBackend::TiledSimd { .. }) {
+                let s = rec.fusion("volna_tiled").expect("tiling stats");
+                assert_eq!(s.executions, iters);
+                assert_eq!(s.steps, iters, "one recorded step per dispatch");
+                assert!(
+                    s.fused_rounds < s.unfused_rounds,
+                    "tiling must cut dispatch rounds"
+                );
+            } else if backend.is_fused() {
                 let s = rec.fusion("volna_step").expect("fusion stats");
                 if backend.is_distributed() {
                     assert!(s.groups < s.loops, "rank chains must fuse groups");

@@ -98,6 +98,17 @@ pub enum Backend {
         /// Vector width of the fused lane bodies inside each rank.
         lanes: usize,
     },
+    /// Cross-timestep sparse tiling (`ump_lazy::TiledChain`): N recorded
+    /// timesteps swept tile-by-tile through per-tile dependency cones
+    /// with redundant fringe compute — bandwidth elimination on top of
+    /// fusion's barrier reduction.
+    Tiled,
+    /// Cross-timestep tiling with vectorized run bodies on the direct
+    /// cell loops (indirect loops stay scalar inside the tile sweep).
+    TiledSimd {
+        /// Vector width of the tiled run bodies.
+        lanes: usize,
+    },
 }
 
 impl Backend {
@@ -129,6 +140,9 @@ impl Backend {
             Backend::MpiFused,
             Backend::MpiFusedSimd { lanes: 4 },
             Backend::MpiFusedSimd { lanes: 8 },
+            Backend::Tiled,
+            Backend::TiledSimd { lanes: 4 },
+            Backend::TiledSimd { lanes: 8 },
         ]
     }
 
@@ -150,6 +164,8 @@ impl Backend {
             Backend::FusedSimd { lanes } => format!("fused_simd{lanes}"),
             Backend::MpiFused => "mpi_fused".into(),
             Backend::MpiFusedSimd { lanes } => format!("mpi_fused_simd{lanes}"),
+            Backend::Tiled => "tiled".into(),
+            Backend::TiledSimd { lanes } => format!("tiled_simd{lanes}"),
         }
     }
 
@@ -179,7 +195,9 @@ impl Backend {
             | Backend::Simt
             | Backend::Fused
             | Backend::FusedSimt
-            | Backend::FusedSimd { .. } => true,
+            | Backend::FusedSimd { .. }
+            | Backend::Tiled
+            | Backend::TiledSimd { .. } => true,
         }
     }
 
@@ -191,7 +209,8 @@ impl Backend {
             Backend::Simd { lanes }
             | Backend::SimdThreaded { lanes }
             | Backend::FusedSimd { lanes }
-            | Backend::MpiFusedSimd { lanes } => lanes,
+            | Backend::MpiFusedSimd { lanes }
+            | Backend::TiledSimd { lanes } => lanes,
             Backend::SimdScheme { .. } => 4,
             _ => 1,
         }
@@ -206,6 +225,8 @@ impl Backend {
                 | Backend::FusedSimd { .. }
                 | Backend::MpiFused
                 | Backend::MpiFusedSimd { .. }
+                | Backend::Tiled
+                | Backend::TiledSimd { .. }
         )
     }
 
@@ -249,7 +270,7 @@ mod tests {
     #[test]
     fn registry_covers_every_shape_once() {
         let all = Backend::all();
-        assert!(all.len() >= 17, "registry shrank: {}", all.len());
+        assert!(all.len() >= 20, "registry shrank: {}", all.len());
         let names: HashSet<String> = all.iter().map(|b| b.name()).collect();
         assert_eq!(names.len(), all.len(), "duplicate backend names");
         // the acceptance shapes are all present
@@ -269,6 +290,9 @@ mod tests {
             "mpi_fused",
             "mpi_fused_simd4",
             "mpi_fused_simd8",
+            "tiled",
+            "tiled_simd4",
+            "tiled_simd8",
         ] {
             assert!(names.contains(required), "missing {required}");
         }
@@ -299,6 +323,11 @@ mod tests {
         assert_eq!(Backend::MpiFusedSimd { lanes: 8 }.lanes(), 8);
         assert!(!Backend::Fused.is_distributed());
         assert_eq!(Backend::Threaded.ranks(), 1);
+        assert!(Backend::Tiled.needs_pool(), "tile sweeps dispatch rounds");
+        assert!(Backend::Tiled.is_fused() && !Backend::Tiled.is_distributed());
+        assert_eq!(Backend::Tiled.lanes(), 1);
+        assert_eq!(Backend::TiledSimd { lanes: 4 }.lanes(), 4);
+        assert!(Backend::TiledSimd { lanes: 8 }.needs_pool());
         assert_eq!(
             Backend::SimdScheme {
                 scheme: Scheme::FullPermute

@@ -191,8 +191,8 @@ impl<R: Real> OpDat<R> {
         let mut worst = 0.0f64;
         for e in 0..self.set_size {
             for c in 0..self.dim {
-                let d = (self.data[va.idx(e, c)].to_f64() - other.data[vb.idx(e, c)].to_f64())
-                    .abs();
+                let d =
+                    (self.data[va.idx(e, c)].to_f64() - other.data[vb.idx(e, c)].to_f64()).abs();
                 worst = worst.max(d);
             }
         }

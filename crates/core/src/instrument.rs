@@ -64,6 +64,14 @@ pub struct FusionStats {
     /// revisits a dat while its block is still cache-resident (paper
     /// counting: useful words × word size, no cache modelling).
     pub bytes_saved: f64,
+    /// Timesteps covered per execution, summed over executions: 1 for a
+    /// per-step chain, N for a cross-timestep tiled super-chain.
+    pub steps: usize,
+    /// Dat bytes that stayed tile-resident *across* timestep boundaries
+    /// instead of making a memory round trip per step — the
+    /// bandwidth-elimination a cross-timestep tiled execution adds on
+    /// top of within-step fusion (0 for per-step chains).
+    pub cross_step_bytes_saved: f64,
 }
 
 impl FusionStats {
@@ -146,6 +154,8 @@ impl Recorder {
         e.fused_rounds += delta.fused_rounds;
         e.unfused_rounds += delta.unfused_rounds;
         e.bytes_saved += delta.bytes_saved;
+        e.steps += delta.steps.max(1);
+        e.cross_step_bytes_saved += delta.cross_step_bytes_saved;
     }
 
     /// Fusion statistics of one chain, if recorded.
@@ -189,6 +199,8 @@ impl Recorder {
             e.fused_rounds = e.fused_rounds.max(s.fused_rounds);
             e.unfused_rounds = e.unfused_rounds.max(s.unfused_rounds);
             e.bytes_saved += s.bytes_saved;
+            e.steps = e.steps.max(s.steps);
+            e.cross_step_bytes_saved += s.cross_step_bytes_saved;
         }
     }
 }
@@ -259,6 +271,8 @@ mod tests {
             fused_rounds: 9,
             unfused_rounds: 11,
             bytes_saved: 1000.0,
+            steps: 0,
+            cross_step_bytes_saved: 0.0,
         };
         rec.record_fusion("airfoil_step", delta);
         rec.record_fusion("airfoil_step", delta);
@@ -268,7 +282,29 @@ mod tests {
         assert_eq!(s.fused_rounds, 18);
         assert_eq!(s.rounds_saved(), 4);
         assert_eq!(s.bytes_saved, 2000.0);
+        // legacy per-step chains (steps: 0 in the delta) count 1 step
+        // per execution so steps-per-execution stays meaningful
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.cross_step_bytes_saved, 0.0);
         assert_eq!(rec.fusion_report().len(), 1);
+        // a tiled super-chain reports its real step count and the
+        // cross-step traffic it kept tile-resident
+        rec.record_fusion(
+            "airfoil_tiled",
+            FusionStats {
+                executions: 1,
+                loops: 36,
+                groups: 1,
+                fused_rounds: 2,
+                unfused_rounds: 36,
+                bytes_saved: 0.0,
+                steps: 4,
+                cross_step_bytes_saved: 4096.0,
+            },
+        );
+        let t = rec.fusion("airfoil_tiled").unwrap();
+        assert_eq!(t.steps, 4);
+        assert_eq!(t.cross_step_bytes_saved, 4096.0);
     }
 
     #[test]
@@ -292,6 +328,8 @@ mod tests {
             fused_rounds: 14,
             unfused_rounds: 18,
             bytes_saved: 500.0,
+            steps: 2,
+            cross_step_bytes_saved: 100.0,
         };
         let a = Recorder::new();
         a.record_fusion("chain", delta);
@@ -304,5 +342,7 @@ mod tests {
         assert_eq!(s.fused_rounds, 14);
         assert_eq!(s.rounds_saved(), 4);
         assert_eq!(s.bytes_saved, 1000.0);
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.cross_step_bytes_saved, 200.0);
     }
 }

@@ -47,7 +47,6 @@ pub mod profile;
 pub use arg::{Access, ArgInfo, Indirection};
 pub use backend::Backend;
 pub use dat::{OpDat, DAT_SNAPSHOT_MAGIC, DAT_SNAPSHOT_VERSION};
-pub use ump_simd::{DatView, Layout};
 pub use dist::{assemble_owned, distribute, extract_rows, LocalMesh};
 pub use exec::{
     apply_edge_inc, global_pool_cap, par_colored_blocks, seq_loop, simt_colored, EdgeInc,
@@ -57,3 +56,4 @@ pub use instrument::{FusionStats, LoopStats, Recorder};
 pub use plan::{PlanCache, Scheme};
 pub use pool::{simd_block_sweep, simt_block_sweep, ExecPool, PoolPanic};
 pub use profile::LoopProfile;
+pub use ump_simd::{DatView, Layout};

@@ -746,6 +746,8 @@ impl<'a> Chain<'a> {
                     fused_rounds: report.fused_rounds,
                     unfused_rounds: report.unfused_rounds,
                     bytes_saved: report.bytes_saved,
+                    steps: 1,
+                    cross_step_bytes_saved: 0.0,
                 },
             );
         }

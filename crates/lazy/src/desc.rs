@@ -10,7 +10,7 @@
 
 use std::ops::Range;
 
-use ump_core::{Indirection, LoopProfile};
+use ump_core::{Access, Indirection, LoopProfile};
 
 /// Per-kernel lane selection under `Shape::Simd`.
 ///
@@ -128,6 +128,44 @@ pub fn conflict(first: &LoopDesc, second: &LoopDesc) -> Option<String> {
                 ));
             }
             // both direct with a write: element-private, fusable
+        }
+    }
+    None
+}
+
+/// Why `second` needs a *global synchronization point* after `first`
+/// when the two loops share a cross-timestep tiled epoch (`None` = they
+/// may share one). This is the epoch-cut rule of the tiling scheduler
+/// ([`TiledChain::epoch_ranges`](crate::tile::TiledChain::epoch_ranges)):
+/// tiles execute an epoch independently, so a globally-reduced value can
+/// only be *consumed* after every tile's partial has been merged at an
+/// epoch barrier.
+///
+/// The rule is weaker than [`conflict`]'s global clause (which splits
+/// fused *groups* but keeps the loops in the same per-step chain): two
+/// `Inc` accumulations of the same global commute into per-tile
+/// partials, and read-read reuse is free. Everything else —
+/// read-after-reduce (Volna's `RK_1` consuming the Δt that
+/// `numerical_flux` reduced) and reduce-after-read (the next step's
+/// `numerical_flux` restarting the reduction `RK` loops just read) —
+/// demands the barrier.
+pub fn global_barrier(first: &LoopDesc, second: &LoopDesc) -> Option<String> {
+    for a in &first.profile.args {
+        if a.ind != Indirection::Global {
+            continue;
+        }
+        for b in &second.profile.args {
+            if b.ind != Indirection::Global || a.dat != b.dat {
+                continue;
+            }
+            let both_inc = a.access == Access::Inc && b.access == Access::Inc;
+            let neither_writes = !a.access.writes() && !b.access.writes();
+            if !(both_inc || neither_writes) {
+                return Some(format!(
+                    "global '{}': {} ({:?}) then {} ({:?}) needs an epoch barrier",
+                    a.dat, first.profile.name, a.access, second.profile.name, b.access
+                ));
+            }
         }
     }
     None
@@ -378,6 +416,34 @@ mod tests {
         assert!(conflict(&reduce, &consume).is_some());
         // but two loops only *reading* the same global fuse fine
         assert_eq!(conflict(&consume, &consume), None);
+    }
+
+    #[test]
+    fn global_barrier_is_weaker_than_conflict() {
+        let args = |acc: Access| {
+            vec![
+                ArgInfo::direct("flux", 4, Access::Read),
+                ArgInfo::global("dt", 1, acc),
+            ]
+        };
+        let inc = desc("nf", "edges", 50, args(Access::Inc));
+        let read = desc("rk", "edges", 50, args(Access::Read));
+        // commuting Inc-Inc and read-read reuse need no epoch barrier,
+        // even though conflict() refuses to fuse the Inc-Inc pair
+        assert_eq!(global_barrier(&inc, &inc), None);
+        assert!(conflict(&inc, &inc).is_some());
+        assert_eq!(global_barrier(&read, &read), None);
+        // read-after-reduce and reduce-after-read both cut
+        assert!(global_barrier(&inc, &read).is_some());
+        assert!(global_barrier(&read, &inc).is_some());
+        // different globals never interact
+        let other = desc(
+            "other",
+            "edges",
+            50,
+            vec![ArgInfo::global("rms", 1, Access::Read)],
+        );
+        assert_eq!(global_barrier(&inc, &other), None);
     }
 
     #[test]

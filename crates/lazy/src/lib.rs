@@ -96,6 +96,22 @@
 //! so the two policies are bit-identical — the halo bench
 //! (`benches/halo.rs`, `BENCH_halo.json`) isolates pure latency hiding.
 //!
+//! # Cross-timestep sparse tiling
+//!
+//! [`tile::TiledChain`] records **N timesteps** as one super-chain and
+//! turns the runtime from barrier-reducing into bandwidth-eliminating:
+//! the mesh is partitioned into tiles, each tile's dependency cone is
+//! grown backward through the maps one halo layer per loop, and the
+//! executor sweeps every tile through all member loops — across
+//! timestep boundaries — while its working set stays cache-resident.
+//! Fringe iterations shared by neighboring cones are computed
+//! redundantly by each tile that needs them, so tiles never synchronize
+//! inside an *epoch*; epochs are cut exactly at global-reduction
+//! consumption points ([`desc::global_barrier`], a deliberately weaker
+//! rule than [`conflict`]'s global clause — commuting `Inc`/`Inc`
+//! accumulations tile fine as per-block partials). The [`tile`] module
+//! docs state the legality and bit-determinism contract.
+//!
 //! # Example
 //!
 //! A direct-only chain fuses into one colored dispatch:
@@ -158,6 +174,8 @@
 
 pub mod chain;
 pub mod desc;
+pub mod tile;
 
 pub use chain::{Chain, ChainReport, ExchangePolicy, Shape};
-pub use desc::{conflict, fuse_groups, GroupSpec, LoopDesc, VecHint};
+pub use desc::{conflict, fuse_groups, global_barrier, GroupSpec, LoopDesc, VecHint};
+pub use tile::{DatId, TileCtx, TileReport, TileSchedule, TiledChain};

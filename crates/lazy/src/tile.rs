@@ -1,0 +1,964 @@
+//! Cross-timestep sparse tiling: record N timesteps as one super-chain,
+//! compute per-tile dependency cones through the indirection maps, and
+//! sweep each tile through all N steps while its working set stays in
+//! cache.
+//!
+//! Within-step fusion ([`Chain`](crate::chain::Chain)) removes dispatch
+//! rounds but still re-streams every dat from memory once per timestep.
+//! The OP2 sparse-tiling lineage goes further: partition the mesh into
+//! *tiles*, grow each tile's footprint **backward** one halo layer per
+//! dependence through the maps (the *dependency cone*), and execute each
+//! tile through many loops — and many *steps* — before touching the next
+//! tile. Fringe iterations shared by neighboring cones are computed
+//! redundantly by every tile that needs them, which is what makes tiles
+//! independent: no inter-tile synchronization inside an epoch.
+//!
+//! The pieces:
+//!
+//! * [`TiledChain`] — the recorder. Sets, maps and the *evolving* dats
+//!   (anything some recorded loop writes) are registered up front; each
+//!   loop is recorded with its [`LoopDesc`] and an element-level body
+//!   that reaches evolving dats **only** through a [`TileCtx`] (the
+//!   executor redirects those accesses into tile-private shadow
+//!   storage). Read-only data (coordinates, geometry, maps) is captured
+//!   by the bodies directly — it is never written, so tiles may share it.
+//! * **Epochs** — the super-chain is cut at global-reduction
+//!   synchronization points ([`global_barrier`]): a loop that consumes a
+//!   global value produced earlier in the chain (Volna's CFL Δt) starts
+//!   a new epoch, because every tile's partial must be merged before any
+//!   tile may read the result. Airfoil's RMS is produced but never
+//!   consumed in-chain, so its whole N-step super-chain is one epoch.
+//! * [`TiledChain::schedule`] — the cone analysis. Ownership of every
+//!   set is a contiguous, block-aligned partition into `n_tiles` ranges.
+//!   Per epoch and tile, a backward walk over the loop descriptors
+//!   computes the exact iteration subsets: a loop executes every
+//!   iteration that writes a *needed* row; reads of evolving dats by
+//!   those iterations become needed one loop earlier; a direct `Write`
+//!   satisfies (removes) needs. What survives to the epoch start is the
+//!   tile's copy-in footprint.
+//! * [`TiledChain::execute`] — the executor. Two pool rounds per epoch:
+//!   round 1 runs one task per tile (copy the footprint into a
+//!   worker-recycled shadow, run the cone's iterations for every loop in
+//!   ascending element order, stage owned rows into a per-tile out
+//!   buffer); round 2 writes the staged rows back. The barrier between
+//!   the rounds is what keeps copy-in reads (pre-epoch state) and
+//!   owned-row write-back race-free. Loop epilogues (reduction merges)
+//!   run after write-back, in recorded order.
+//!
+//! # Determinism
+//!
+//! Each tile executes its iterations in ascending element order, so for
+//! every *owned* row the increment accumulation order equals the
+//! sequential reference's — tiled element state is **bit-identical to
+//! `step_seq`** for any tile size, step count, or team size. Reduction
+//! contributions are only accumulated for owned iterations into
+//! per-block partial slots (ownership is block-aligned, so each slot
+//! belongs to exactly one tile), and the partials are folded in slot
+//! order at the epoch barrier — the same ordered-fold discipline as the
+//! fused and distributed paths, making reduction histories independent
+//! of the tiling configuration.
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+use ump_core::{Access, ExecPool, FusionStats, Recorder, SharedDat};
+use ump_mesh::{Csr, MapTable};
+
+use crate::desc::{global_barrier, LoopDesc};
+
+// ---------------------------------------------------------------------------
+// row sets (dense bitsets over a set's elements)
+// ---------------------------------------------------------------------------
+
+/// Dense bitset over one set's elements — the working representation of
+/// needed-row sets and executed-iteration sets during cone analysis.
+#[derive(Clone)]
+struct RowSet {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl RowSet {
+    fn new(n: usize) -> RowSet {
+        RowSet {
+            words: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        debug_assert!(i < self.n);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    fn insert_range(&mut self, r: Range<u32>) {
+        for i in r {
+            self.set(i as usize);
+        }
+    }
+
+    fn or(&mut self, other: &RowSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    fn and_not(&mut self, other: &RowSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Maximal runs of consecutive set bits, ascending.
+    fn runs(&self) -> Vec<Range<u32>> {
+        let mut out = Vec::new();
+        let mut open: Option<Range<u32>> = None;
+        for i in self.iter() {
+            let i = i as u32;
+            match open.take() {
+                Some(r) if r.end == i => open = Some(r.start..i + 1),
+                Some(r) => {
+                    out.push(r);
+                    open = Some(i..i + 1);
+                }
+                None => open = Some(i..i + 1),
+            }
+        }
+        if let Some(r) = open {
+            out.push(r);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// recorder
+// ---------------------------------------------------------------------------
+
+/// Handle to a registered evolving dat — the key bodies pass to
+/// [`TileCtx::dat`] / [`TileCtx::dat_mut`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatId(usize);
+
+/// One resolved (non-global) argument of a recorded loop: which
+/// registered dat it touches (if any — read-only dats are unregistered
+/// and ignored by the cone walk), through which registered map, and how.
+struct TArg {
+    dat: Option<usize>,
+    map: Option<usize>,
+    access: Access,
+}
+
+struct TLoop<'a, T> {
+    desc: LoopDesc,
+    set: usize,
+    step: usize,
+    args: Vec<TArg>,
+    // the loop reduces into a global: its owned iterations must always
+    // execute (each tile contributes exactly its own partials), even
+    // when no registered dat pulls them into the cone
+    global_write: bool,
+    #[allow(clippy::type_complexity)]
+    body: Box<dyn Fn(&TileCtx<'_, T>, usize) + Sync + 'a>,
+    #[allow(clippy::type_complexity)]
+    run_body: Option<Box<dyn Fn(&TileCtx<'_, T>, usize, usize) + Sync + 'a>>,
+    epilogue: Option<Box<dyn Fn() + Sync + 'a>>,
+}
+
+struct DatReg<'a, T> {
+    name: String,
+    set: usize,
+    dim: usize,
+    data: SharedDat<'a, T>,
+}
+
+/// The cross-timestep recorder: N timesteps of loops registered as one
+/// super-chain over declared sets, maps, and evolving dats. See the
+/// module docs for the execution model; `crates/apps` records both
+/// applications through this (the `run_tiled[_on]` drivers), and the
+/// property-test harness records synthetic integer chains to pin
+/// bit-exactness.
+pub struct TiledChain<'a, T: Copy + Default + Send + Sync> {
+    name: String,
+    sets: Vec<(String, usize)>,
+    maps: Vec<&'a MapTable>,
+    dats: Vec<DatReg<'a, T>>,
+    loops: Vec<TLoop<'a, T>>,
+    n_steps: usize,
+}
+
+impl<'a, T: Copy + Default + Send + Sync> TiledChain<'a, T> {
+    /// New empty super-chain named `name` (the fusion-stats key under
+    /// which [`execute`](TiledChain::execute) reports).
+    pub fn new(name: impl Into<String>) -> TiledChain<'a, T> {
+        TiledChain {
+            name: name.into(),
+            sets: Vec::new(),
+            maps: Vec::new(),
+            dats: Vec::new(),
+            loops: Vec::new(),
+            n_steps: 0,
+        }
+    }
+
+    /// Declare an iteration set (`"cells"`, `"edges"`, …) of `n`
+    /// elements. Every recorded loop's set must be declared first.
+    pub fn register_set(&mut self, name: impl Into<String>, n: usize) {
+        let name = name.into();
+        assert!(
+            self.sets.iter().all(|(s, _)| *s != name),
+            "set '{name}' registered twice"
+        );
+        self.sets.push((name, n));
+    }
+
+    /// Declare an indirection map. Required for every map an evolving
+    /// dat is reached through; maps used only for read-only data need
+    /// not be registered.
+    pub fn register_map(&mut self, map: &'a MapTable) {
+        assert!(
+            self.maps.iter().all(|m| m.name != map.name),
+            "map '{}' registered twice",
+            map.name
+        );
+        self.maps.push(map);
+    }
+
+    /// Declare an evolving dat (one some recorded loop writes) living on
+    /// `set` with `dim` components per element, backed by `data` in AoS
+    /// order. Bodies reach it only through the returned [`DatId`]; the
+    /// executor redirects those accesses into tile-private shadows.
+    pub fn register_dat(
+        &mut self,
+        name: impl Into<String>,
+        set: &str,
+        dim: usize,
+        data: &'a mut [T],
+    ) -> DatId {
+        let name = name.into();
+        let set_idx = self.set_index(set);
+        assert_eq!(
+            data.len(),
+            self.sets[set_idx].1 * dim,
+            "dat '{name}': storage is not set_size x dim"
+        );
+        assert!(
+            self.dats.iter().all(|d| d.name != name),
+            "dat '{name}' registered twice"
+        );
+        self.dats.push(DatReg {
+            name,
+            set: set_idx,
+            dim,
+            data: SharedDat::new(data),
+        });
+        DatId(self.dats.len() - 1)
+    }
+
+    /// Mark the start of the next recorded timestep (stats only — the
+    /// cone analysis needs no step boundaries, but the cross-step
+    /// traffic estimate groups loops by step).
+    pub fn begin_step(&mut self) {
+        self.n_steps += 1;
+    }
+
+    /// Timesteps recorded so far (at least 1 once a loop is recorded).
+    pub fn steps(&self) -> usize {
+        self.n_steps.max(1)
+    }
+
+    /// Loops recorded so far.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// `true` before the first recorded loop.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    fn set_index(&self, name: &str) -> usize {
+        self.sets
+            .iter()
+            .position(|(s, _)| s == name)
+            .unwrap_or_else(|| panic!("set '{name}' not registered"))
+    }
+
+    /// Record one loop: descriptor plus an element-level body
+    /// `body(ctx, e)` that accesses evolving dats through `ctx` only.
+    pub fn record(&mut self, desc: LoopDesc, body: impl Fn(&TileCtx<'_, T>, usize) + Sync + 'a) {
+        self.push(desc, Box::new(body), None);
+    }
+
+    /// [`record`](TiledChain::record) with an additional vector run body
+    /// `run_body(ctx, start, len)` covering the whole contiguous element
+    /// run `[start, start + len)` — used instead of the scalar body when
+    /// [`execute`](TiledChain::execute) runs with `lanes > 1` and the
+    /// run is at least one vector wide. The run body owns its tail
+    /// handling.
+    pub fn record_vec(
+        &mut self,
+        desc: LoopDesc,
+        body: impl Fn(&TileCtx<'_, T>, usize) + Sync + 'a,
+        run_body: impl Fn(&TileCtx<'_, T>, usize, usize) + Sync + 'a,
+    ) {
+        self.push(desc, Box::new(body), Some(Box::new(run_body)));
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn push(
+        &mut self,
+        desc: LoopDesc,
+        body: Box<dyn Fn(&TileCtx<'_, T>, usize) + Sync + 'a>,
+        run_body: Option<Box<dyn Fn(&TileCtx<'_, T>, usize, usize) + Sync + 'a>>,
+    ) {
+        let set = self.set_index(&desc.profile.set);
+        assert_eq!(
+            self.sets[set].1, desc.n_elems,
+            "loop {}: n_elems disagrees with set '{}'",
+            desc.profile.name, desc.profile.set
+        );
+        let mut args = Vec::new();
+        for a in &desc.profile.args {
+            let (map, dat) = match &a.ind {
+                ump_core::Indirection::Global => continue,
+                ump_core::Indirection::Direct => {
+                    (None, self.dats.iter().position(|d| d.name == a.dat))
+                }
+                ump_core::Indirection::Indirect { map, .. } => {
+                    let dat = self.dats.iter().position(|d| d.name == a.dat);
+                    let m = self.maps.iter().position(|m| m.name == *map);
+                    if let Some(d) = dat {
+                        let m = m.unwrap_or_else(|| {
+                            panic!(
+                                "loop {}: map '{map}' reaches evolving dat '{}' but is not registered",
+                                desc.profile.name, a.dat
+                            )
+                        });
+                        assert_eq!(
+                            self.maps[m].from_size, desc.n_elems,
+                            "loop {}: map '{map}' from-size mismatch",
+                            desc.profile.name
+                        );
+                        assert_eq!(
+                            self.maps[m].to_size,
+                            self.sets[self.dats[d].set].1,
+                            "loop {}: map '{map}' target-size mismatch with dat '{}'",
+                            desc.profile.name,
+                            a.dat
+                        );
+                    }
+                    (m, dat)
+                }
+            };
+            if let Some(d) = dat {
+                if map.is_none() {
+                    assert_eq!(
+                        self.dats[d].set, set,
+                        "loop {}: direct arg '{}' lives on another set",
+                        desc.profile.name, a.dat
+                    );
+                }
+            } else {
+                assert!(
+                    !a.access.writes(),
+                    "loop {}: written dat '{}' is not registered",
+                    desc.profile.name,
+                    a.dat
+                );
+            }
+            args.push(TArg {
+                dat,
+                map,
+                access: a.access,
+            });
+        }
+        let global_write = desc
+            .profile
+            .args
+            .iter()
+            .any(|a| a.ind == ump_core::Indirection::Global && a.access.writes());
+        self.loops.push(TLoop {
+            desc,
+            set,
+            step: self.n_steps.saturating_sub(1),
+            args,
+            global_write,
+            body,
+            run_body,
+            epilogue: None,
+        });
+    }
+
+    /// Attach an epilogue to the last recorded loop: runs once, on the
+    /// dispatching thread, after the epoch containing that loop has
+    /// completed (all tiles computed and written back). This is where
+    /// per-block reduction partials are merged in slot order — the
+    /// ordered-fold discipline that keeps reduction histories
+    /// independent of the tiling configuration.
+    pub fn epilogue(&mut self, f: impl Fn() + Sync + 'a) {
+        let l = self
+            .loops
+            .last_mut()
+            .expect("epilogue before any recorded loop");
+        assert!(
+            l.epilogue.is_none(),
+            "loop {} has an epilogue",
+            l.desc.name()
+        );
+        l.epilogue = Some(Box::new(f));
+    }
+
+    // -----------------------------------------------------------------
+    // schedule: epochs + dependency cones
+    // -----------------------------------------------------------------
+
+    /// Cut the recorded super-chain at global synchronization points
+    /// ([`global_barrier`]): a new epoch starts at every loop whose
+    /// global arguments conflict with a global already touched in the
+    /// current epoch (read-after-reduce, reduce-after-read). Returns the
+    /// loop-index range of each epoch, in order.
+    pub fn epoch_ranges(&self) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for i in 1..self.loops.len() {
+            let barrier = self.loops[start..i]
+                .iter()
+                .any(|prev| global_barrier(&prev.desc, &self.loops[i].desc).is_some());
+            if barrier {
+                out.push(start..i);
+                start = i;
+            }
+        }
+        if start < self.loops.len() {
+            out.push(start..self.loops.len());
+        }
+        out
+    }
+
+    /// Compute the tiled schedule: ownership partitions, epochs, and per
+    /// epoch × tile the dependency-cone iteration runs, copy-in
+    /// footprints and owned write-back ranges. `tile_elems` sizes tiles
+    /// on the *anchor set* (the last recorded loop's set); ownership of
+    /// every set is block-aligned so reduction partial slots are
+    /// tile-exclusive.
+    pub fn schedule(&self, tile_elems: usize, block_size: usize) -> TileSchedule {
+        assert!(!self.loops.is_empty(), "schedule of an empty chain");
+        let block_size = block_size.max(1);
+        let anchor = self.loops.last().unwrap().set;
+        let n_anchor = self.sets[anchor].1;
+        let blocks_per_tile = tile_elems.max(1).div_ceil(block_size).max(1);
+        let anchor_blocks = n_anchor.div_ceil(block_size).max(1);
+        let n_tiles = anchor_blocks.div_ceil(blocks_per_tile).max(1);
+
+        // contiguous block-aligned ownership of every set
+        let owned: Vec<Vec<Range<u32>>> = self
+            .sets
+            .iter()
+            .map(|&(_, n)| {
+                let blocks = n.div_ceil(block_size).max(1);
+                (0..n_tiles)
+                    .map(|t| {
+                        let lo = (t * blocks / n_tiles) * block_size;
+                        let hi = ((t + 1) * blocks / n_tiles) * block_size;
+                        (lo.min(n) as u32)..(hi.min(n) as u32)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // map inverses (target row -> source iterations), built once
+        let inv: Vec<Csr> = self.maps.iter().map(|m| m.invert()).collect();
+
+        let mut executed_iters = 0usize;
+        let essential_iters: usize = self.loops.iter().map(|l| l.desc.n_elems).sum();
+        let mut copy_in_words = 0usize;
+        let mut copy_out_words = 0usize;
+
+        let mut epochs = Vec::new();
+        for range in self.epoch_ranges() {
+            let eloops = &self.loops[range.clone()];
+            // evolving dats written anywhere in this epoch
+            let mut written: Vec<usize> = eloops
+                .iter()
+                .flat_map(|l| {
+                    l.args
+                        .iter()
+                        .filter(|a| a.access.writes())
+                        .filter_map(|a| a.dat)
+                })
+                .collect();
+            written.sort_unstable();
+            written.dedup();
+
+            let mut tiles = Vec::with_capacity(n_tiles);
+            for t in 0..n_tiles {
+                // backward needed-row closure, seeded with the owned rows
+                // of every dat the epoch writes
+                let mut needed: Vec<Option<RowSet>> = vec![None; self.dats.len()];
+                for &d in &written {
+                    let mut rs = RowSet::new(self.sets[self.dats[d].set].1);
+                    rs.insert_range(owned[self.dats[d].set][t].clone());
+                    needed[d] = Some(rs);
+                }
+                let mut iters_rev: Vec<Vec<Range<u32>>> = Vec::with_capacity(eloops.len());
+                for l in eloops.iter().rev() {
+                    // executed iterations: everything that writes a
+                    // needed row of any evolving dat, plus the owned
+                    // range when the loop reduces into a global
+                    let mut e = RowSet::new(self.sets[l.set].1);
+                    if l.global_write {
+                        e.insert_range(owned[l.set][t].clone());
+                    }
+                    for a in l.args.iter().filter(|a| a.access.writes()) {
+                        let Some(d) = a.dat else { continue };
+                        let Some(nd) = &needed[d] else { continue };
+                        match a.map {
+                            None => e.or(nd),
+                            Some(m) => {
+                                for row in nd.iter() {
+                                    for &s in inv[m].row(row) {
+                                        e.set(s as usize);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    executed_iters += e.count();
+                    // a direct full Write satisfies the rows it covers
+                    for a in &l.args {
+                        if a.access == Access::Write && a.map.is_none() {
+                            if let Some(d) = a.dat {
+                                if let Some(nd) = needed[d].as_mut() {
+                                    nd.and_not(&e);
+                                }
+                            }
+                        }
+                    }
+                    // reads of evolving dats by executed iterations
+                    // become needed one loop earlier (Inc reads the
+                    // prior value, so it needs its target rows too)
+                    for a in l.args.iter().filter(|a| a.access.reads()) {
+                        let Some(d) = a.dat else { continue };
+                        let nd = needed[d]
+                            .get_or_insert_with(|| RowSet::new(self.sets[self.dats[d].set].1));
+                        match a.map {
+                            None => nd.or(&e),
+                            Some(m) => {
+                                for it in e.iter() {
+                                    for &r in self.maps[m].row(it) {
+                                        nd.set(r as usize);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    iters_rev.push(e.runs());
+                }
+                iters_rev.reverse();
+                let copy_in: Vec<(usize, Vec<Range<u32>>)> = needed
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(d, nd)| {
+                        let nd = nd.as_ref()?;
+                        if !nd.any() {
+                            return None;
+                        }
+                        copy_in_words += nd.count() * self.dats[d].dim;
+                        Some((d, nd.runs()))
+                    })
+                    .collect();
+                let copy_out: Vec<(usize, Range<u32>)> = written
+                    .iter()
+                    .map(|&d| {
+                        let r = owned[self.dats[d].set][t].clone();
+                        copy_out_words += (r.end - r.start) as usize * self.dats[d].dim;
+                        (d, r)
+                    })
+                    .collect();
+                tiles.push(TilePlan {
+                    iters: iters_rev,
+                    copy_in,
+                    copy_out,
+                });
+            }
+            epochs.push(EpochPlan {
+                loops: range,
+                tiles,
+            });
+        }
+
+        // cross-step traffic the untiled path would re-stream: at every
+        // step boundary *inside* an epoch, dats touched on both sides
+        // stay tile-resident instead of making a round trip to memory
+        let mut cross_step_words = 0usize;
+        for ep in &epochs {
+            let eloops = &self.loops[ep.loops.clone()];
+            let steps: Vec<usize> = {
+                let mut s: Vec<usize> = eloops.iter().map(|l| l.step).collect();
+                s.dedup();
+                s
+            };
+            for pair in steps.windows(2) {
+                for (d, reg) in self.dats.iter().enumerate() {
+                    let touched = |step: usize| {
+                        eloops
+                            .iter()
+                            .any(|l| l.step == step && l.args.iter().any(|a| a.dat == Some(d)))
+                    };
+                    if touched(pair[0]) && touched(pair[1]) {
+                        cross_step_words += self.sets[reg.set].1 * reg.dim;
+                    }
+                }
+            }
+        }
+
+        TileSchedule {
+            n_tiles,
+            block_size,
+            anchor_set: anchor,
+            owned,
+            epochs,
+            executed_iters,
+            essential_iters,
+            copy_in_words,
+            copy_out_words,
+            cross_step_words,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // executor
+    // -----------------------------------------------------------------
+
+    /// Execute the recorded super-chain under `sched` on `pool`: two
+    /// dispatch rounds per epoch (tile sweep, then owned-row
+    /// write-back), epilogues at each epoch barrier. `lanes > 1` runs
+    /// [`record_vec`](TiledChain::record_vec) run bodies on contiguous
+    /// runs at least one vector wide. `word_bytes` scales the byte
+    /// metrics of the returned [`TileReport`], which is also reported to
+    /// `rec` under this chain's name via
+    /// [`Recorder::record_fusion`].
+    pub fn execute(
+        &self,
+        pool: &ExecPool,
+        sched: &TileSchedule,
+        n_threads: usize,
+        lanes: usize,
+        word_bytes: usize,
+        rec: Option<&Recorder>,
+    ) -> TileReport {
+        let dims: Vec<usize> = self.dats.iter().map(|d| d.dim).collect();
+        // worker-recycled full-size shadow sets: at most `team` live at
+        // once, far fewer than one per tile
+        let shadow_pool: Mutex<Vec<Vec<Vec<T>>>> = Mutex::new(Vec::new());
+        let mut rounds = 0usize;
+
+        for ep in &sched.epochs {
+            let eloops = &self.loops[ep.loops.clone()];
+            // per-tile staging buffers for the owned rows (written back
+            // in round 2, after every tile has read pre-epoch state)
+            let mut out_bufs: Vec<Vec<Vec<T>>> = ep
+                .tiles
+                .iter()
+                .map(|tp| {
+                    tp.copy_out
+                        .iter()
+                        .map(|(d, r)| {
+                            vec![T::default(); (r.end - r.start) as usize * self.dats[*d].dim]
+                        })
+                        .collect()
+                })
+                .collect();
+            let out_shared: Vec<Vec<SharedDat<'_, T>>> = out_bufs
+                .iter_mut()
+                .map(|per_tile| per_tile.iter_mut().map(|b| SharedDat::new(b)).collect())
+                .collect();
+
+            // round 1: sweep every tile through the epoch's loops
+            pool.run_round(ep.tiles.len(), n_threads, 1, &|t| {
+                let tp = &ep.tiles[t];
+                let mut shadow = shadow_pool.lock().unwrap().pop().unwrap_or_default();
+                if shadow.len() != self.dats.len() {
+                    shadow = self
+                        .dats
+                        .iter()
+                        .map(|d| vec![T::default(); d.data.len()])
+                        .collect();
+                }
+                for (d, runs) in &tp.copy_in {
+                    let dim = dims[*d];
+                    // SAFETY: round 1 only reads the global storage
+                    let global = unsafe { self.dats[*d].data.as_slice() };
+                    let sh = &mut shadow[*d];
+                    for r in runs {
+                        let (a, b) = (r.start as usize * dim, r.end as usize * dim);
+                        sh[a..b].copy_from_slice(&global[a..b]);
+                    }
+                }
+                {
+                    let views: Vec<SharedDat<'_, T>> =
+                        shadow.iter_mut().map(|s| SharedDat::new(s)).collect();
+                    for (li, l) in eloops.iter().enumerate() {
+                        let or = &sched.owned[l.set][t];
+                        let ctx = TileCtx {
+                            dats: &views,
+                            dims: &dims,
+                            owned: or.start as usize..or.end as usize,
+                        };
+                        let vector = lanes > 1 && l.run_body.is_some();
+                        for r in &tp.iters[li] {
+                            let (s, e) = (r.start as usize, r.end as usize);
+                            if vector && e - s >= lanes {
+                                (l.run_body.as_ref().unwrap())(&ctx, s, e - s);
+                            } else {
+                                for i in s..e {
+                                    (l.body)(&ctx, i);
+                                }
+                            }
+                        }
+                    }
+                    for (k, (d, r)) in tp.copy_out.iter().enumerate() {
+                        let dim = dims[*d];
+                        let n = (r.end - r.start) as usize * dim;
+                        // SAFETY: this tile's staging buffer, exclusively
+                        let dst = unsafe { out_shared[t][k].slice_mut(0, n) };
+                        // SAFETY: this worker's shadow
+                        let src = unsafe { views[*d].slice(r.start as usize * dim, n) };
+                        dst.copy_from_slice(src);
+                    }
+                }
+                shadow_pool.lock().unwrap().push(shadow);
+            });
+            rounds += 1;
+
+            // round 2: write owned rows back (disjoint per tile)
+            pool.run_round(ep.tiles.len(), n_threads, 1, &|t| {
+                for (k, (d, r)) in ep.tiles[t].copy_out.iter().enumerate() {
+                    let dim = dims[*d];
+                    let n = (r.end - r.start) as usize * dim;
+                    // SAFETY: ownership ranges partition the set
+                    let dst = unsafe { self.dats[*d].data.slice_mut(r.start as usize * dim, n) };
+                    // SAFETY: round 1 completed; buffers are read-only now
+                    let src = unsafe { out_shared[t][k].slice(0, n) };
+                    dst.copy_from_slice(src);
+                }
+            });
+            rounds += 1;
+
+            for l in eloops {
+                if let Some(epi) = &l.epilogue {
+                    epi();
+                }
+            }
+        }
+
+        let report = TileReport {
+            steps: self.steps(),
+            loops: self.loops.len(),
+            epochs: sched.epochs.len(),
+            tiles: sched.n_tiles,
+            rounds,
+            executed_iters: sched.executed_iters,
+            essential_iters: sched.essential_iters,
+            copy_in_bytes: (sched.copy_in_words * word_bytes) as f64,
+            copy_out_bytes: (sched.copy_out_words * word_bytes) as f64,
+            cross_step_bytes_saved: (sched.cross_step_words * word_bytes) as f64,
+        };
+        if let Some(r) = rec {
+            r.record_fusion(
+                &self.name,
+                FusionStats {
+                    executions: 1,
+                    loops: report.loops,
+                    groups: report.epochs,
+                    fused_rounds: report.rounds,
+                    unfused_rounds: report.loops,
+                    bytes_saved: 0.0,
+                    steps: report.steps,
+                    cross_step_bytes_saved: report.cross_step_bytes_saved,
+                },
+            );
+        }
+        report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// schedule + report types
+// ---------------------------------------------------------------------------
+
+/// One epoch of a [`TileSchedule`]: the member loops and the per-tile
+/// cone plans.
+pub struct EpochPlan {
+    /// Member loop indices into the recorded super-chain (contiguous).
+    pub loops: Range<usize>,
+    /// One plan per tile.
+    pub tiles: Vec<TilePlan>,
+}
+
+/// One tile's plan for one epoch: which iterations of each member loop
+/// it executes (its dependency cone), which rows it snapshots in, and
+/// which rows it owns and writes back.
+pub struct TilePlan {
+    /// Per member loop (in epoch order): the executed iterations as
+    /// maximal ascending runs. Everything beyond the tile's owned range
+    /// is redundant fringe compute.
+    pub iters: Vec<Vec<Range<u32>>>,
+    /// Per evolving dat with surviving needs: the rows whose pre-epoch
+    /// values the tile copies into its shadow.
+    pub copy_in: Vec<(usize, Vec<Range<u32>>)>,
+    /// Per dat written in the epoch: the owned row range written back.
+    pub copy_out: Vec<(usize, Range<u32>)>,
+}
+
+/// The complete tiled schedule of a recorded super-chain.
+pub struct TileSchedule {
+    /// Number of tiles (contiguous block-aligned partitions of the
+    /// anchor set).
+    pub n_tiles: usize,
+    /// Block size ownership is aligned to (reduction slot granularity).
+    pub block_size: usize,
+    /// Set index tiles are sized on (the last recorded loop's set).
+    pub anchor_set: usize,
+    /// `owned[set][tile]` — the contiguous element range tile `tile`
+    /// owns of set `set`.
+    pub owned: Vec<Vec<Range<u32>>>,
+    /// The epochs, in execution order.
+    pub epochs: Vec<EpochPlan>,
+    /// Iterations executed, summed over tiles and loops (fringe
+    /// iterations counted once per tile that runs them).
+    pub executed_iters: usize,
+    /// Iterations the untiled chain executes (Σ loop sizes).
+    pub essential_iters: usize,
+    /// Words copied into tile shadows, summed over epochs and tiles.
+    pub copy_in_words: usize,
+    /// Words written back from tile shadows.
+    pub copy_out_words: usize,
+    /// Dat words that stay tile-resident across a step boundary inside
+    /// an epoch instead of being re-streamed from memory.
+    pub cross_step_words: usize,
+}
+
+impl TileSchedule {
+    /// Fraction of extra (fringe) iterations relative to the untiled
+    /// chain: `0.0` means no redundant compute (single tile).
+    pub fn redundant_fraction(&self) -> f64 {
+        if self.essential_iters == 0 {
+            0.0
+        } else {
+            self.executed_iters as f64 / self.essential_iters as f64 - 1.0
+        }
+    }
+}
+
+/// What one tiled execution did — the tiling counterpart of
+/// [`ChainReport`](crate::chain::ChainReport).
+#[derive(Clone, Copy, Debug)]
+pub struct TileReport {
+    /// Timesteps the super-chain covered.
+    pub steps: usize,
+    /// Loops recorded.
+    pub loops: usize,
+    /// Epochs (global synchronization sections) executed.
+    pub epochs: usize,
+    /// Tiles swept per epoch.
+    pub tiles: usize,
+    /// Pool dispatch rounds issued (2 per epoch).
+    pub rounds: usize,
+    /// Iterations executed including redundant fringe compute.
+    pub executed_iters: usize,
+    /// Iterations the untiled chain executes.
+    pub essential_iters: usize,
+    /// Bytes copied into tile shadows.
+    pub copy_in_bytes: f64,
+    /// Bytes written back from tile shadows.
+    pub copy_out_bytes: f64,
+    /// Bytes not re-streamed across step boundaries inside epochs.
+    pub cross_step_bytes_saved: f64,
+}
+
+impl TileReport {
+    /// Fraction of redundant (fringe) iterations, `0.0` for one tile.
+    pub fn redundant_fraction(&self) -> f64 {
+        if self.essential_iters == 0 {
+            0.0
+        } else {
+            self.executed_iters as f64 / self.essential_iters as f64 - 1.0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tile execution context
+// ---------------------------------------------------------------------------
+
+/// The view a loop body gets of the evolving dats while its tile is
+/// being swept: accesses resolve into the tile's private shadow storage,
+/// and [`owned`](TileCtx::owned) tells reduction code whether the
+/// current iteration belongs to this tile (fringe iterations must not
+/// contribute to reduction partials — their owner contributes them).
+pub struct TileCtx<'c, T> {
+    dats: &'c [SharedDat<'c, T>],
+    dims: &'c [usize],
+    owned: Range<usize>,
+}
+
+impl<T: Copy> TileCtx<'_, T> {
+    /// Shared view of an evolving dat's shadow (AoS: row `e` at
+    /// `e * dim`).
+    #[inline(always)]
+    pub fn dat(&self, d: DatId) -> &[T] {
+        // SAFETY: one worker owns this tile's shadow for the whole sweep
+        unsafe { self.dats[d.0].as_slice() }
+    }
+
+    /// Mutable view of an evolving dat's shadow.
+    ///
+    /// # Safety
+    /// The caller must not hold another view of the *same* dat while
+    /// mutating (views of different dats may coexist — they alias
+    /// distinct buffers).
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn dat_mut(&self, d: DatId) -> &mut [T] {
+        unsafe { self.dats[d.0].slice_mut(0, self.dats[d.0].len()) }
+    }
+
+    /// Components per element of `d`.
+    #[inline(always)]
+    pub fn dim(&self, d: DatId) -> usize {
+        self.dims[d.0]
+    }
+
+    /// Does the current tile own iteration `e` of the running loop's
+    /// set? Reduction contributions must be gated on this.
+    #[inline(always)]
+    pub fn owned(&self, e: usize) -> bool {
+        self.owned.contains(&e)
+    }
+}

@@ -210,7 +210,7 @@ pub fn lane_local_edge_order(edge2cell: &MapTable) -> Vec<u32> {
             let mut next: Option<u32> = None;
             for &c in edge2cell.row(e as usize) {
                 for &cand in &cell_edges[c as usize] {
-                    if !visited[cand as usize] && next.map_or(true, |b| cand < b) {
+                    if !visited[cand as usize] && next.is_none_or(|b| cand < b) {
                         next = Some(cand);
                     }
                 }

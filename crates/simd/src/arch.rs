@@ -137,15 +137,11 @@ pub fn load<R: Real, const L: usize>(data: &[R], start: usize) -> Option<VecR<R,
         use core::arch::x86_64::*;
         if avx2::is_f64x4::<R, L>() {
             let s = &data[start..start + L];
-            return Some(unsafe {
-                avx2::st_pd(_mm256_loadu_pd(s.as_ptr() as *const f64))
-            });
+            return Some(unsafe { avx2::st_pd(_mm256_loadu_pd(s.as_ptr() as *const f64)) });
         }
         if avx2::is_f32x8::<R, L>() {
             let s = &data[start..start + L];
-            return Some(unsafe {
-                avx2::st_ps(_mm256_loadu_ps(s.as_ptr() as *const f32))
-            });
+            return Some(unsafe { avx2::st_ps(_mm256_loadu_ps(s.as_ptr() as *const f32)) });
         }
         None
     }
@@ -203,8 +199,7 @@ pub fn gather<R: Real, const L: usize>(
     {
         use core::arch::x86_64::*;
         if avx2::is_f64x4::<R, L>() {
-            let eff: [i32; 4] =
-                std::array::from_fn(|k| idx.lane(k) * dim as i32 + comp as i32);
+            let eff: [i32; 4] = std::array::from_fn(|k| idx.lane(k) * dim as i32 + comp as i32);
             if eff.iter().all(|&i| (i as usize) < data.len() && i >= 0) {
                 let v = unsafe {
                     let vi = _mm_loadu_si128(eff.as_ptr() as *const __m128i);
@@ -215,8 +210,7 @@ pub fn gather<R: Real, const L: usize>(
             return None; // scalar path reports the OOB index
         }
         if avx2::is_f32x8::<R, L>() {
-            let eff: [i32; 8] =
-                std::array::from_fn(|k| idx.lane(k) * dim as i32 + comp as i32);
+            let eff: [i32; 8] = std::array::from_fn(|k| idx.lane(k) * dim as i32 + comp as i32);
             if eff.iter().all(|&i| (i as usize) < data.len() && i >= 0) {
                 let v = unsafe {
                     let vi = _mm256_loadu_si256(eff.as_ptr() as *const __m256i);
@@ -249,12 +243,20 @@ pub fn mul_add<R: Real, const L: usize>(
         use core::arch::x86_64::*;
         if avx2::is_f64x4::<R, L>() {
             return Some(unsafe {
-                avx2::st_pd(_mm256_fmadd_pd(avx2::ld_pd(&a), avx2::ld_pd(&b), avx2::ld_pd(&c)))
+                avx2::st_pd(_mm256_fmadd_pd(
+                    avx2::ld_pd(&a),
+                    avx2::ld_pd(&b),
+                    avx2::ld_pd(&c),
+                ))
             });
         }
         if avx2::is_f32x8::<R, L>() {
             return Some(unsafe {
-                avx2::st_ps(_mm256_fmadd_ps(avx2::ld_ps(&a), avx2::ld_ps(&b), avx2::ld_ps(&c)))
+                avx2::st_ps(_mm256_fmadd_ps(
+                    avx2::ld_ps(&a),
+                    avx2::ld_ps(&b),
+                    avx2::ld_ps(&c),
+                ))
             });
         }
         None
@@ -313,9 +315,7 @@ pub fn select<R: Real, const L: usize>(
         if avx2::is_f32x8::<R, L>() {
             return Some(unsafe {
                 let lanes: [i32; 8] = std::array::from_fn(|k| -(mask.lane(k) as i32));
-                let m = _mm256_castsi256_ps(_mm256_loadu_si256(
-                    lanes.as_ptr() as *const __m256i
-                ));
+                let m = _mm256_castsi256_ps(_mm256_loadu_si256(lanes.as_ptr() as *const __m256i));
                 avx2::st_ps(_mm256_blendv_ps(avx2::ld_ps(&f), avx2::ld_ps(&t), m))
             });
         }
@@ -372,8 +372,7 @@ mod tests {
         }
         let idx = IdxVec::<4>::from_array([7, 0, 3, 5]);
         if let Some(v) = gather::<f64, 4>(&data, idx, 4, 1) {
-            let want: [f64; 4] =
-                std::array::from_fn(|k| data[idx.lane(k) as usize * 4 + 1]);
+            let want: [f64; 4] = std::array::from_fn(|k| data[idx.lane(k) as usize * 4 + 1]);
             assert_eq!(v.to_array(), want);
         }
         // out-of-range effective index: must decline, not fault

@@ -122,7 +122,11 @@ impl DatView {
         debug_assert_eq!(D, self.dim);
         for (c, &v) in row.iter().enumerate() {
             let i = self.idx(e, c);
-            data[i] = data[i] + v;
+            // `Real` has no `AddAssign` bound, so no `+=` here.
+            #[allow(clippy::assign_op_pattern)]
+            {
+                data[i] = data[i] + v;
+            }
         }
     }
 
@@ -199,9 +203,7 @@ impl DatView {
                 // case; a contiguous load moves the same bits as the
                 // hardware gather at a fraction of the latency
                 match idx.consecutive_base() {
-                    Some(b) if b >= 0 && b as usize + L <= col.len() => {
-                        VecR::load(col, b as usize)
-                    }
+                    Some(b) if b >= 0 && b as usize + L <= col.len() => VecR::load(col, b as usize),
                     _ => VecR::gather(col, idx, 1, 0),
                 }
             }
@@ -241,6 +243,7 @@ impl DatView {
                 }
             }
             Layout::AoSoA { .. } => {
+                #[allow(clippy::assign_op_pattern)]
                 for k in 0..L {
                     let i = self.idx(idx.lane(k) as usize, c);
                     data[i] = data[i] + v.lane(k);
@@ -313,7 +316,11 @@ mod tests {
         let (n, dim) = (11, 4);
         let aos = aos_data(n, dim);
         let av = DatView::new(n, dim, Layout::Aos);
-        for layout in [Layout::Soa, Layout::AoSoA { block: 4 }, Layout::AoSoA { block: 3 }] {
+        for layout in [
+            Layout::Soa,
+            Layout::AoSoA { block: 4 },
+            Layout::AoSoA { block: 3 },
+        ] {
             let there = av.convert(&aos, layout);
             let back = DatView::new(n, dim, layout).convert(&there, Layout::Aos);
             assert_eq!(aos, back, "{layout:?}");
@@ -372,7 +379,11 @@ mod tests {
             let mut d2 = data.clone();
             view.scatter_add_serialv(VecR::<f64, 4>::splat(1.0), &mut d2, idx, 1);
             assert_eq!(d2[view.idx(7, 1)], 72.0, "{layout:?}");
-            assert_eq!(d2[view.idx(2, 1)], 23.0, "{layout:?} collision must accumulate");
+            assert_eq!(
+                d2[view.idx(2, 1)],
+                23.0,
+                "{layout:?} collision must accumulate"
+            );
             assert_eq!(d2[view.idx(5, 1)], 52.0, "{layout:?}");
         }
     }
@@ -385,14 +396,17 @@ mod tests {
         let (n, dim) = (16, 3);
         let aos = aos_data(n, dim);
         let av = DatView::new(n, dim, Layout::Aos);
-        for layout in [Layout::Soa, Layout::AoSoA { block: 8 }, Layout::AoSoA { block: 6 }] {
+        for layout in [
+            Layout::Soa,
+            Layout::AoSoA { block: 8 },
+            Layout::AoSoA { block: 6 },
+        ] {
             let view = DatView::new(n, dim, layout);
             let data = av.convert(&aos, layout);
             for base in [0, 4, 5, 12] {
                 let run = IdxVec::<4>::iota(base);
                 let got: VecR<f64, 4> = view.gatherv(&data, run, 2);
-                let want: [f64; 4] =
-                    std::array::from_fn(|k| ((base as usize + k) * 10 + 2) as f64);
+                let want: [f64; 4] = std::array::from_fn(|k| ((base as usize + k) * 10 + 2) as f64);
                 assert_eq!(got.to_array(), want, "{layout:?} base={base}");
 
                 let mut d2 = data.clone();
@@ -417,7 +431,11 @@ mod tests {
             }
             for e in 0..n {
                 let row: [f64; 4] = view.load_row(&data, e);
-                assert_eq!(row, std::array::from_fn(|c| (e * 10 + c) as f64), "{layout:?}");
+                assert_eq!(
+                    row,
+                    std::array::from_fn(|c| (e * 10 + c) as f64),
+                    "{layout:?}"
+                );
             }
             view.add_row(&mut data, 3, &[0.5f64; 4]);
             let row: [f64; 4] = view.load_row(&data, 3);

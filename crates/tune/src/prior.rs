@@ -84,9 +84,11 @@ pub fn work_for(app: App, kernel: &str, shape: &MeshShape) -> KernelWork {
 fn analogue(b: Backend) -> ModelBackend {
     match b {
         Backend::Seq | Backend::MpiFused => ModelBackend::ScalarMpi,
-        Backend::Threaded | Backend::Fused => ModelBackend::ScalarThreaded,
+        Backend::Threaded | Backend::Fused | Backend::Tiled => ModelBackend::ScalarThreaded,
         Backend::Simd { .. } | Backend::MpiFusedSimd { .. } => ModelBackend::VecMpi,
-        Backend::SimdThreaded { .. } | Backend::FusedSimd { .. } => ModelBackend::VecThreaded,
+        Backend::SimdThreaded { .. } | Backend::FusedSimd { .. } | Backend::TiledSimd { .. } => {
+            ModelBackend::VecThreaded
+        }
         Backend::SimdScheme { .. } => ModelBackend::AutoVec,
         Backend::Simt | Backend::FusedSimt => ModelBackend::OpenCl,
     }
@@ -190,7 +192,10 @@ mod tests {
             for (free, pooled) in [
                 (Backend::Seq, Backend::Threaded),
                 (Backend::Seq, Backend::Fused),
-                (Backend::Simd { lanes: 4 }, Backend::SimdThreaded { lanes: 4 }),
+                (
+                    Backend::Simd { lanes: 4 },
+                    Backend::SimdThreaded { lanes: 4 },
+                ),
                 (Backend::Simd { lanes: 4 }, Backend::FusedSimd { lanes: 4 }),
             ] {
                 let f = cands.iter().find(|c| c.backend == free).unwrap();
